@@ -1,0 +1,83 @@
+"""Ablation — run-time decompressor swap (Section VI future work).
+
+The paper: "We aim to further enhance the adaptivity by choosing
+different bitstream compression techniques at run-time using dynamic
+partial reconfiguration.  Depending on the requirements of compression
+ratios, hardware resources, different frequency limits in compression
+modes, a wider range of application can be supported."
+
+This bench runs UPaRC mode ii with each decompressor in the library
+and tabulates the three-way trade-off the paper describes: compression
+ratio (capacity) vs decompression throughput vs area.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.bitstream.generator import generate_bitstream
+from repro.core.system import UPaRCSystem
+from repro.core.urec import OperationMode
+from repro.fpga.area import PACKERS, ResourceInventory
+from repro.fpga.decompressor import DECOMPRESSOR_LIBRARY
+from repro.units import DataSize, Frequency
+
+
+def _snap_to_grid(target_mhz: float) -> Frequency:
+    """Lowest DCM-synthesizable CLK_2 at or above the target."""
+    from repro.core.policy import FrequencyPolicy
+    from repro.power.model import PowerModel
+    grid = FrequencyPolicy(PowerModel()).candidate_frequencies()
+    for frequency in grid:
+        if frequency.mhz >= target_mhz:
+            return frequency
+    return grid[-1]
+
+
+def _run_all():
+    bitstream = generate_bitstream(size=DataSize.from_kb(81))
+    results = {}
+    for name, spec in DECOMPRESSOR_LIBRARY.items():
+        system = UPaRCSystem(decompressor=name)
+        # CLK_2 must absorb the decompressor's output rate.
+        needed = min(255.0, max(50.0, spec.words_per_cycle
+                                * spec.max_frequency.mhz * 1.01))
+        clk2 = _snap_to_grid(needed)
+        result = system.run(bitstream, frequency=clk2,
+                            mode=OperationMode.COMPRESSED)
+        slices = PACKERS["virtex5"].slices(
+            ResourceInventory(luts=spec.luts, ffs=spec.ffs))
+        ratio = (1 - result.stored_size.bytes
+                 / bitstream.size.bytes) * 100
+        results[name] = {
+            "mbps": result.bandwidth_decimal_mbps,
+            "ratio": ratio,
+            "slices": slices,
+            "verified": result.verified,
+        }
+    return results
+
+
+def test_ablation_decompressor_swap(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = [[name, data["mbps"], data["ratio"], data["slices"]]
+            for name, data in results.items()]
+    print()
+    print(render_table(
+        ["Decompressor", "throughput MB/s", "ratio %", "V5 slices"],
+        rows, title="Ablation -- run-time decompressor swap (mode ii)"))
+
+    assert all(data["verified"] for data in results.values())
+
+    xmatch = results["x-matchpro"]
+    rle = results["farm-rle"]
+    # X-MatchPRO: best throughput (64-bit datapath) and better ratio
+    # than RLE, at much higher area -- the paper's trade-off.
+    assert xmatch["mbps"] > rle["mbps"]
+    assert xmatch["ratio"] > rle["ratio"]
+    assert xmatch["slices"] > 2 * rle["slices"]
+
+    # Every decompressor's throughput tracks words_per_cycle x fmax.
+    for name, spec in DECOMPRESSOR_LIBRARY.items():
+        ceiling = spec.words_per_cycle * spec.max_frequency.mhz * 4
+        assert results[name]["mbps"] <= ceiling * 1.02

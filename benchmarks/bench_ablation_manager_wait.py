@@ -1,0 +1,85 @@
+"""Ablation — the manager's active wait (Section V discussion).
+
+The paper: "The manager waits for the end of reconfiguration actively.
+This wastes some energy, that is why the energy decreases with the
+frequency, but in the case of a smaller manager or without actively
+waiting ... the reconfiguration energy would be the same for each
+frequencies."
+
+Three manager/model configurations are compared across the Fig. 7
+frequency sweep:
+
+1. measured model + active-wait manager (the paper's setup);
+2. measured model + clock-gated (idle) manager;
+3. idealized pure-CVf dynamic model + gated manager — the limit the
+   paper describes, where energy is frequency-independent.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.power.calibration import ML605_CALIBRATION
+from repro.units import DataSize, Frequency
+
+SIZE = DataSize.from_kb(216.5)
+FREQUENCIES = (50.0, 100.0, 200.0, 300.0)
+
+
+def _reconfiguration_seconds(mhz: float) -> float:
+    cycles = SIZE.words + 3
+    return Frequency.from_mhz(mhz).duration_of(cycles) / 1e12
+
+
+def _energies():
+    calibration = ML605_CALIBRATION
+    # Pure-dynamic slope through the origin (mW per MHz), least squares.
+    points = [(mhz, calibration.chain_dynamic_mw(mhz))
+              for mhz in FREQUENCIES]
+    slope = sum(mhz * mw for mhz, mw in points) \
+        / sum(mhz * mhz for mhz, _ in points)
+
+    rows = []
+    for mhz in FREQUENCIES:
+        seconds = _reconfiguration_seconds(mhz)
+        chain = calibration.chain_dynamic_mw(mhz)
+        static = calibration.static_mw
+        wait = calibration.manager_wait_mw
+        active_wait_uj = (static + wait + chain) * seconds * 1e3
+        gated_uj = (static + chain) * seconds * 1e3
+        ideal_uj = (slope * mhz) * seconds * 1e3
+        rows.append((mhz, active_wait_uj, gated_uj, ideal_uj))
+    return rows
+
+
+def test_ablation_manager_wait(benchmark):
+    rows = benchmark.pedantic(_energies, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["MHz", "active-wait uJ", "gated-mgr uJ", "ideal-CVf uJ"],
+        [list(row) for row in rows],
+        title="Ablation -- manager wait energy (216.5 KB)"))
+
+    actives = [row[1] for row in rows]
+    gateds = [row[2] for row in rows]
+    ideals = [row[3] for row in rows]
+
+    # With the active wait, energy strictly decreases with frequency
+    # (the paper's observation).
+    assert actives == sorted(actives, reverse=True)
+
+    # Gating the manager shrinks the spread.
+    active_spread = max(actives) / min(actives)
+    gated_spread = max(gateds) / min(gateds)
+    assert gated_spread < active_spread
+
+    # The idealized pure-dynamic limit is frequency-independent (up to
+    # the constant burst-setup cycles).
+    assert max(ideals) / min(ideals) < 1.001
+
+    # Gating always saves energy, and the saving grows at low frequency
+    # (longer wait).
+    savings = [active - gated for _, active, gated, _ in
+               [(r[0], r[1], r[2], r[3]) for r in rows]]
+    assert all(saving > 0 for saving in savings)
+    assert savings[0] > savings[-1]

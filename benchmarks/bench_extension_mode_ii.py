@@ -1,0 +1,32 @@
+"""Extension — UPaRC_ii bandwidth vs bitstream size.
+
+The compressed-mode companion to Fig. 5: the ceiling is the
+decompressor's 1.008 GB/s output rate (64-bit X-MatchPRO at CLK_3),
+not the CLK_2 plane; the same constant control overhead penalizes
+small bitstreams.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bandwidth import mode_ii_bandwidth_sweep
+from repro.analysis.report import render_table
+
+
+def test_extension_mode_ii_sweep(benchmark):
+    points = benchmark.pedantic(
+        mode_ii_bandwidth_sweep,
+        kwargs={"sizes_kb": (6.5, 30.0, 81.0, 216.5)},
+        rounds=1, iterations=1)
+
+    rows = [[f"{p.size.kb:g}", p.effective_mbps, p.theoretical_mbps,
+             p.efficiency_percent] for p in points]
+    print()
+    print(render_table(
+        ["size KB", "MB/s", "decompressor ceiling", "efficiency %"],
+        rows, title="Extension -- UPaRC_ii bandwidth vs size (255 MHz)"))
+
+    largest = max(points, key=lambda p: p.size.bytes)
+    assert abs(largest.effective_mbps - 1000) / 1000 < 0.02
+    efficiencies = [p.efficiency_percent
+                    for p in sorted(points, key=lambda p: p.size.bytes)]
+    assert efficiencies == sorted(efficiencies)

@@ -1,0 +1,48 @@
+"""Extension — seed-robustness of the reproduced tables.
+
+The synthetic-bitstream substitution (DESIGN.md §1) is only sound if
+the reproduced results are properties of the content *regime* rather
+than of one lucky sample.  This bench re-runs Table I and Table III
+across generator seeds and asserts the spread is tight.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.campaign import table1_campaign, table3_campaign
+from repro.analysis.report import render_table
+
+
+def test_robustness_table1(benchmark):
+    campaign = benchmark.pedantic(
+        table1_campaign, kwargs={"seeds": range(1, 7), "size_kb": 32.0},
+        rounds=1, iterations=1)
+
+    rows = [[name, spread.mean, spread.std, spread.minimum,
+             spread.maximum]
+            for name, spread in campaign.spreads.items()]
+    print()
+    print(render_table(
+        ["codec", "mean %", "std", "min", "max"],
+        rows, title="Robustness -- Table I across 6 seeds"))
+
+    assert campaign.mean_ranking_matches_paper
+    assert campaign.max_rank_displacement <= 1
+    for spread in campaign.spreads.values():
+        assert spread.std < 2.0
+
+
+def test_robustness_table3(benchmark):
+    campaign = benchmark.pedantic(
+        table3_campaign, kwargs={"seeds": range(1, 4), "size_kb": 48.0},
+        rounds=1, iterations=1)
+
+    rows = [[name, spread.mean, spread.std]
+            for name, spread in campaign.spreads.items()]
+    print()
+    print(render_table(
+        ["controller", "mean MB/s", "std"],
+        rows, title="Robustness -- Table III across 3 seeds"))
+
+    # Bandwidths are timing, not content: zero spread expected.
+    for name in campaign.spreads:
+        assert campaign.coefficient_of_variation(name) < 1e-6

@@ -1,0 +1,65 @@
+"""Extension — the Virtex-6 frequency-reliability question (§IV).
+
+The paper: "Tests under the same conditions on a few Virtex-6
+XC6VLX240T show that 362.5 MHz is not reliable, the maximum frequency
+seems to be few MHz lower.  Experiments are underway on a larger
+number of samples..."
+
+This bench quantifies what that costs: the Table III headline run on
+the V6 envelope (356 MHz demonstrated in our device model) versus the
+V5's 362.5 MHz, plus a check that the V6 system refuses the V5
+operating point rather than silently mis-clocking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.bitstream.device import VIRTEX5_SX50T, VIRTEX6_LX240T
+from repro.bitstream.generator import generate_bitstream
+from repro.controllers.uparc import UparcController
+from repro.errors import FrequencyError
+from repro.units import DataSize, Frequency
+
+
+def _run_both():
+    results = {}
+    for device in (VIRTEX5_SX50T, VIRTEX6_LX240T):
+        bitstream = generate_bitstream(size=DataSize.from_kb(216.5),
+                                       device=device)
+        controller = UparcController("i", device=device)
+        results[device.name] = (controller.max_frequency,
+                                controller.best_result(bitstream))
+    return results
+
+
+def test_extension_virtex6_envelope(benchmark):
+    results = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+
+    rows = [[name, str(fmax), result.bandwidth_decimal_mbps,
+             result.transfer_ps / 1e6]
+            for name, (fmax, result) in results.items()]
+    print()
+    print(render_table(
+        ["device", "max CLK_2", "MB/s", "216.5 KB in us"],
+        rows, title="Extension -- V5 vs V6 frequency envelope"))
+
+    v5_fmax, v5 = results["XC5VSX50T"]
+    v6_fmax, v6 = results["XC6VLX240T"]
+    assert v6_fmax < v5_fmax  # "a few MHz lower"
+    assert v5.bandwidth_decimal_mbps > v6.bandwidth_decimal_mbps
+    # The cost of the V6 regression is small (<3 %).
+    loss = 1 - (v6.bandwidth_decimal_mbps / v5.bandwidth_decimal_mbps)
+    assert 0.0 < loss < 0.03
+    assert v5.verified and v6.verified
+
+    # The V6 system must refuse the V5 operating point outright.
+    bitstream = generate_bitstream(size=DataSize.from_kb(8),
+                                   device=VIRTEX6_LX240T)
+    from repro.core.system import UPaRCSystem
+    system = UPaRCSystem(device=VIRTEX6_LX240T, decompressor=None)
+    system.set_frequency(Frequency.from_mhz(362.5))
+    system.preload(bitstream)
+    with pytest.raises(FrequencyError):
+        system.reconfigure()

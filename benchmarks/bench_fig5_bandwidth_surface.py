@@ -1,0 +1,57 @@
+"""Fig. 5 — reconfiguration bandwidth vs. frequency vs. bitstream size.
+
+Paper anchors (UPaRC_i, preloading without compression, Virtex-5):
+
+* at 362.5 MHz / 6.5 KB: 1.14 GB/s effective = 78.8 % of the 1.45 GB/s
+  theoretical plane;
+* at 362.5 MHz / 247 KB: 1.44 GB/s = 99 % of theoretical.
+
+Regenerates the full size x frequency surface and prints it as the
+series of rows the figure plots.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bandwidth import (
+    FIG5_FREQUENCIES_MHZ,
+    FIG5_SIZES_KB,
+    anchor_points,
+    bandwidth_surface,
+)
+from repro.analysis.report import render_table
+
+
+def test_fig5_bandwidth_surface(benchmark):
+    points = benchmark.pedantic(bandwidth_surface, rounds=1, iterations=1)
+
+    # Print the surface as one row per size, one column per frequency.
+    by_cell = {(p.size.kb, p.frequency.mhz): p for p in points}
+    headers = ["size KB \\ MHz"] + [f"{mhz:g}" for mhz in
+                                    FIG5_FREQUENCIES_MHZ]
+    rows = []
+    for size_kb in FIG5_SIZES_KB:
+        row = [f"{size_kb:g}"]
+        for mhz in FIG5_FREQUENCIES_MHZ:
+            row.append(by_cell[(size_kb, mhz)].effective_mbps)
+        rows.append(row)
+    print()
+    print(render_table(headers, rows,
+                       title="Fig. 5 -- Effective bandwidth (MB/s)"))
+
+    # Anchors from the text.
+    anchors = anchor_points(points)
+    assert abs(anchors["small"] - 78.8) < 1.5
+    assert abs(anchors["large"] - 99.0) < 1.0
+
+    # Monotonicity along both axes.
+    for size_kb in FIG5_SIZES_KB:
+        series = [by_cell[(size_kb, mhz)].effective_mbps
+                  for mhz in FIG5_FREQUENCIES_MHZ]
+        assert series == sorted(series)
+    for mhz in FIG5_FREQUENCIES_MHZ:
+        series = [by_cell[(size_kb, mhz)].efficiency_percent
+                  for size_kb in FIG5_SIZES_KB]
+        assert series == sorted(series)
+
+    # Every cell sits below the theoretical plane.
+    assert all(p.effective_mbps < p.theoretical_mbps for p in points)

@@ -1,0 +1,54 @@
+"""Fig. 7 — FPGA core power during reconfiguration at four clocks.
+
+Paper curves (216.5 KB uncompressed bitstream, MicroBlaze manager at
+100 MHz, Virtex-6/ML605):
+
+    50 MHz:  183 mW for 1.1 ms
+    100 MHz: 259 mW for 550 us
+    200 MHz: 394 mW for 270 us
+    300 MHz: 453 mW for 180 us
+
+with a manager peak before t=0 and a decay to idle afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.powersweep import PAPER_FIG7, fig7_power_sweep
+from repro.analysis.report import render_series, render_table
+
+
+def test_fig7_power_traces(benchmark):
+    points = benchmark.pedantic(fig7_power_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for point in points:
+        paper_mw, paper_us = PAPER_FIG7[point.frequency.mhz]
+        rows.append([f"{point.frequency.mhz:g}",
+                     point.plateau_mw, paper_mw,
+                     point.reconfiguration_us, paper_us,
+                     point.energy_uj])
+    print()
+    print(render_table(
+        ["MHz", "plateau mW", "paper mW", "time us", "paper us",
+         "energy uJ"],
+        rows, title="Fig. 7 -- Power during reconfiguration"))
+    print()
+    print(render_series(
+        [(p.frequency.mhz, p.plateau_mw) for p in points],
+        title="Power vs frequency", x_label="MHz", y_label="mW"))
+
+    for point in points:
+        paper_mw, paper_us = PAPER_FIG7[point.frequency.mhz]
+        assert abs(point.plateau_mw - paper_mw) / paper_mw < 0.005
+        assert abs(point.reconfiguration_us - paper_us) / paper_us < 0.03
+        # The trace shape: starts at idle, ends at idle, plateau above.
+        assert point.trace.samples[0].value == point.idle_mw
+        assert point.trace.samples[-1].value == point.idle_mw
+        assert point.plateau_mw > point.idle_mw
+
+    # Doubling frequency halves time but does not double power.
+    by_mhz = {p.frequency.mhz: p for p in points}
+    assert by_mhz[100.0].plateau_mw < 2 * by_mhz[50.0].plateau_mw
+    assert abs(by_mhz[50.0].reconfiguration_us
+               - 2 * by_mhz[100.0].reconfiguration_us) \
+        < 0.02 * by_mhz[50.0].reconfiguration_us

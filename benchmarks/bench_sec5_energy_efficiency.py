@@ -1,0 +1,35 @@
+"""Section V — energy efficiency: UPaRC vs xps_hwicap (the 45x claim).
+
+Paper: 'Without processor optimizations, we achieve a reconfiguration
+throughput of 1.5 MB/s of configuration data and the energy efficiency
+is 30 uJ/KB of bitstream.  In the same conditions, using a MicroBlaze
+as manager, UPaRC (without compression) consumes only 0.66 uJ/KB
+which is 45 times more efficient than xps_hwicap.'
+"""
+
+from __future__ import annotations
+
+from repro.analysis.powersweep import energy_comparison
+from repro.analysis.report import render_table
+
+
+def test_sec5_energy_efficiency(benchmark):
+    comparison = benchmark.pedantic(energy_comparison, rounds=1,
+                                    iterations=1)
+
+    rows = [
+        ["xps_hwicap (unoptimized)", comparison.xps.uj_per_kb, 30.0,
+         comparison.xps.mean_power_mw],
+        ["UPaRC_i @ 100 MHz", comparison.uparc.uj_per_kb, 0.66,
+         comparison.uparc.mean_power_mw],
+    ]
+    print()
+    print(render_table(
+        ["Controller", "measured uJ/KB", "paper uJ/KB", "power mW"],
+        rows, title="Section V -- Energy efficiency"))
+    print(f"\nefficiency ratio: {comparison.efficiency_ratio:.1f}x "
+          f"(paper: 45x)")
+
+    assert abs(comparison.xps.uj_per_kb - 30.0) / 30.0 < 0.05
+    assert abs(comparison.uparc.uj_per_kb - 0.66) / 0.66 < 0.05
+    assert abs(comparison.efficiency_ratio - 45.0) / 45.0 < 0.05

@@ -1,0 +1,58 @@
+"""Table I — lossless compression-ratio comparison.
+
+Paper row (compression ratio, % space saved, high-utilization partial
+bitstreams):
+
+    RLE 63.0 | LZ77 71.4 | Huffman 72.3 | X-MatchPRO 74.2 |
+    LZ78 75.6 | Zip 81.2 | 7-zip 81.9
+
+Regenerates the table over a corpus of synthetic bitstreams of
+different sizes/complexities and checks the ranking and per-codec
+agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.compress import PAPER_TABLE1_RATIOS, all_codecs
+
+
+def _mean_ratios(corpus):
+    ratios = {}
+    for codec in all_codecs():
+        values = [codec.measure(bs.raw_bytes).ratio_percent
+                  for bs in corpus]
+        ratios[codec.name] = sum(values) / len(values)
+    return ratios
+
+
+def test_table1_compression_ratios(benchmark, table1_corpus):
+    ratios = benchmark.pedantic(_mean_ratios, args=(table1_corpus,),
+                                rounds=1, iterations=1)
+
+    rows = [[name, ratios[name], PAPER_TABLE1_RATIOS[name],
+             ratios[name] - PAPER_TABLE1_RATIOS[name]]
+            for name in PAPER_TABLE1_RATIOS]
+    print()
+    print(render_table(
+        ["Algorithm", "measured %", "paper %", "delta"],
+        rows, title="Table I -- Lossless compression ratios"))
+
+    # Shape: the paper's ranking is preserved...
+    assert sorted(ratios, key=ratios.get) == list(PAPER_TABLE1_RATIOS)
+    # ...and each ratio lands within 4 percentage points.
+    for name, paper_value in PAPER_TABLE1_RATIOS.items():
+        assert abs(ratios[name] - paper_value) < 4.0
+
+
+@pytest.mark.parametrize("name", list(PAPER_TABLE1_RATIOS))
+def test_codec_throughput(benchmark, paper_bitstream, name):
+    """Compression wall-clock per codec (library speed tracking)."""
+    from repro.compress import codec_by_name
+    codec = codec_by_name(name)
+    data = paper_bitstream.raw_bytes[:65536]
+    compressed = benchmark.pedantic(codec.compress, args=(data,),
+                                    rounds=1, iterations=1)
+    assert codec.decompress(compressed) == data

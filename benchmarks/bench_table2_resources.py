@@ -1,0 +1,43 @@
+"""Table II — FPGA resources needed by the basic blocks of UPaRC.
+
+Paper rows (slices):
+
+    DyCloGen      V5: 24    V6: 18
+    UReC          V5: 26    V6: 26
+    Decompressor  V5: 1035  V6: 900
+
+Regenerated from the primitive inventories + family slice packers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.fpga.area import slices_for
+
+PAPER_TABLE2 = {
+    "dyclogen": ("DyCloGen", 24, 18),
+    "urec": ("UReC", 26, 26),
+    "decompressor": ("Decompressor", 1035, 900),
+}
+
+
+def _compute_table():
+    return {module: (slices_for(module, "virtex5"),
+                     slices_for(module, "virtex6"))
+            for module in PAPER_TABLE2}
+
+
+def test_table2_resources(benchmark):
+    measured = benchmark.pedantic(_compute_table, rounds=1, iterations=1)
+
+    rows = []
+    for module, (label, paper_v5, paper_v6) in PAPER_TABLE2.items():
+        v5, v6 = measured[module]
+        rows.append([label, v5, paper_v5, v6, paper_v6])
+    print()
+    print(render_table(
+        ["Module", "V5 slices", "paper", "V6 slices", "paper"],
+        rows, title="Table II -- FPGA resources of UPaRC basic blocks"))
+
+    for module, (_, paper_v5, paper_v6) in PAPER_TABLE2.items():
+        assert measured[module] == (paper_v5, paper_v6)

@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one of the paper's tables or figures and
+prints the measured rows next to the published ones (run with ``-s``
+to see them).  Benchmarks assert the reproduction *shape* — who wins,
+by what factor — so a regression in the models fails the bench, not
+just the prose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitstream.generator import generate_bitstream
+from repro.units import DataSize
+
+
+@pytest.fixture(scope="session")
+def paper_bitstream():
+    """The 216.5 KB bitstream of the power/energy campaign."""
+    return generate_bitstream(size=DataSize.from_kb(216.5))
+
+
+@pytest.fixture(scope="session")
+def table1_corpus():
+    """'different partial bitstream sizes and complexities' (Table I)."""
+    return [
+        generate_bitstream(size=DataSize.from_kb(49), seed=101),
+        generate_bitstream(size=DataSize.from_kb(81), seed=202),
+        generate_bitstream(size=DataSize.from_kb(156), seed=303),
+    ]

@@ -1,0 +1,14 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "UPaRC (DATE 2012) reproduction: ultra-fast power-aware FPGA "
+        "reconfiguration controller, simulated end to end in Python"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["networkx"],
+    python_requires=">=3.9",
+)

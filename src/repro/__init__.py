@@ -1,0 +1,82 @@
+"""repro — reproduction of UPaRC (Bonamy et al., DATE 2012).
+
+An end-to-end, simulation-based reproduction of the ultra-fast
+power-aware reconfiguration controller: the UPaRC system itself
+(:mod:`repro.core`), every substrate it needs (discrete-event kernel,
+Xilinx-style bitstreams, seven lossless codecs, FPGA component and
+power models) and every baseline controller it is compared against.
+
+Quick start::
+
+    from repro import UPaRCSystem, generate_bitstream
+    from repro.units import Frequency, DataSize
+
+    system = UPaRCSystem()
+    system.set_frequency(Frequency.from_mhz(362.5))
+    result = system.run(generate_bitstream(size=DataSize.from_kb(216.5)))
+    print(f"{result.bandwidth_decimal_mbps:.0f} MB/s, "
+          f"{result.energy.uj_per_kb:.2f} uJ/KB")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.bitstream import generate_bitstream, BitstreamSpec
+from repro.core import (
+    DagScheduler,
+    DagTask,
+    DyCloGen,
+    Floorplan,
+    FrequencyPolicy,
+    Manager,
+    OperationMode,
+    PrefetchScheduler,
+    Region,
+    Task,
+    UPaRCSystem,
+    UReC,
+)
+from repro.controllers import (
+    BramHwicap,
+    Farm,
+    FlashCap,
+    MstIcap,
+    ReconfigurationController,
+    ReconfigurationResult,
+    UparcController,
+    XpsHwicap,
+)
+from repro.power import PowerModel, ML605_CALIBRATION
+from repro.units import DataSize, Frequency
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "generate_bitstream",
+    "BitstreamSpec",
+    "UPaRCSystem",
+    "UReC",
+    "DyCloGen",
+    "Manager",
+    "OperationMode",
+    "FrequencyPolicy",
+    "Floorplan",
+    "Region",
+    "DagScheduler",
+    "DagTask",
+    "PrefetchScheduler",
+    "Task",
+    "ReconfigurationController",
+    "ReconfigurationResult",
+    "UparcController",
+    "XpsHwicap",
+    "BramHwicap",
+    "MstIcap",
+    "Farm",
+    "FlashCap",
+    "PowerModel",
+    "ML605_CALIBRATION",
+    "DataSize",
+    "Frequency",
+    "__version__",
+]

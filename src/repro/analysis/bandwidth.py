@@ -1,0 +1,117 @@
+"""Fig. 5 — reconfiguration bandwidth vs. frequency vs. bitstream size.
+
+The paper's surface plot: UPaRC_i (preloading without compression)
+swept over bitstream sizes {6.5 ... 247 KB} and ICAP frequencies
+{50 ... 362.5 MHz}.  The physics is the constant manager/control
+overhead: small bitstreams amortize it poorly (78.8 % of theoretical
+at 6.5 KB and 362.5 MHz), large ones approach the theoretical plane
+(99 % at 247 KB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.bitstream.generator import BitstreamSpec, generate_bitstream
+from repro.core.system import UPaRCSystem
+from repro.units import DataSize, Frequency
+
+# The axes Fig. 5 plots (sizes in KB, frequencies in MHz).
+FIG5_SIZES_KB = (6.5, 12.0, 30.0, 49.0, 81.0, 156.0, 247.0)
+FIG5_FREQUENCIES_MHZ = (50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 362.5)
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One cell of the Fig. 5 surface."""
+
+    size: DataSize
+    frequency: Frequency
+    effective_mbps: float       # decimal MB/s, paper convention
+    theoretical_mbps: float
+    duration_ps: int
+
+    @property
+    def efficiency_percent(self) -> float:
+        return self.effective_mbps / self.theoretical_mbps * 100.0
+
+
+def bandwidth_surface(sizes_kb: Iterable[float] = FIG5_SIZES_KB,
+                      frequencies_mhz: Iterable[float] = FIG5_FREQUENCIES_MHZ,
+                      spec: Optional[BitstreamSpec] = None,
+                      collect_power: bool = False) -> List[BandwidthPoint]:
+    """Measure the full surface with real UPaRC_i runs.
+
+    One system per size (the bitstream stays preloaded while the
+    frequency sweeps — exactly how the measurement would run on the
+    board: retune DyCloGen, pulse Start, repeat).
+    """
+    points: List[BandwidthPoint] = []
+    for size_kb in sizes_kb:
+        size = DataSize.from_kb(size_kb)
+        bitstream = generate_bitstream(spec, size=size)
+        system = UPaRCSystem(decompressor=None)
+        system.preload(bitstream)
+        for mhz in frequencies_mhz:
+            frequency = Frequency.from_mhz(mhz)
+            system.set_frequency(frequency)
+            result = system.reconfigure(collect_power=collect_power)
+            theoretical = frequency.hertz * 4 / 1e6
+            points.append(BandwidthPoint(
+                size=size,
+                frequency=frequency,
+                effective_mbps=result.bandwidth_decimal_mbps,
+                theoretical_mbps=theoretical,
+                duration_ps=result.duration_ps,
+            ))
+    return points
+
+
+def anchor_points(points: List[BandwidthPoint]) -> dict:
+    """The two calibration anchors the paper quotes for Fig. 5.
+
+    Returns efficiency percentages at (6.5 KB, 362.5 MHz) and
+    (247 KB, 362.5 MHz); the paper reports 78.8 % and 99 %.
+    """
+    anchors = {}
+    for point in points:
+        if abs(point.frequency.mhz - 362.5) < 1e-6:
+            if abs(point.size.kb - 6.5) < 1e-6:
+                anchors["small"] = point.efficiency_percent
+            if abs(point.size.kb - 247.0) < 1e-6:
+                anchors["large"] = point.efficiency_percent
+    return anchors
+
+
+def mode_ii_bandwidth_sweep(sizes_kb: Iterable[float] = FIG5_SIZES_KB,
+                            spec: Optional[BitstreamSpec] = None,
+                            ) -> List[BandwidthPoint]:
+    """Compressed-mode (UPaRC_ii) bandwidth vs bitstream size.
+
+    The companion curve Fig. 5 does not show: in mode ii the ceiling
+    is the decompressor's output rate (~1 GB/s for the 64-bit
+    X-MatchPRO), so the curve saturates there rather than at the CLK_2
+    theoretical plane, with the same control-overhead penalty at small
+    sizes.
+    """
+    from repro.core.system import UPaRCSystem
+    from repro.core.urec import OperationMode
+    points: List[BandwidthPoint] = []
+    frequency = Frequency.from_mhz(255)
+    for size_kb in sizes_kb:
+        size = DataSize.from_kb(size_kb)
+        bitstream = generate_bitstream(spec, size=size)
+        system = UPaRCSystem()
+        result = system.run(bitstream, frequency=frequency,
+                            mode=OperationMode.COMPRESSED)
+        decompressor_ceiling = (
+            system.decompressor.output_bandwidth_mbps() * 1.048576)
+        points.append(BandwidthPoint(
+            size=size,
+            frequency=frequency,
+            effective_mbps=result.bandwidth_decimal_mbps,
+            theoretical_mbps=decompressor_ceiling,
+            duration_ps=result.duration_ps,
+        ))
+    return points

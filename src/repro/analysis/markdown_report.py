@@ -1,0 +1,153 @@
+"""Generate the full paper-vs-measured report as Markdown.
+
+``python -m repro report`` regenerates an EXPERIMENTS.md-style
+document from *live runs* — the single command that demonstrates the
+whole reproduction.  Everything is recomputed; nothing is pasted in,
+so the document can never drift from the code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.bandwidth import anchor_points, bandwidth_surface
+from repro.analysis.comparison import compare_controllers
+from repro.analysis.powersweep import (
+    PAPER_FIG7,
+    energy_comparison,
+    fig7_power_sweep,
+)
+from repro.bitstream.generator import generate_bitstream
+from repro.compress import PAPER_TABLE1_RATIOS, all_codecs
+from repro.fpga.area import slices_for
+from repro.units import DataSize
+
+
+def _md_table(headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> List[str]:
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines += ["| " + " | ".join(fmt(cell) for cell in row) + " |"
+              for row in rows]
+    return lines
+
+
+def _section_table1() -> List[str]:
+    corpus = [generate_bitstream(size=DataSize.from_kb(kb), seed=seed)
+              for kb, seed in ((49, 101), (81, 202), (156, 303))]
+    rows = []
+    for codec in all_codecs():
+        values = [codec.measure(bs.raw_bytes).ratio_percent
+                  for bs in corpus]
+        measured = sum(values) / len(values)
+        paper = PAPER_TABLE1_RATIOS[codec.name]
+        rows.append([codec.name, paper, measured, measured - paper])
+    lines = ["## Table I — compression ratios", ""]
+    lines += _md_table(["algorithm", "paper %", "measured %", "delta"],
+                       rows)
+    measured_order = sorted(
+        (row[0] for row in rows),
+        key=lambda name: next(r[2] for r in rows if r[0] == name))
+    verdict = ("identical to the paper's"
+               if measured_order == list(PAPER_TABLE1_RATIOS)
+               else f"DIFFERS: {measured_order}")
+    lines += ["", f"Ranking: {verdict}.", ""]
+    return lines
+
+
+def _section_table2() -> List[str]:
+    paper = {"dyclogen": ("DyCloGen", 24, 18),
+             "urec": ("UReC", 26, 26),
+             "decompressor": ("Decompressor", 1035, 900)}
+    rows = []
+    exact = True
+    for module, (label, v5, v6) in paper.items():
+        measured_v5 = slices_for(module, "virtex5")
+        measured_v6 = slices_for(module, "virtex6")
+        exact &= (measured_v5, measured_v6) == (v5, v6)
+        rows.append([label, v5, measured_v5, v6, measured_v6])
+    lines = ["## Table II — slice counts", ""]
+    lines += _md_table(["module", "V5 paper", "V5 measured",
+                        "V6 paper", "V6 measured"], rows)
+    lines += ["", "Exact match." if exact else "MISMATCH.", ""]
+    return lines
+
+
+def _section_table3() -> List[str]:
+    rows = compare_controllers(size_kb=216.5)
+    table = [[row.controller, row.paper_mbps, row.measured_mbps,
+              f"{row.relative_error_percent:+.1f}%", row.grade]
+             for row in rows]
+    lines = ["## Table III — controller comparison (216.5 KB)", ""]
+    lines += _md_table(["controller", "paper MB/s", "measured MB/s",
+                        "error", "capacity"], table)
+    by_name = {row.controller: row.measured_mbps for row in rows}
+    factor = by_name["UPaRC_i"] / by_name["FaRM"]
+    lines += ["", f"UPaRC_i / FaRM = {factor:.2f}x "
+              f"(paper: 1.8x). All transfers CRC-verified: "
+              f"{all(row.verified for row in rows)}.", ""]
+    return lines
+
+
+def _section_fig5() -> List[str]:
+    points = bandwidth_surface(sizes_kb=(6.5, 49.0, 247.0),
+                               frequencies_mhz=(100.0, 250.0, 362.5))
+    rows = [[point.size.kb, point.frequency.mhz, point.effective_mbps,
+             point.efficiency_percent] for point in points]
+    lines = ["## Fig. 5 — bandwidth vs frequency vs size (excerpt)", ""]
+    lines += _md_table(["size KB", "MHz", "effective MB/s",
+                        "efficiency %"], rows)
+    anchors = anchor_points(points)
+    lines += ["", f"Anchors at 362.5 MHz: 6.5 KB → "
+              f"{anchors['small']:.1f}% (paper 78.8%), 247 KB → "
+              f"{anchors['large']:.1f}% (paper 99%).", ""]
+    return lines
+
+
+def _section_fig7() -> List[str]:
+    points = fig7_power_sweep()
+    rows = []
+    for point in points:
+        paper_mw, paper_us = PAPER_FIG7[point.frequency.mhz]
+        rows.append([point.frequency.mhz, paper_mw, point.plateau_mw,
+                     paper_us, point.reconfiguration_us,
+                     point.energy_uj])
+    lines = ["## Fig. 7 — power during reconfiguration", ""]
+    lines += _md_table(["MHz", "paper mW", "measured mW", "paper µs",
+                        "measured µs", "energy µJ"], rows)
+    lines.append("")
+    return lines
+
+
+def _section_energy() -> List[str]:
+    comparison = energy_comparison()
+    rows = [
+        ["xps_hwicap (unoptimized)", 30.0, comparison.xps.uj_per_kb],
+        ["UPaRC_i @ 100 MHz", 0.66, comparison.uparc.uj_per_kb],
+    ]
+    lines = ["## Section V — energy efficiency", ""]
+    lines += _md_table(["controller", "paper µJ/KB", "measured µJ/KB"],
+                       rows)
+    lines += ["", f"Efficiency ratio: "
+              f"{comparison.efficiency_ratio:.1f}x (paper: 45x).", ""]
+    return lines
+
+
+def build_report() -> str:
+    """Run every experiment and assemble the Markdown document."""
+    lines = [
+        "# UPaRC reproduction — live report",
+        "",
+        "Regenerated by `python -m repro report`; every number below",
+        "comes from a run executed just now (deterministic seeds).",
+        "",
+    ]
+    for section in (_section_table1, _section_table2, _section_table3,
+                    _section_fig5, _section_fig7, _section_energy):
+        lines += section()
+    return "\n".join(lines)

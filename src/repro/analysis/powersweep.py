@@ -1,0 +1,115 @@
+"""Fig. 7 power traces and the Section V energy comparison.
+
+``fig7_power_sweep`` reruns the paper's measurement campaign: a
+216.5 KB uncompressed bitstream reconfigured at 50/100/200/300 MHz on
+the simulated ML605, recording the full power trace of each run (the
+manager's pre-start control peak, the frequency-dependent plateau,
+the decay to idle).
+
+``energy_comparison`` reproduces the 30 vs 0.66 uJ/KB (45x) result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.bitstream.device import VIRTEX6_LX240T
+from repro.bitstream.generator import BitstreamSpec, generate_bitstream
+from repro.controllers.xps_hwicap import XpsHwicap
+from repro.core.system import UPaRCSystem
+from repro.power.energy import EnergyReport
+from repro.sim import ValueTrace
+from repro.units import DataSize, Frequency
+
+FIG7_FREQUENCIES_MHZ = (50.0, 100.0, 200.0, 300.0)
+FIG7_SIZE_KB = 216.5
+
+# The published Fig. 7 plateau (mW) and duration (us) per frequency.
+PAPER_FIG7 = {
+    50.0: (183.0, 1100.0),
+    100.0: (259.0, 550.0),
+    200.0: (394.0, 270.0),
+    300.0: (453.0, 180.0),
+}
+
+
+@dataclass(frozen=True)
+class PowerSweepPoint:
+    """One Fig. 7 curve: plateau power, duration, full trace."""
+
+    frequency: Frequency
+    plateau_mw: float
+    reconfiguration_us: float
+    peak_mw: float
+    idle_mw: float
+    energy_uj: float
+    trace: ValueTrace
+
+    @property
+    def uj_per_kb(self) -> float:
+        return self.energy_uj / FIG7_SIZE_KB
+
+
+def fig7_power_sweep(frequencies_mhz: Tuple[float, ...]
+                     = FIG7_FREQUENCIES_MHZ,
+                     size_kb: float = FIG7_SIZE_KB,
+                     spec: Optional[BitstreamSpec] = None,
+                     ) -> List[PowerSweepPoint]:
+    """Re-run the Fig. 7 measurement campaign in simulation.
+
+    On the paper's measurement platform: the ML605's Virtex-6 ("ML605
+    includes a shunt resistor ... which is not possible using ML506").
+    """
+    bitstream = generate_bitstream(spec, size=DataSize.from_kb(size_kb),
+                                   device=VIRTEX6_LX240T)
+    points: List[PowerSweepPoint] = []
+    for mhz in frequencies_mhz:
+        system = UPaRCSystem(device=VIRTEX6_LX240T, decompressor=None)
+        result = system.run(bitstream, frequency=Frequency.from_mhz(mhz))
+        assert result.energy is not None and result.power_trace is not None
+        points.append(PowerSweepPoint(
+            frequency=result.frequency,
+            plateau_mw=result.energy.mean_power_mw,
+            reconfiguration_us=result.transfer_ps / 1e6,
+            peak_mw=result.power_trace.peak(),
+            idle_mw=system.power_model.idle_mw(),
+            energy_uj=result.energy.energy_uj,
+            trace=result.power_trace,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """The Section V head-to-head."""
+
+    xps: EnergyReport
+    uparc: EnergyReport
+
+    @property
+    def efficiency_ratio(self) -> float:
+        """How many times more efficient UPaRC is (paper: 45x)."""
+        return self.xps.uj_per_kb / self.uparc.uj_per_kb
+
+
+def energy_comparison(size_kb: float = FIG7_SIZE_KB,
+                      manager_frequency_mhz: float = 100.0,
+                      spec: Optional[BitstreamSpec] = None,
+                      ) -> EnergyComparison:
+    """Same conditions as the paper: MicroBlaze at 100 MHz, 216.5 KB
+    bitstream in 256 KB of 32-bit BRAM, xps without optimizations."""
+    bitstream = generate_bitstream(spec, size=DataSize.from_kb(size_kb),
+                                   device=VIRTEX6_LX240T)
+    frequency = Frequency.from_mhz(manager_frequency_mhz)
+
+    xps = XpsHwicap(profile="unoptimized", device=VIRTEX6_LX240T)
+    xps_result = xps.reconfigure(bitstream, frequency)
+
+    system = UPaRCSystem(device=VIRTEX6_LX240T, decompressor=None)
+    uparc_result = system.run(bitstream, frequency=frequency)
+
+    assert xps_result.energy is not None
+    assert uparc_result.energy is not None
+    return EnergyComparison(xps=xps_result.energy,
+                            uparc=uparc_result.energy)

@@ -1,0 +1,92 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness prints the same rows/curves the paper's tables
+and figures report; these helpers keep that output aligned and
+dependency-free (no plotting stack is available offline).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    formatted: List[List[str]] = []
+    for row in rows:
+        formatted.append([
+            f"{cell:.1f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index])
+                         for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt_row(row) for row in formatted)
+    return "\n".join(lines)
+
+
+def render_heatmap(row_labels: Sequence[str],
+                   column_labels: Sequence[str],
+                   values: Sequence[Sequence[float]],
+                   title: str = "",
+                   corner: str = "") -> str:
+    """ASCII heat map: one shaded cell per value (row-major input).
+
+    Shading uses a 5-level ramp scaled to the global maximum — enough
+    to see the Fig. 5 surface's shape in a terminal.
+    """
+    ramp = " .:*#"
+    flat = [value for row in values for value in row]
+    if len(values) != len(row_labels) or any(
+            len(row) != len(column_labels) for row in values):
+        raise ValueError("heatmap dimensions do not match labels")
+    peak = max(flat) if flat else 0.0
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max([len(label) for label in row_labels] + [len(corner)])
+    cell_width = max(len(label) for label in column_labels) + 1
+    header = corner.rjust(label_width) + "".join(
+        label.rjust(cell_width) for label in column_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        cells = []
+        for value in row:
+            level = (min(len(ramp) - 1,
+                         int(value / peak * (len(ramp) - 1) + 0.5))
+                     if peak > 0 else 0)
+            cells.append((ramp[level] * 2).rjust(cell_width))
+        lines.append(label.rjust(label_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(points: Sequence[Tuple[float, float]],
+                  title: str = "",
+                  width: int = 60,
+                  y_label: str = "y",
+                  x_label: str = "x") -> str:
+    """A horizontal ASCII bar chart of (x, y) points."""
+    if not points:
+        return f"{title}\n(no data)"
+    peak = max(y for _, y in points)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>10}  {y_label}")
+    for x, y in points:
+        bar = "#" * max(1, round(y / peak * width)) if peak > 0 else ""
+        lines.append(f"{x:>10.1f}  {bar} {y:.1f}")
+    return "\n".join(lines)

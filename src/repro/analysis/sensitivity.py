@@ -1,0 +1,141 @@
+"""Sensitivity studies extending the paper's evaluation.
+
+Three questions the paper leaves implicit, answered with the same
+models:
+
+* **Control overhead** — Fig. 5's small-bitstream efficiency collapse
+  is driven entirely by the manager's constant control cost.  How does
+  the 6.5 KB anchor move if the manager is a hardware module (paper
+  Section III-A: "they can be handled by three different smaller
+  hardware modules")?
+* **BRAM provisioning** — mode i handles bitstreams up to the BRAM
+  size, mode ii up to ~4x that.  For a given module-size distribution,
+  how much BRAM buys how much raw-mode coverage?
+* **Compression threshold** — at which bitstream size does compressed
+  preloading become *mandatory*, as a function of BRAM capacity (the
+  paper's 256 KB / 992 KB datapoint, generalized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.bitstream.generator import BitstreamSpec, generate_bitstream
+from repro.compress.xmatchpro import XMatchProCodec
+from repro.units import DataSize, Frequency
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """Fig. 5 small-bitstream efficiency for one control cost."""
+
+    control_cycles: int
+    control_us: float
+    efficiency_percent: float       # at 6.5 KB, 362.5 MHz
+    bandwidth_mbps: float
+
+
+def control_overhead_sensitivity(
+        control_cycles: Iterable[int] = (0, 12, 40, 120, 400, 1200),
+        manager_mhz: float = 100.0,
+        size_kb: float = 6.5,
+        reconfiguration_mhz: float = 362.5) -> List[OverheadPoint]:
+    """Small-bitstream efficiency vs manager control cost.
+
+    Analytic over the same timing model the simulator uses: the burst
+    takes (words + setup) cycles of CLK_2; the control cost is the
+    variable under study.
+    """
+    frequency = Frequency.from_mhz(reconfiguration_mhz)
+    manager = Frequency.from_mhz(manager_mhz)
+    size = DataSize.from_kb(size_kb)
+    theoretical = frequency.hertz * 4 / 1e6
+    points = []
+    for cycles in control_cycles:
+        control_ps = manager.duration_of(cycles)
+        burst_ps = frequency.duration_of(size.words + 3)
+        total_ps = control_ps + burst_ps
+        bandwidth = size.bytes / 1e6 * 1e12 / total_ps
+        points.append(OverheadPoint(
+            control_cycles=cycles,
+            control_us=control_ps / 1e6,
+            efficiency_percent=bandwidth / theoretical * 100.0,
+            bandwidth_mbps=bandwidth,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """Mode coverage for one BRAM size."""
+
+    bram: DataSize
+    raw_limit: DataSize          # largest raw-mode bitstream
+    compressed_limit: DataSize   # largest mode-ii bitstream (measured)
+    stretch_factor: float
+
+
+def bram_capacity_tradeoff(
+        bram_kb: Iterable[float] = (64.0, 128.0, 256.0, 512.0),
+        spec: Optional[BitstreamSpec] = None,
+        sample_kb: float = 156.0) -> List[CapacityPoint]:
+    """Raw vs compressed capacity limits per BRAM size.
+
+    The stretch factor is *measured* by compressing a representative
+    bitstream with the X-MatchPRO codec (content-dependent, as the
+    paper stresses for FaRM's variable ratios).
+    """
+    sample = generate_bitstream(spec, size=DataSize.from_kb(sample_kb))
+    result = XMatchProCodec().measure(sample.raw_bytes)
+    stretch = result.factor
+    points = []
+    for kb in bram_kb:
+        bram = DataSize.from_kb(kb)
+        header = DataSize(4)
+        raw_limit = DataSize(bram.bytes - header.bytes)
+        compressed_limit = DataSize(round(raw_limit.bytes * stretch))
+        points.append(CapacityPoint(
+            bram=bram,
+            raw_limit=raw_limit,
+            compressed_limit=compressed_limit,
+            stretch_factor=stretch,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """Where compression becomes mandatory for a module population."""
+
+    bram: DataSize
+    modules_total: int
+    modules_raw: int            # fit without compression
+    modules_compressed: int     # need mode ii
+    modules_rejected: int       # exceed even compressed capacity
+
+
+def compression_threshold(module_sizes_kb: Iterable[float],
+                          bram_kb: float = 256.0,
+                          spec: Optional[BitstreamSpec] = None,
+                          ) -> ThresholdPoint:
+    """Classify a module population by required operating mode."""
+    capacity = bram_capacity_tradeoff((bram_kb,), spec=spec)[0]
+    raw = compressed = rejected = 0
+    total = 0
+    for kb in module_sizes_kb:
+        total += 1
+        size = DataSize.from_kb(kb)
+        if size.bytes <= capacity.raw_limit.bytes:
+            raw += 1
+        elif size.bytes <= capacity.compressed_limit.bytes:
+            compressed += 1
+        else:
+            rejected += 1
+    return ThresholdPoint(
+        bram=capacity.bram,
+        modules_total=total,
+        modules_raw=raw,
+        modules_compressed=compressed,
+        modules_rejected=rejected,
+    )

@@ -1,0 +1,56 @@
+"""Xilinx-style bitstream substrate.
+
+Models the parts of the Virtex configuration architecture that the
+paper's system touches: device descriptions (Virtex-5 XC5VSX50T and
+Virtex-6 XC6VLX240T, plus the Virtex-4 of the BRAM_HWICAP baseline),
+frame addressing, type-1/type-2 configuration packets, the BIT-file
+preamble the Manager parses, a synthetic partial-bitstream generator
+with controllable resource-utilization ratio, and a parser.
+
+The generator is the substitution for the real `.bit` files the paper
+measured: it emits byte streams with the same structural redundancy
+sources (blank frames, repeated routing motifs, dense LUT payloads) so
+the Table I compression comparison is meaningful.
+"""
+
+from repro.bitstream.device import (
+    DeviceInfo,
+    VIRTEX4_FX60,
+    VIRTEX5_SX50T,
+    VIRTEX6_LX240T,
+    device_by_name,
+)
+from repro.bitstream.frames import FrameAddress, BlockType
+from repro.bitstream.format import (
+    ConfigPacket,
+    ConfigRegister,
+    Command,
+    Opcode,
+    SYNC_WORD,
+    DUMMY_WORD,
+)
+from repro.bitstream.header import BitstreamHeader
+from repro.bitstream.generator import BitstreamSpec, PartialBitstream, generate_bitstream
+from repro.bitstream.parser import BitstreamParser, ParsedBitstream
+
+__all__ = [
+    "DeviceInfo",
+    "VIRTEX4_FX60",
+    "VIRTEX5_SX50T",
+    "VIRTEX6_LX240T",
+    "device_by_name",
+    "FrameAddress",
+    "BlockType",
+    "ConfigPacket",
+    "ConfigRegister",
+    "Command",
+    "Opcode",
+    "SYNC_WORD",
+    "DUMMY_WORD",
+    "BitstreamHeader",
+    "BitstreamSpec",
+    "PartialBitstream",
+    "generate_bitstream",
+    "BitstreamParser",
+    "ParsedBitstream",
+]

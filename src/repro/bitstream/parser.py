@@ -1,0 +1,117 @@
+"""Bitstream parser — the Manager's preamble/packet reader.
+
+Section III-A-1: the Manager "read[s] the bitstream file in the
+external memory, parsing the preamble of the partial bitstream and
+then loading bitstream size followed by the configuration data into
+the BRAM".  This module is that parsing step: it validates the BIT
+preamble, checks the device IDCODE, locates the sync word, and exposes
+the raw configuration words to preload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bitstream.device import DeviceInfo
+from repro.bitstream.format import (
+    ConfigPacket,
+    ConfigRegister,
+    Opcode,
+    PacketDecoder,
+    SYNC_WORD,
+    bytes_to_words,
+)
+from repro.bitstream.header import BitstreamHeader
+from repro.errors import BitstreamFormatError, DeviceMismatchError
+from repro.units import DataSize
+
+
+@dataclass
+class ParsedBitstream:
+    """Result of parsing a .bit file."""
+
+    header: BitstreamHeader
+    raw_words: List[int]          # everything after the preamble
+    sync_index: int               # word index of the sync word
+    packets: List[ConfigPacket]   # decoded packets after sync
+    idcode: Optional[int]
+
+    @property
+    def size(self) -> DataSize:
+        """Size of the configuration word stream (what BRAM must hold)."""
+        return DataSize.from_words(len(self.raw_words))
+
+    @property
+    def frame_data_words(self) -> int:
+        """Total FDRI payload words (the actual frame data volume)."""
+        return sum(len(packet.payload) for packet in self.packets
+                   if packet.register is ConfigRegister.FDRI
+                   and packet.opcode is Opcode.WRITE)
+
+
+class BitstreamParser:
+    """Parses .bit files, optionally validating the target device."""
+
+    def __init__(self, device: Optional[DeviceInfo] = None,
+                 decode_packets: bool = True) -> None:
+        self._device = device
+        self._decode_packets = decode_packets
+
+    def parse(self, file_bytes: bytes) -> ParsedBitstream:
+        header, offset = BitstreamHeader.decode(file_bytes)
+        raw = file_bytes[offset:]
+        if len(raw) != header.payload_length:
+            raise BitstreamFormatError(
+                f"preamble declares {header.payload_length} raw bytes but "
+                f"{len(raw)} follow"
+            )
+        raw_words = bytes_to_words(raw)
+        sync_index = self._find_sync(raw_words)
+        packets: List[ConfigPacket] = []
+        idcode: Optional[int] = None
+        if self._decode_packets:
+            decoder = PacketDecoder(raw_words[sync_index + 1:])
+            packets = [packet for packet in decoder.decode_all()
+                       if packet.opcode is not Opcode.NOP or packet.payload]
+            idcode = self._extract_idcode(packets)
+            self._check_device(header, idcode)
+        return ParsedBitstream(
+            header=header,
+            raw_words=raw_words,
+            sync_index=sync_index,
+            packets=packets,
+            idcode=idcode,
+        )
+
+    @staticmethod
+    def _find_sync(words: List[int]) -> int:
+        for index, word in enumerate(words):
+            if word == SYNC_WORD:
+                return index
+        raise BitstreamFormatError("sync word 0xAA995566 not found")
+
+    @staticmethod
+    def _extract_idcode(packets: List[ConfigPacket]) -> Optional[int]:
+        for packet in packets:
+            if (packet.register is ConfigRegister.IDCODE
+                    and packet.opcode is Opcode.WRITE and packet.payload):
+                return packet.payload[0]
+        return None
+
+    def _check_device(self, header: BitstreamHeader,
+                      idcode: Optional[int]) -> None:
+        if self._device is None:
+            return
+        if idcode is not None and idcode != self._device.idcode:
+            raise DeviceMismatchError(
+                f"bitstream IDCODE {idcode:#010x} does not match device "
+                f"{self._device.name} ({self._device.idcode:#010x})"
+            )
+        declared = header.part_name.lower()
+        expected = self._device.name.lower()
+        if declared and expected not in declared and declared not in expected:
+            raise DeviceMismatchError(
+                f"bitstream targets part {header.part_name!r}, device is "
+                f"{self._device.name}"
+            )

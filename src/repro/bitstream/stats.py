@@ -1,0 +1,80 @@
+"""Bitstream content statistics.
+
+Quantifies the structural properties the synthetic generator is
+calibrated to produce — byte entropy, zero fraction, word-repeat
+structure — so tests can assert the generator stays within the regime
+that makes the Table I comparison meaningful, and users can compare
+their own (real) bitstreams against the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class ContentStats:
+    """Summary statistics of one configuration byte stream."""
+
+    size_bytes: int
+    byte_entropy_bits: float       # 0..8
+    zero_byte_fraction: float
+    zero_word_fraction: float
+    distinct_words: int
+    word_repeat_fraction: float    # words equal to their predecessor
+    mean_zero_run_words: float
+
+    @property
+    def compressibility_floor_percent(self) -> float:
+        """Entropy bound on any byte-level entropy coder's ratio."""
+        return (1.0 - self.byte_entropy_bits / 8.0) * 100.0
+
+
+def byte_entropy(data: bytes) -> float:
+    """Shannon entropy of the byte distribution, in bits/byte."""
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    return -sum(count / total * math.log2(count / total)
+                for count in counts.values())
+
+
+def _words_of(data: bytes) -> List[bytes]:
+    return [data[index:index + 4]
+            for index in range(0, len(data) - len(data) % 4, 4)]
+
+
+def content_stats(data: bytes) -> ContentStats:
+    """Compute the full summary for a byte stream."""
+    words = _words_of(data)
+    zero_word = b"\x00\x00\x00\x00"
+    zero_words = sum(1 for word in words if word == zero_word)
+    repeats = sum(1 for first, second in zip(words, words[1:])
+                  if first == second)
+
+    # Zero-run statistics (in words).
+    runs: List[int] = []
+    current = 0
+    for word in words:
+        if word == zero_word:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+
+    return ContentStats(
+        size_bytes=len(data),
+        byte_entropy_bits=byte_entropy(data),
+        zero_byte_fraction=(data.count(0) / len(data)) if data else 0.0,
+        zero_word_fraction=zero_words / len(words) if words else 0.0,
+        distinct_words=len(set(words)),
+        word_repeat_fraction=repeats / (len(words) - 1)
+        if len(words) > 1 else 0.0,
+        mean_zero_run_words=sum(runs) / len(runs) if runs else 0.0,
+    )

@@ -1,0 +1,233 @@
+"""Adaptive arithmetic coding (the entropy stage of the 7-zip stand-in).
+
+A classic Witten–Neal–Cleary integer arithmetic coder with 32-bit
+precision.  Unlike a single-model coder, the encoder/decoder pair here
+exposes *symbol-at-a-time* coding against caller-supplied adaptive
+models, so a structured compressor (LZMA-style) can switch context
+models per token role (literal vs offset vs length) while sharing one
+arithmetic code stream — the architecture that lets the 7-zip stand-in
+edge out the deflate pipeline in Table I.
+
+Models are Fenwick (binary indexed) trees, so cumulative-frequency
+queries and updates are O(log n).  Counts halve when a model's total
+reaches ``_MAX_TOTAL``, keeping the model adaptive and the arithmetic
+within precision bounds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CorruptStreamError
+
+_CODE_BITS = 32
+_TOP = (1 << _CODE_BITS) - 1
+_HALF = 1 << (_CODE_BITS - 1)
+_QUARTER = 1 << (_CODE_BITS - 2)
+_THREE_QUARTERS = _HALF + _QUARTER
+_MAX_TOTAL = 1 << 16
+
+
+class AdaptiveModel:
+    """Adaptive frequency table over ``size`` symbols (Fenwick tree)."""
+
+    __slots__ = ("_tree", "_size", "total", "_increment")
+
+    def __init__(self, size: int, increment: int = 32) -> None:
+        if size < 2:
+            raise ValueError("model needs at least 2 symbols")
+        self._size = size
+        self._tree = [0] * (size + 1)
+        self.total = 0
+        self._increment = increment
+        for symbol in range(size):
+            self._add(symbol, 1)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _add(self, symbol: int, delta: int) -> None:
+        index = symbol + 1
+        while index <= self._size:
+            self._tree[index] += delta
+            index += index & (-index)
+        self.total += delta
+
+    def cumulative(self, symbol: int) -> int:
+        """Sum of frequencies of symbols < symbol."""
+        index = symbol
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def frequency(self, symbol: int) -> int:
+        return self.cumulative(symbol + 1) - self.cumulative(symbol)
+
+    def find(self, target: int) -> int:
+        """The symbol whose [cumulative, cumulative+freq) spans target."""
+        index = 0
+        remaining = target
+        mask = 1 << self._size.bit_length()
+        while mask:
+            probe = index + mask
+            if probe <= self._size and self._tree[probe] <= remaining:
+                index = probe
+                remaining -= self._tree[probe]
+            mask >>= 1
+        return index
+
+    def update(self, symbol: int) -> None:
+        self._add(symbol, self._increment)
+        if self.total >= _MAX_TOTAL:
+            self._halve()
+
+    def _halve(self) -> None:
+        frequencies = [max(1, self.frequency(symbol) // 2)
+                       for symbol in range(self._size)]
+        self._tree = [0] * (self._size + 1)
+        self.total = 0
+        for symbol, frequency in enumerate(frequencies):
+            self._add(symbol, frequency)
+
+
+class ArithmeticEncoder:
+    """Streaming arithmetic encoder; models are supplied per symbol."""
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._high = _TOP
+        self._pending = 0
+        self._out = bytearray()
+        self._bit_buffer = 0
+        self._bit_count = 0
+        self._finished = False
+
+    def encode(self, model: AdaptiveModel, symbol: int) -> None:
+        if self._finished:
+            raise CorruptStreamError("encoder already finished")
+        if not 0 <= symbol < model.size:
+            raise ValueError(f"symbol {symbol} outside model range")
+        span = self._high - self._low + 1
+        total = model.total
+        cum_low = model.cumulative(symbol)
+        cum_high = model.cumulative(symbol + 1)
+        self._high = self._low + span * cum_high // total - 1
+        self._low = self._low + span * cum_low // total
+        self._renormalize()
+        model.update(symbol)
+
+    def _renormalize(self) -> None:
+        while True:
+            if self._high < _HALF:
+                self._emit_with_pending(0)
+            elif self._low >= _HALF:
+                self._emit_with_pending(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                return
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+
+    def _emit(self, bit: int) -> None:
+        self._bit_buffer = (self._bit_buffer << 1) | bit
+        self._bit_count += 1
+        if self._bit_count == 8:
+            self._out.append(self._bit_buffer)
+            self._bit_buffer = 0
+            self._bit_count = 0
+
+    def _emit_with_pending(self, bit: int) -> None:
+        self._emit(bit)
+        while self._pending:
+            self._emit(bit ^ 1)
+            self._pending -= 1
+
+    def finish(self) -> bytes:
+        """Flush the final interval and return the code stream."""
+        if not self._finished:
+            self._pending += 1
+            if self._low < _QUARTER:
+                self._emit_with_pending(0)
+            else:
+                self._emit_with_pending(1)
+            while self._bit_count:
+                self._emit(0)
+            self._finished = True
+        return bytes(self._out)
+
+
+class ArithmeticDecoder:
+    """Mirror of :class:`ArithmeticEncoder`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._bit_position = 0
+        self._low = 0
+        self._high = _TOP
+        self._value = 0
+        for _ in range(_CODE_BITS):
+            self._value = (self._value << 1) | self._next_bit()
+
+    def _next_bit(self) -> int:
+        if self._bit_position >= len(self._data) * 8:
+            return 0  # the encoder's implicit trailing zeros
+        byte = self._data[self._bit_position >> 3]
+        bit = (byte >> (7 - (self._bit_position & 7))) & 1
+        self._bit_position += 1
+        return bit
+
+    def decode(self, model: AdaptiveModel) -> int:
+        span = self._high - self._low + 1
+        total = model.total
+        target = ((self._value - self._low + 1) * total - 1) // span
+        if target < 0 or target >= total:
+            raise CorruptStreamError("arithmetic decoder out of range")
+        symbol = model.find(target)
+        cum_low = model.cumulative(symbol)
+        cum_high = model.cumulative(symbol + 1)
+        self._high = self._low + span * cum_high // total - 1
+        self._low = self._low + span * cum_low // total
+        self._renormalize()
+        model.update(symbol)
+        return symbol
+
+    def _renormalize(self) -> None:
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTERS:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._value -= _QUARTER
+            else:
+                return
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+            self._value = (self._value << 1) | self._next_bit()
+
+
+class ByteModelBank:
+    """Order-1 literal contexts, lazily allocated (256-symbol models)."""
+
+    def __init__(self, size: int = 256) -> None:
+        self._size = size
+        self._contexts: List = [None] * 256
+
+    def model_for(self, context: int) -> AdaptiveModel:
+        model = self._contexts[context & 0xFF]
+        if model is None:
+            model = AdaptiveModel(self._size)
+            self._contexts[context & 0xFF] = model
+        return model

@@ -1,0 +1,81 @@
+"""Codec interface and compression metrics.
+
+The paper reports "compression ratio" as the *space saved*:
+a ratio of 74.2 % means the compressed stream is 25.8 % of the
+original ("about four times smaller").  :func:`compression_ratio`
+implements that convention; it is the number compared against Table I.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import CompressionError
+
+
+def compression_ratio(original_size: int, compressed_size: int) -> float:
+    """Space saved as a percentage (the paper's Table I convention)."""
+    if original_size <= 0:
+        raise CompressionError("original size must be positive")
+    return (1.0 - compressed_size / original_size) * 100.0
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of compressing one payload."""
+
+    codec_name: str
+    original_size: int
+    compressed_size: int
+
+    @property
+    def ratio_percent(self) -> float:
+        return compression_ratio(self.original_size, self.compressed_size)
+
+    @property
+    def factor(self) -> float:
+        """How many times smaller the compressed stream is."""
+        if self.compressed_size == 0:
+            raise CompressionError("empty compressed stream")
+        return self.original_size / self.compressed_size
+
+
+class Codec(abc.ABC):
+    """A lossless compressor/decompressor pair.
+
+    Subclasses guarantee ``decompress(compress(data)) == data`` for any
+    ``bytes`` input (the property tests in ``tests/compress`` enforce
+    this with hypothesis).
+    """
+
+    #: Table I row name; subclasses override.
+    name: str = "codec"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; never raises for valid byte input."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`.
+
+        Raises :class:`~repro.errors.CorruptStreamError` on malformed
+        input rather than returning wrong bytes silently.
+        """
+
+    def measure(self, data: bytes) -> CompressionResult:
+        """Compress and report sizes/ratio (used by the Table I bench)."""
+        compressed = self.compress(data)
+        return CompressionResult(
+            codec_name=self.name,
+            original_size=len(data),
+            compressed_size=len(compressed),
+        )
+
+    def roundtrip(self, data: bytes) -> bool:
+        """Convenience correctness check."""
+        return self.decompress(self.compress(data)) == data
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,98 @@
+"""Bit-level I/O used by the entropy and dictionary coders.
+
+MSB-first bit order (the order hardware shift registers and the
+canonical-Huffman convention use).  The writer pads the final byte with
+zero bits; codecs that need exact termination encode an explicit
+end-of-stream symbol or a length header.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a bytearray."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._accumulator = (self._accumulator << 1) | (bit & 1)
+        self._bit_count += 1
+        if self._bit_count == 8:
+            self._buffer.append(self._accumulator)
+            self._accumulator = 0
+            self._bit_count = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Write ``width`` bits of ``value``, most significant first."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or (width < 64 and value >= (1 << width) and width > 0):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """``value`` one-bits then a terminating zero."""
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def write_bytes(self, data: bytes) -> None:
+        for byte in data:
+            self.write_bits(byte, 8)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._buffer) * 8 + self._bit_count
+
+    def getvalue(self) -> bytes:
+        """Finish the stream (zero-pad the last byte) and return it."""
+        if self._bit_count:
+            tail = self._accumulator << (8 - self._bit_count)
+            return bytes(self._buffer) + bytes([tail])
+        return bytes(self._buffer)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # bit offset
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._position
+
+    def read_bit(self) -> int:
+        if self._position >= len(self._data) * 8:
+            raise CorruptStreamError("bit stream exhausted")
+        byte = self._data[self._position >> 3]
+        bit = (byte >> (7 - (self._position & 7))) & 1
+        self._position += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self, limit: int = 1 << 20) -> int:
+        """Count one-bits until the terminating zero."""
+        count = 0
+        while self.read_bit():
+            count += 1
+            if count > limit:
+                raise CorruptStreamError("runaway unary code")
+        return count
+
+    def read_bytes(self, count: int) -> bytes:
+        return bytes(self.read_bits(8) for _ in range(count))

@@ -1,0 +1,125 @@
+"""Canonical byte-level Huffman codec.
+
+Configuration bitstreams have a heavily skewed byte histogram (zero
+bytes dominate even inside used frames), which is why plain Huffman
+scores a respectable 72.3 % in Table I.
+
+Stream layout::
+
+    [4-byte original length]
+    [256 x 1 byte of code lengths (0 = absent symbol)]
+    [bit-packed canonical codewords]
+
+Canonical code assignment makes the table compact (lengths only) and
+the decoder table-driven.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.compress.base import Codec
+from repro.compress.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
+
+_MAX_CODE_LENGTH = 32
+
+
+def _code_lengths(histogram: Counter) -> Dict[int, int]:
+    """Huffman code lengths from a symbol histogram."""
+    symbols = sorted(histogram)
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    # Heap of (weight, tiebreak, symbols-in-subtree).
+    heap: List[Tuple[int, int, List[int]]] = []
+    for order, symbol in enumerate(symbols):
+        heap.append((histogram[symbol], order, [symbol]))
+    heapq.heapify(heap)
+    lengths: Dict[int, int] = {symbol: 0 for symbol in symbols}
+    tiebreak = len(symbols)
+    while len(heap) > 1:
+        w1, _, s1 = heapq.heappop(heap)
+        w2, _, s2 = heapq.heappop(heap)
+        for symbol in s1 + s2:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (w1 + w2, tiebreak, s1 + s2))
+        tiebreak += 1
+    return lengths
+
+
+def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Assign canonical codewords: returns symbol -> (code, length)."""
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for symbol, length in ordered:
+        code <<= (length - previous_length)
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+class HuffmanCodec(Codec):
+    """Static canonical Huffman over bytes."""
+
+    name = "Huffman"
+
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray(struct.pack(">I", len(data)))
+        if not data:
+            return bytes(out) + bytes(256)
+        lengths = _code_lengths(Counter(data))
+        if max(lengths.values()) > _MAX_CODE_LENGTH:
+            raise CorruptStreamError("code length overflow")  # unreachable
+        table = bytearray(256)
+        for symbol, length in lengths.items():
+            table[symbol] = length
+        out += table
+        codes = _canonical_codes(lengths)
+        writer = BitWriter()
+        for byte in data:
+            code, length = codes[byte]
+            writer.write_bits(code, length)
+        out += writer.getvalue()
+        return bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        if len(data) < 4 + 256:
+            if len(data) >= 4:
+                (declared,) = struct.unpack_from(">I", data, 0)
+                if declared == 0 and len(data) >= 4:
+                    return b""
+            raise CorruptStreamError("Huffman stream truncated")
+        (original_length,) = struct.unpack_from(">I", data, 0)
+        if original_length == 0:
+            return b""
+        lengths = {symbol: data[4 + symbol]
+                   for symbol in range(256) if data[4 + symbol]}
+        if not lengths:
+            raise CorruptStreamError("empty Huffman table for non-empty data")
+        codes = _canonical_codes(lengths)
+        # Invert: (length, code) -> symbol.
+        decode_map = {(length, code): symbol
+                      for symbol, (code, length) in codes.items()}
+        reader = BitReader(data[4 + 256:])
+        out = bytearray()
+        code = 0
+        length = 0
+        while len(out) < original_length:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            if length > _MAX_CODE_LENGTH:
+                raise CorruptStreamError("invalid Huffman codeword")
+            symbol = decode_map.get((length, code))
+            if symbol is not None:
+                out.append(symbol)
+                code = 0
+                length = 0
+        return bytes(out)

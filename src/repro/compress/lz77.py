@@ -1,0 +1,121 @@
+"""LZ77 (LZSS variant) with a hardware-sized sliding window.
+
+Table I's "LZ77" row corresponds to the hardware-implementable
+dictionary coders of the era: a small sliding window (256 bytes
+default, an 8-bit offset — a shift-register window that fits FPGA
+logic) and a 4-bit match length, with flag bits selecting literal vs.
+(offset, length) tokens.
+
+Stream layout::
+
+    [4-byte original length]
+    bit stream of tokens:
+        1, offset[window_bits], length[length_bits]  -> copy
+        0, literal[8]                                -> byte
+
+Match search uses hash chains on 3-byte prefixes so compressing a
+250 KB bitstream stays fast in pure Python.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import defaultdict, deque
+from typing import Deque, Dict
+
+from repro.compress.base import Codec
+from repro.compress.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
+
+
+class Lz77Codec(Codec):
+    """Sliding-window LZSS."""
+
+    name = "LZ77"
+
+    def __init__(self, window_bits: int = 8, length_bits: int = 4,
+                 min_match: int = 3, max_chain: int = 8) -> None:
+        if not 4 <= window_bits <= 16:
+            raise ValueError("window_bits must be in [4, 16]")
+        if not 2 <= length_bits <= 8:
+            raise ValueError("length_bits must be in [2, 8]")
+        self._window_bits = window_bits
+        self._length_bits = length_bits
+        self._window = 1 << window_bits
+        self._min_match = min_match
+        self._max_match = min_match + (1 << length_bits) - 1
+        self._max_chain = max_chain
+
+    def compress(self, data: bytes) -> bytes:
+        writer = BitWriter()
+        chains: Dict[bytes, Deque[int]] = defaultdict(
+            lambda: deque(maxlen=self._max_chain))
+        position = 0
+        length = len(data)
+        while position < length:
+            match_length, match_offset = self._find_match(
+                data, position, chains)
+            if match_length >= self._min_match:
+                writer.write_bit(1)
+                writer.write_bits(match_offset - 1, self._window_bits)
+                writer.write_bits(match_length - self._min_match,
+                                  self._length_bits)
+                for covered in range(match_length):
+                    self._index(data, position + covered, chains)
+                position += match_length
+            else:
+                writer.write_bit(0)
+                writer.write_bits(data[position], 8)
+                self._index(data, position, chains)
+                position += 1
+        return struct.pack(">I", length) + writer.getvalue()
+
+    def decompress(self, data: bytes) -> bytes:
+        if len(data) < 4:
+            raise CorruptStreamError("LZ77 stream truncated")
+        (original_length,) = struct.unpack_from(">I", data, 0)
+        reader = BitReader(data[4:])
+        out = bytearray()
+        while len(out) < original_length:
+            if reader.read_bit():
+                offset = reader.read_bits(self._window_bits) + 1
+                run = reader.read_bits(self._length_bits) + self._min_match
+                start = len(out) - offset
+                if start < 0:
+                    raise CorruptStreamError(
+                        f"LZ77 back-reference beyond start (offset {offset})"
+                    )
+                for step in range(run):
+                    out.append(out[start + step])  # may self-overlap
+            else:
+                out.append(reader.read_bits(8))
+        return bytes(out)
+
+    def _find_match(self, data: bytes, position: int,
+                    chains: Dict[bytes, Deque[int]]):
+        """Best (length, offset) for a match starting at ``position``."""
+        if position + self._min_match > len(data):
+            return 0, 0
+        key = data[position:position + self._min_match]
+        best_length = 0
+        best_offset = 0
+        window_start = position - self._window
+        limit = min(self._max_match, len(data) - position)
+        for candidate in reversed(chains.get(key, ())):
+            if candidate < window_start:
+                continue
+            run = 0
+            while (run < limit
+                   and data[candidate + run] == data[position + run]):
+                run += 1
+            if run > best_length:
+                best_length = run
+                best_offset = position - candidate
+                if run == limit:
+                    break
+        return best_length, best_offset
+
+    def _index(self, data: bytes, position: int,
+               chains: Dict[bytes, Deque[int]]) -> None:
+        if position + self._min_match <= len(data):
+            chains[data[position:position + self._min_match]].append(position)

@@ -1,0 +1,154 @@
+"""Byte-aligned LZ token stage shared by the Zip/7-zip stand-ins.
+
+Produces a byte stream (not a bit stream) of LZ tokens so a second
+entropy stage (Huffman for :class:`DeflateCodec`, adaptive arithmetic
+coding for :class:`LzmaLikeCodec`) can squeeze the residual
+redundancy — the same two-stage structure as real DEFLATE and LZMA.
+
+Token format: a control byte carries 8 flags (MSB first); flag 0 means
+one literal byte follows, flag 1 means a match follows encoded as
+``offset_hi, offset_lo, length - min_match`` (3 bytes) for 16-bit
+offsets, or 2 bytes when the window fits in 12 bits (offset high
+nibble shares the length byte).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import defaultdict, deque
+from typing import Deque, Dict, List
+
+from repro.errors import CorruptStreamError
+
+MIN_MATCH = 4
+
+
+class LzByteStage:
+    """Greedy LZ parser with hash-chain match search."""
+
+    def __init__(self, window: int = 1 << 16, max_match: int = MIN_MATCH + 255,
+                 max_chain: int = 64) -> None:
+        if window > 1 << 16:
+            raise ValueError("window above 64 KB needs wider offsets")
+        self._window = window
+        self._max_match = max_match
+        self._max_chain = max_chain
+
+    def tokens(self, data: bytes):
+        """Greedy token stream: ('lit', byte) and ('match', offset, len).
+
+        This is the shared parse used both by the byte-aligned format
+        below and by the LZMA-style structured entropy stage.
+        """
+        chains: Dict[bytes, Deque[int]] = defaultdict(
+            lambda: deque(maxlen=self._max_chain))
+        position = 0
+        length = len(data)
+        while position < length:
+            match_length, match_offset = self._find_match(
+                data, position, chains)
+            if match_length >= MIN_MATCH:
+                yield ("match", match_offset, match_length)
+                for covered in range(match_length):
+                    self._index(data, position + covered, chains)
+                position += match_length
+            else:
+                yield ("lit", data[position])
+                self._index(data, position, chains)
+                position += 1
+
+    def encode(self, data: bytes) -> bytes:
+        out = bytearray(struct.pack(">I", len(data)))
+        flags_position = -1
+        flag_count = 8  # force a fresh control byte on first token
+        flags_value = 0
+
+        def start_flag_byte() -> None:
+            nonlocal flags_position, flag_count, flags_value
+            flags_position = len(out)
+            out.append(0)
+            flags_value = 0
+            flag_count = 0
+
+        def push_flag(bit: int) -> None:
+            nonlocal flag_count, flags_value
+            if flag_count == 8:
+                start_flag_byte()
+            flags_value = (flags_value << 1) | bit
+            out[flags_position] = flags_value << (7 - flag_count)
+            flag_count += 1
+
+        for token in self.tokens(data):
+            if token[0] == "match":
+                _, match_offset, match_length = token
+                push_flag(1)
+                out.append((match_offset - 1) >> 8)
+                out.append((match_offset - 1) & 0xFF)
+                out.append(match_length - MIN_MATCH)
+            else:
+                push_flag(0)
+                out.append(token[1])
+        return bytes(out)
+
+    def decode(self, data: bytes) -> bytes:
+        if len(data) < 4:
+            raise CorruptStreamError("LZ byte stream truncated")
+        (original_length,) = struct.unpack_from(">I", data, 0)
+        position = 4
+        out = bytearray()
+        flags = 0
+        flag_count = 0
+        while len(out) < original_length:
+            if flag_count == 0:
+                if position >= len(data):
+                    raise CorruptStreamError("missing control byte")
+                flags = data[position]
+                position += 1
+                flag_count = 8
+            flag = (flags >> 7) & 1
+            flags = (flags << 1) & 0xFF
+            flag_count -= 1
+            if flag:
+                if position + 3 > len(data):
+                    raise CorruptStreamError("truncated match token")
+                offset = ((data[position] << 8) | data[position + 1]) + 1
+                run = data[position + 2] + MIN_MATCH
+                position += 3
+                start = len(out) - offset
+                if start < 0:
+                    raise CorruptStreamError("back-reference before start")
+                for step in range(run):
+                    out.append(out[start + step])
+            else:
+                if position >= len(data):
+                    raise CorruptStreamError("truncated literal token")
+                out.append(data[position])
+                position += 1
+        return bytes(out)
+
+    def _find_match(self, data: bytes, position: int,
+                    chains: Dict[bytes, Deque[int]]):
+        if position + MIN_MATCH > len(data):
+            return 0, 0
+        key = data[position:position + MIN_MATCH]
+        best_length = 0
+        best_offset = 0
+        window_start = position - self._window
+        limit = min(self._max_match, len(data) - position)
+        for candidate in reversed(chains.get(key, ())):
+            if candidate < window_start:
+                continue
+            run = 0
+            while run < limit and data[candidate + run] == data[position + run]:
+                run += 1
+            if run > best_length:
+                best_length = run
+                best_offset = position - candidate
+                if run == limit:
+                    break
+        return best_length, best_offset
+
+    def _index(self, data: bytes, position: int,
+               chains: Dict[bytes, Deque[int]]) -> None:
+        if position + MIN_MATCH <= len(data):
+            chains[data[position:position + MIN_MATCH]].append(position)

@@ -1,0 +1,55 @@
+"""Codec registry and the paper's Table I reference column.
+
+``PAPER_TABLE1_RATIOS`` holds the compression ratios (space saved, %)
+the paper reports for high-utilization partial bitstreams; the Table I
+bench compares these against the ratios our codecs achieve on the
+synthetic bitstream corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.compress.base import Codec
+from repro.compress.deflate import DeflateCodec
+from repro.compress.huffman import HuffmanCodec
+from repro.compress.lz77 import Lz77Codec
+from repro.compress.lz78 import Lz78Codec
+from repro.compress.lzma_like import LzmaLikeCodec
+from repro.compress.rle import RleCodec
+from repro.compress.xmatchpro import XMatchProCodec
+
+# Table I of the paper, in the paper's row order (worst to best).
+PAPER_TABLE1_RATIOS: Dict[str, float] = {
+    "RLE": 63.0,
+    "LZ77": 71.4,
+    "Huffman": 72.3,
+    "X-MatchPRO": 74.2,
+    "LZ78": 75.6,
+    "Zip": 81.2,
+    "7-zip": 81.9,
+}
+
+_FACTORIES: Dict[str, Callable[[], Codec]] = {
+    "RLE": RleCodec,
+    "LZ77": Lz77Codec,
+    "Huffman": HuffmanCodec,
+    "X-MatchPRO": XMatchProCodec,
+    "LZ78": Lz78Codec,
+    "Zip": DeflateCodec,
+    "7-zip": LzmaLikeCodec,
+}
+
+
+def codec_by_name(name: str) -> Codec:
+    """Instantiate the codec for a Table I row name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        known = ", ".join(_FACTORIES)
+        raise KeyError(f"unknown codec {name!r}; known: {known}") from None
+
+
+def all_codecs() -> List[Codec]:
+    """One instance of every Table I codec, in the paper's row order."""
+    return [factory() for factory in _FACTORIES.values()]

@@ -1,0 +1,146 @@
+"""Run-length encoding.
+
+This is the algorithm class FaRM uses for its bitstream compression
+(the paper's related-work section notes RLE "does not provide an
+important gain" — Table I puts it last at 63 %).
+
+The format is word-oriented, matching how a hardware RLE for
+configuration data works (FaRM compresses 32-bit words): the stream is
+a sequence of records, each
+
+* control byte ``0x00..0x7F`` → ``n+1`` literal 32-bit words follow;
+* control byte ``0x80..0xFF`` → the next 32-bit word repeats
+  ``(control - 0x80) + 2`` times, with a following extension byte
+  scheme for longer runs (each extension byte adds up to 255 more
+  repeats, terminated by a byte < 255).
+
+A trailing length header carries the original byte count so inputs
+that are not word-aligned round-trip exactly (the ragged tail is
+stored raw).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.compress.base import Codec
+from repro.errors import CorruptStreamError
+
+_MAX_LITERALS = 0x80          # 128 words per literal record
+_MIN_RUN = 2
+_MAX_BASE_RUN = 0x7F + _MIN_RUN  # control byte encodes runs of 2..129
+
+
+class RleCodec(Codec):
+    """Word-oriented run-length codec."""
+
+    name = "RLE"
+
+    def compress(self, data: bytes) -> bytes:
+        word_count = len(data) // 4
+        tail = data[word_count * 4:]
+        words = [data[i * 4:(i + 1) * 4] for i in range(word_count)]
+
+        out = bytearray(struct.pack(">I", len(data)))
+        out.append(len(tail))
+        out += tail
+
+        index = 0
+        literals: list = []
+        while index < word_count:
+            run = 1
+            while (index + run < word_count
+                   and words[index + run] == words[index]):
+                run += 1
+            if run >= _MIN_RUN:
+                self._flush_literals(out, literals)
+                self._emit_run(out, words[index], run)
+                index += run
+            else:
+                literals.append(words[index])
+                if len(literals) == _MAX_LITERALS:
+                    self._flush_literals(out, literals)
+                index += 1
+        self._flush_literals(out, literals)
+        return bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        if len(data) < 5:
+            raise CorruptStreamError("RLE stream shorter than its header")
+        (original_length,) = struct.unpack_from(">I", data, 0)
+        tail_length = data[4]
+        if tail_length > 3:
+            raise CorruptStreamError(f"invalid tail length {tail_length}")
+        position = 5
+        tail = data[position:position + tail_length]
+        if len(tail) != tail_length:
+            raise CorruptStreamError("truncated tail")
+        position += tail_length
+
+        # Decode until the declared body length is reached; anything
+        # after that is container padding (e.g. the Manager word-aligns
+        # compressed payloads in BRAM) and must be ignored.
+        body_length = original_length - tail_length
+        out = bytearray()
+        while position < len(data) and len(out) < body_length:
+            control = data[position]
+            position += 1
+            if control < _MAX_LITERALS:
+                count = control + 1
+                need = count * 4
+                chunk = data[position:position + need]
+                if len(chunk) != need:
+                    raise CorruptStreamError("truncated literal record")
+                out += chunk
+                position += need
+            else:
+                run = (control - 0x80) + _MIN_RUN
+                if run == _MAX_BASE_RUN:
+                    while True:
+                        if position >= len(data):
+                            raise CorruptStreamError("truncated run extension")
+                        extension = data[position]
+                        position += 1
+                        run += extension
+                        if extension != 0xFF:
+                            break
+                word = data[position:position + 4]
+                if len(word) != 4:
+                    raise CorruptStreamError("truncated run word")
+                position += 4
+                out += word * run
+
+        out += tail
+        if len(out) != original_length:
+            raise CorruptStreamError(
+                f"RLE output length {len(out)} != declared {original_length}"
+            )
+        return bytes(out)
+
+    @staticmethod
+    def _flush_literals(out: bytearray, literals: list) -> None:
+        while literals:
+            chunk = literals[:_MAX_LITERALS]
+            del literals[:_MAX_LITERALS]
+            out.append(len(chunk) - 1)
+            for word in chunk:
+                out += word
+
+    @staticmethod
+    def _emit_run(out: bytearray, word: bytes, run: int) -> None:
+        while run >= _MIN_RUN:
+            base = min(run, _MAX_BASE_RUN)
+            out.append(0x80 + (base - _MIN_RUN))
+            remaining = run - base
+            if base == _MAX_BASE_RUN:
+                # Extension bytes: keep emitting 0xFF while more remain.
+                while remaining >= 0xFF:
+                    out.append(0xFF)
+                    remaining -= 0xFF
+                out.append(remaining)
+                remaining = 0
+            out += word
+            run = remaining
+        if run == 1:
+            out.append(0)  # single literal record
+            out += word

@@ -1,0 +1,231 @@
+"""X-MatchPRO codec — the scheme UPaRC's hardware decompressor runs.
+
+X-MatchPRO (Nunez & Jones, IEEE TVLSI 2003) is a dictionary codec
+designed for gigabit-rate hardware: data is processed as 32-bit
+**tuples** against a small content-addressable dictionary maintained
+move-to-front.  Each tuple is coded as
+
+* a **full or partial match**: dictionary location + a *match type*
+  telling which of the four bytes matched; unmatched bytes follow as
+  literals.  Partial matches (>= 2 matching bytes) are what the "X"
+  adds over simple dictionary schemes.
+* a **miss**: the raw tuple, which is then inserted at the dictionary
+  front.
+* a **zero run**: X-MatchPRO's run-length extension for the all-zero
+  tuples that dominate configuration bitstreams.
+
+Token prefixes: ``0`` match, ``10`` zero-run, ``11`` miss.  Match types
+use a static prefix code ordered by typical frequency (full match gets
+the 1-bit code).  The dictionary update policy on both hits and misses
+is insert-at-front (move-to-front on hit), as in the hardware.
+
+Stream layout::
+
+    [4-byte original length][1-byte tail length][tail bytes]
+    bit stream of tokens
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.compress.base import Codec
+from repro.compress.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
+
+_ZERO_TUPLE = b"\x00\x00\x00\x00"
+_RUN_CHUNK_BITS = 8
+_RUN_CHUNK_MAX = (1 << _RUN_CHUNK_BITS) - 1
+
+# Match-type static code: mask bit i set => byte i matched.
+# (code, length) pairs; prefix-free by construction (see tests).
+_MASK_CODES: Dict[int, Tuple[int, int]] = {
+    0b1111: (0b0, 1),
+    0b1110: (0b1000, 4),
+    0b1101: (0b1001, 4),
+    0b1011: (0b1010, 4),
+    0b0111: (0b1011, 4),
+    0b1100: (0b11000, 5),
+    0b1010: (0b11001, 5),
+    0b1001: (0b11010, 5),
+    0b0110: (0b11011, 5),
+    0b0101: (0b11100, 5),
+    0b0011: (0b11101, 5),
+}
+_MIN_MATCH_BYTES = 2
+
+
+def _index_bits(dictionary_size: int) -> int:
+    """Phased-binary width for indices 0..dictionary_size-1."""
+    width = 1
+    while (1 << width) < dictionary_size:
+        width += 1
+    return width
+
+
+class XMatchProCodec(Codec):
+    """Word-tuple CAM-dictionary codec with zero-run extension."""
+
+    name = "X-MatchPRO"
+
+    def __init__(self, dictionary_size: int = 8) -> None:
+        if not 2 <= dictionary_size <= 64:
+            raise ValueError("dictionary size must be in [2, 64]")
+        self._capacity = dictionary_size
+
+    # -- compression --------------------------------------------------
+
+    def compress(self, data: bytes) -> bytes:
+        tuple_count = len(data) // 4
+        tail = data[tuple_count * 4:]
+        header = struct.pack(">I", len(data)) + bytes([len(tail)]) + tail
+
+        writer = BitWriter()
+        dictionary: List[bytes] = []
+        index = 0
+        while index < tuple_count:
+            word = data[index * 4:(index + 1) * 4]
+            if word == _ZERO_TUPLE:
+                run = 1
+                while (index + run < tuple_count
+                       and data[(index + run) * 4:(index + run + 1) * 4]
+                       == _ZERO_TUPLE):
+                    run += 1
+                writer.write_bits(0b10, 2)
+                self._write_run(writer, run)
+                index += run
+                continue
+            location, mask = self._best_match(dictionary, word)
+            if location is not None and mask is not None:
+                writer.write_bit(0)
+                writer.write_bits(location, _index_bits(len(dictionary)))
+                code, length = _MASK_CODES[mask]
+                writer.write_bits(code, length)
+                for byte_index in range(4):
+                    if not (mask >> byte_index) & 1:
+                        writer.write_bits(word[byte_index], 8)
+                self._update_hit(dictionary, location, word)
+            else:
+                writer.write_bits(0b11, 2)
+                writer.write_bytes(word)
+                self._insert(dictionary, word)
+            index += 1
+        return header + writer.getvalue()
+
+    def _best_match(self, dictionary: List[bytes],
+                    word: bytes) -> Tuple[Optional[int], Optional[int]]:
+        best_location: Optional[int] = None
+        best_mask: Optional[int] = None
+        best_score = -1
+        for location, entry in enumerate(dictionary):
+            mask = 0
+            matched = 0
+            for byte_index in range(4):
+                if entry[byte_index] == word[byte_index]:
+                    mask |= 1 << byte_index
+                    matched += 1
+            if matched < _MIN_MATCH_BYTES or mask not in _MASK_CODES:
+                continue
+            # Score: coded bits saved; prefer more matched bytes, then
+            # earlier (cheaper, more recently used) locations.
+            score = matched * 8 - _MASK_CODES[mask][1]
+            if score > best_score:
+                best_score = score
+                best_location = location
+                best_mask = mask
+        return best_location, best_mask
+
+    def _update_hit(self, dictionary: List[bytes], location: int,
+                    word: bytes) -> None:
+        del dictionary[location]
+        dictionary.insert(0, word)
+
+    def _insert(self, dictionary: List[bytes], word: bytes) -> None:
+        dictionary.insert(0, word)
+        if len(dictionary) > self._capacity:
+            dictionary.pop()
+
+    @staticmethod
+    def _write_run(writer: BitWriter, run: int) -> None:
+        # Chunked counter: 0xFF chunks mean "255 and continue".
+        remaining = run
+        while remaining >= _RUN_CHUNK_MAX:
+            writer.write_bits(_RUN_CHUNK_MAX, _RUN_CHUNK_BITS)
+            remaining -= _RUN_CHUNK_MAX
+        writer.write_bits(remaining, _RUN_CHUNK_BITS)
+
+    # -- decompression -------------------------------------------------
+
+    def decompress(self, data: bytes) -> bytes:
+        if len(data) < 5:
+            raise CorruptStreamError("X-MatchPRO stream truncated")
+        (original_length,) = struct.unpack_from(">I", data, 0)
+        tail_length = data[4]
+        if tail_length > 3:
+            raise CorruptStreamError(f"invalid tail length {tail_length}")
+        tail = data[5:5 + tail_length]
+        if len(tail) != tail_length:
+            raise CorruptStreamError("truncated tail")
+        reader = BitReader(data[5 + tail_length:])
+
+        body_length = original_length - tail_length
+        out = bytearray()
+        dictionary: List[bytes] = []
+        while len(out) < body_length:
+            if reader.read_bit() == 0:
+                if not dictionary:
+                    raise CorruptStreamError("match against empty dictionary")
+                location = reader.read_bits(_index_bits(len(dictionary)))
+                if location >= len(dictionary):
+                    raise CorruptStreamError(
+                        f"dictionary location {location} out of range"
+                    )
+                mask = self._read_mask(reader)
+                entry = dictionary[location]
+                word = bytearray(4)
+                for byte_index in range(4):
+                    if (mask >> byte_index) & 1:
+                        word[byte_index] = entry[byte_index]
+                    else:
+                        word[byte_index] = reader.read_bits(8)
+                word_bytes = bytes(word)
+                out += word_bytes
+                self._update_hit(dictionary, location, word_bytes)
+            else:
+                if reader.read_bit() == 0:  # '10' zero run
+                    run = self._read_run(reader)
+                    out += _ZERO_TUPLE * run
+                else:  # '11' miss
+                    word_bytes = reader.read_bytes(4)
+                    out += word_bytes
+                    self._insert(dictionary, word_bytes)
+        if len(out) != body_length:
+            raise CorruptStreamError("X-MatchPRO length mismatch")
+        return bytes(out) + tail
+
+    @staticmethod
+    def _read_mask(reader: BitReader) -> int:
+        if reader.read_bit() == 0:
+            return 0b1111
+        if reader.read_bit() == 0:
+            # '10' + 2 bits: the four 3-byte masks.
+            return (0b1110, 0b1101, 0b1011, 0b0111)[reader.read_bits(2)]
+        # '11' + 3 bits: the six 2-byte masks.
+        selector = reader.read_bits(3)
+        table = (0b1100, 0b1010, 0b1001, 0b0110, 0b0101, 0b0011)
+        if selector >= len(table):
+            raise CorruptStreamError(f"invalid match-type code {selector}")
+        return table[selector]
+
+    @staticmethod
+    def _read_run(reader: BitReader) -> int:
+        run = 0
+        while True:
+            chunk = reader.read_bits(_RUN_CHUNK_BITS)
+            run += chunk
+            if chunk != _RUN_CHUNK_MAX:
+                break
+        if run == 0:
+            raise CorruptStreamError("zero-length zero run")
+        return run

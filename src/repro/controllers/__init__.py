@@ -1,0 +1,40 @@
+"""Reconfiguration controllers: UPaRC and the Table III baselines.
+
+Every controller implements the :class:`ReconfigurationController`
+interface and returns a :class:`ReconfigurationResult`, so the
+comparison harness (`repro.analysis.comparison`) can sweep them
+uniformly:
+
+* :class:`XpsHwicap`     — Xilinx's processor-driven controller
+  (CompactFlash, cached, and the paper's unoptimized §V profile).
+* :class:`BramHwicap`    — DMA from BRAM (Liu et al.).
+* :class:`MstIcap`       — DMA from DDR2 SDRAM (Liu et al.).
+* :class:`Farm`          — FaRM with RLE decompression (Duhem et al.).
+* :class:`FlashCap`      — X-MatchPRO streaming (Nabina & Nunez-Yanez).
+* :class:`UparcController` — UPaRC modes i (raw) and ii (compressed),
+  an adapter over :class:`repro.core.system.UPaRCSystem`.
+"""
+
+from repro.controllers.base import (
+    LargeBitstreamGrade,
+    ReconfigurationController,
+    ReconfigurationResult,
+)
+from repro.controllers.xps_hwicap import XpsHwicap
+from repro.controllers.bram_hwicap import BramHwicap
+from repro.controllers.mst_icap import MstIcap
+from repro.controllers.farm import Farm
+from repro.controllers.flashcap import FlashCap
+from repro.controllers.uparc import UparcController
+
+__all__ = [
+    "LargeBitstreamGrade",
+    "ReconfigurationController",
+    "ReconfigurationResult",
+    "XpsHwicap",
+    "BramHwicap",
+    "MstIcap",
+    "Farm",
+    "FlashCap",
+    "UparcController",
+]

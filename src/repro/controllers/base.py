@@ -1,0 +1,68 @@
+"""Controller interface (the Table III comparison surface).
+
+The result records live in :mod:`repro.results` (shared with the core
+system to avoid an import cycle); this module adds the abstract
+controller base every baseline and the UPaRC adapter implement.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.bitstream.generator import PartialBitstream
+from repro.results import (
+    LargeBitstreamGrade,
+    ReconfigurationResult,
+    stream_crc,
+)
+from repro.units import Frequency
+
+__all__ = [
+    "LargeBitstreamGrade",
+    "ReconfigurationResult",
+    "stream_crc",
+    "ReconfigurationController",
+]
+
+
+class ReconfigurationController(abc.ABC):
+    """Common surface of UPaRC and every baseline."""
+
+    #: Display name (Table III row).
+    name: str = "controller"
+    #: Capacity grade (Table III column).
+    large_bitstream: LargeBitstreamGrade = LargeBitstreamGrade.LIMITED
+
+    @property
+    @abc.abstractmethod
+    def max_frequency(self) -> Frequency:
+        """Maximum reconfiguration-clock frequency (Table III column)."""
+
+    @property
+    def reference_frequency(self) -> Frequency:
+        """The clock at which the Table III bandwidth was measured.
+
+        Defaults to the maximum; xps_hwicap overrides it because its
+        published 14.5 MB/s comes from a 100 MHz processor even though
+        the HWICAP core is rated to 120 MHz.
+        """
+        return self.max_frequency
+
+    @abc.abstractmethod
+    def reconfigure(self, bitstream: PartialBitstream,
+                    frequency: Optional[Frequency] = None,
+                    ) -> ReconfigurationResult:
+        """Run one full reconfiguration of ``bitstream``.
+
+        ``frequency`` defaults to the controller's maximum.  The
+        result is CRC-verified against the source stream.
+        """
+
+    def best_result(self, bitstream: PartialBitstream,
+                    ) -> ReconfigurationResult:
+        """Reconfigure at the controller's reference conditions."""
+        return self.reconfigure(bitstream, self.reference_frequency)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max={self.max_frequency})"

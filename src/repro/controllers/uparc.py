@@ -1,0 +1,82 @@
+"""UPaRC adapter: the core system behind the comparison interface.
+
+Exposes the full :class:`~repro.core.system.UPaRCSystem` (Manager +
+UReC + DyCloGen + decompressor) through the same
+:class:`ReconfigurationController` surface as the baselines, in the
+paper's two instances:
+
+* ``UparcController(mode="i")``  — preloading without compression,
+  362.5 MHz, 1433 MB/s, capacity grade "-";
+* ``UparcController(mode="ii")`` — preloading with compression
+  (X-MatchPRO, 64-bit, 126 MHz CLK_3), CLK_2 at 255 MHz, 1008 MB/s,
+  capacity grade "++".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bitstream.device import DeviceInfo, VIRTEX5_SX50T
+from repro.bitstream.generator import PartialBitstream
+from repro.controllers.base import (
+    LargeBitstreamGrade,
+    ReconfigurationController,
+    ReconfigurationResult,
+)
+from repro.core.system import UPaRCSystem
+from repro.core.urec import OperationMode
+from repro.errors import ControllerError
+from repro.fpga.bram import DEFAULT_BRAM_BYTES
+from repro.power.model import PowerModel
+from repro.units import DataSize, Frequency
+
+UPARC_I_MAX = Frequency.from_mhz(362.5)
+UPARC_II_MAX = Frequency.from_mhz(255)
+
+
+class UparcController(ReconfigurationController):
+    """UPaRC in mode i (raw) or ii (compressed preloading)."""
+
+    def __init__(self, mode: str = "i",
+                 device: DeviceInfo = VIRTEX5_SX50T,
+                 bram_capacity: DataSize = DataSize(DEFAULT_BRAM_BYTES),
+                 decompressor: str = "x-matchpro",
+                 power_model: Optional[PowerModel] = None) -> None:
+        if mode not in ("i", "ii"):
+            raise ControllerError(f"UPaRC mode must be 'i' or 'ii', "
+                                  f"got {mode!r}")
+        self.mode = mode
+        self.device = device
+        self.name = f"UPaRC_{mode}"
+        self.large_bitstream = (LargeBitstreamGrade.LIMITED if mode == "i"
+                                else LargeBitstreamGrade.COMPRESSED)
+        self._bram_capacity = bram_capacity
+        self._decompressor = decompressor if mode == "ii" else None
+        self._power_model = power_model
+
+    @property
+    def max_frequency(self) -> Frequency:
+        if self.mode == "i":
+            return min(UPARC_I_MAX, self.device.icap_fmax_demonstrated)
+        return UPARC_II_MAX
+
+    def _build_system(self) -> UPaRCSystem:
+        return UPaRCSystem(
+            device=self.device,
+            bram_capacity=self._bram_capacity,
+            decompressor=self._decompressor,
+            power_model=self._power_model,
+        )
+
+    def reconfigure(self, bitstream: PartialBitstream,
+                    frequency: Optional[Frequency] = None,
+                    ) -> ReconfigurationResult:
+        clock = frequency if frequency is not None else self.max_frequency
+        if clock > self.max_frequency:
+            raise ControllerError(
+                f"{self.name} limited to {self.max_frequency}, got {clock}"
+            )
+        system = self._build_system()
+        operation = (OperationMode.RAW if self.mode == "i"
+                     else OperationMode.COMPRESSED)
+        return system.run(bitstream, frequency=clock, mode=operation)

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: UPaRC.
+
+* :class:`UReC` — the ultra-fast reconfiguration controller FSM
+  (Section III-B): Start/Finish handshake, header decode, burst
+  BRAM-to-ICAP transfer, EN power gating.
+* :class:`DyCloGen` — the dynamic clock generator (Section III-D):
+  three run-time-retunable clocks over DCM/DRP.
+* :class:`Manager` — bitstream preloading, reconfiguration control and
+  frequency adaptation (Section III-A).
+* :class:`UPaRCSystem` — the full Fig. 2 system, the main public entry
+  point.
+* :mod:`repro.core.policy` — power-aware frequency selection.
+* :mod:`repro.core.scheduler` — prefetch scheduling of preloads into
+  idle time (Section III-A-1).
+"""
+
+from repro.core.urec import OperationMode, UReC
+from repro.core.dyclogen import DyCloGen
+from repro.core.manager import Manager, PreloadReport
+from repro.core.policy import FrequencyPolicy, OperatingPoint
+from repro.core.system import UPaRCSystem
+from repro.core.scheduler import PrefetchScheduler, Task, ScheduleReport
+from repro.core.floorplan import Floorplan, Region
+from repro.core.dag_scheduler import DagScheduler, DagTask
+
+__all__ = [
+    "OperationMode",
+    "UReC",
+    "DyCloGen",
+    "Manager",
+    "PreloadReport",
+    "FrequencyPolicy",
+    "OperatingPoint",
+    "UPaRCSystem",
+    "PrefetchScheduler",
+    "Task",
+    "ScheduleReport",
+    "Floorplan",
+    "Region",
+    "DagScheduler",
+    "DagTask",
+]

@@ -1,0 +1,87 @@
+"""DyCloGen — the dynamic clock generator (Section III-D).
+
+Provides the three run-time-modifiable clocks of Fig. 2:
+
+* ``CLK_1`` — the Manager / preload clock (normally left at F_in);
+* ``CLK_2`` — the reconfiguration clock driving UReC, BRAM port B and
+  ICAP, the paper's main power/performance lever;
+* ``CLK_3`` — the decompressor clock, retuned per decompressor
+  implementation after a codec swap.
+
+Each output is backed by a :class:`~repro.fpga.dcm.Dcm`; retuning goes
+through the real DRP write sequence and costs the DCM relock time,
+which the caller (the Manager) waits out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import FrequencyError
+from repro.fpga.dcm import Dcm, DcmSettings, best_settings
+from repro.sim import Clock, Simulator
+from repro.units import Frequency
+
+CLK_1 = "clk1"
+CLK_2 = "clk2"
+CLK_3 = "clk3"
+
+
+class DyCloGen:
+    """Three DRP-retunable clock outputs from one input clock."""
+
+    def __init__(self, sim: Simulator, f_in: Frequency,
+                 clk1: Frequency, clk2: Frequency, clk3: Frequency,
+                 fout_max: Frequency = Frequency.from_mhz(400)) -> None:
+        self._sim = sim
+        self.f_in = f_in
+        self._fout_max = fout_max
+        self.clocks: Dict[str, Clock] = {}
+        self.dcms: Dict[str, Dcm] = {}
+        for name, target in ((CLK_1, clk1), (CLK_2, clk2), (CLK_3, clk3)):
+            clock = Clock(sim, name, f_in)  # retuned by the DCM below
+            settings = best_settings(f_in, target, fout_max)
+            self.dcms[name] = Dcm(sim, f_in, settings, clock)
+            self.clocks[name] = clock
+            self._check_exact(name, target, clock.frequency)
+
+    @staticmethod
+    def _check_exact(name: str, target: Frequency,
+                     achieved: Frequency) -> None:
+        # 1% synthesis tolerance: the M/D grid cannot hit every target.
+        if abs(achieved.hertz - target.hertz) > target.hertz * 0.01:
+            raise FrequencyError(
+                f"{name}: best DCM setting gives {achieved}, more than "
+                f"1% away from requested {target}"
+            )
+
+    @property
+    def clk1(self) -> Clock:
+        return self.clocks[CLK_1]
+
+    @property
+    def clk2(self) -> Clock:
+        return self.clocks[CLK_2]
+
+    @property
+    def clk3(self) -> Clock:
+        return self.clocks[CLK_3]
+
+    def retune(self, name: str, target: Frequency) -> int:
+        """Retune one output; returns the relock wait in picoseconds.
+
+        The caller must not clock anything from this output until the
+        wait has elapsed (the Manager yields a Delay for it).
+        """
+        if name not in self.dcms:
+            raise FrequencyError(f"unknown DyCloGen output {name!r}")
+        lock_ps = self.dcms[name].retune_to(target, self._fout_max)
+        self._check_exact(name, target, self.clocks[name].frequency)
+        return lock_ps
+
+    def settings_of(self, name: str) -> DcmSettings:
+        return self.dcms[name].settings
+
+    def frequencies(self) -> Dict[str, Frequency]:
+        return {name: clock.frequency
+                for name, clock in self.clocks.items()}

@@ -1,0 +1,169 @@
+"""Mission-level policy evaluation (the paper's future work, §VI).
+
+    "We will focus our future work on the global power optimization
+    of an application using high speed and energy efficient partial
+    dynamic reconfiguration."
+
+This module runs that study: a *mission* is a long sequence of
+reconfiguration requests (module swaps with deadlines) generated from
+a workload model; a *policy* decides the CLK_2 frequency for each
+request.  The simulator executes the whole mission through the
+analytic timing/power models and accounts total reconfiguration
+energy, deadline misses and time spent reconfiguring — so policies
+can be compared end to end rather than per swap.
+
+Policies:
+
+* ``max-frequency``  — always 362.5 MHz (the performance-first
+  strawman);
+* ``power-aware``    — the paper's rule: lowest frequency that meets
+  each request's deadline;
+* ``energy-optimal`` — minimize per-swap energy (with an active-wait
+  manager this also drives frequency *up*; with a gated manager it
+  converges toward power-aware).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.policy import FrequencyPolicy, OperatingPoint
+from repro.errors import PolicyError
+from repro.power.model import PowerModel
+from repro.units import DataSize, Frequency, ms
+
+
+@dataclass(frozen=True)
+class SwapRequest:
+    """One reconfiguration demand within the mission."""
+
+    at_ps: int                 # request arrival (mission time)
+    module: str
+    size: DataSize
+    deadline_ps: int           # relative: swap must finish this fast
+
+    def __post_init__(self) -> None:
+        if self.deadline_ps <= 0:
+            raise PolicyError("deadline must be positive")
+
+
+@dataclass
+class MissionResult:
+    """Accounting of one policy over one mission."""
+
+    policy: str
+    swaps: int = 0
+    deadline_misses: int = 0
+    infeasible: int = 0
+    total_energy_uj: float = 0.0
+    total_reconfig_ps: int = 0
+    frequencies_mhz: List[float] = field(default_factory=list)
+
+    @property
+    def mean_frequency_mhz(self) -> float:
+        if not self.frequencies_mhz:
+            return 0.0
+        return sum(self.frequencies_mhz) / len(self.frequencies_mhz)
+
+    @property
+    def energy_per_swap_uj(self) -> float:
+        return self.total_energy_uj / self.swaps if self.swaps else 0.0
+
+
+PolicyFunction = Callable[[FrequencyPolicy, SwapRequest], OperatingPoint]
+
+
+def _max_frequency_policy(policy: FrequencyPolicy,
+                          request: SwapRequest) -> OperatingPoint:
+    grid = policy.candidate_frequencies()
+    return policy.operating_point(request.size, grid[-1])
+
+
+def _power_aware_policy(policy: FrequencyPolicy,
+                        request: SwapRequest) -> OperatingPoint:
+    return policy.lowest_frequency_for_deadline(request.size,
+                                                request.deadline_ps)
+
+
+def _energy_optimal_policy(policy: FrequencyPolicy,
+                           request: SwapRequest) -> OperatingPoint:
+    return policy.minimum_energy(request.size)
+
+
+POLICIES: Dict[str, PolicyFunction] = {
+    "max-frequency": _max_frequency_policy,
+    "power-aware": _power_aware_policy,
+    "energy-optimal": _energy_optimal_policy,
+}
+
+
+def run_mission(requests: Sequence[SwapRequest],
+                policy_name: str,
+                power_model: Optional[PowerModel] = None,
+                ) -> MissionResult:
+    """Execute every request under one policy and account totals."""
+    try:
+        decide = POLICIES[policy_name]
+    except KeyError:
+        known = ", ".join(POLICIES)
+        raise PolicyError(
+            f"unknown policy {policy_name!r}; known: {known}"
+        ) from None
+    model = power_model if power_model is not None else PowerModel()
+    frequency_policy = FrequencyPolicy(model)
+    result = MissionResult(policy=policy_name)
+    for request in requests:
+        result.swaps += 1
+        try:
+            point = decide(frequency_policy, request)
+        except PolicyError:
+            result.infeasible += 1
+            # Fall back to flat out; it may still miss the deadline.
+            point = _max_frequency_policy(frequency_policy, request)
+        if point.duration_ps > request.deadline_ps:
+            result.deadline_misses += 1
+        result.total_energy_uj += point.energy_uj
+        result.total_reconfig_ps += point.duration_ps
+        result.frequencies_mhz.append(point.frequency.mhz)
+    return result
+
+
+def compare_policies(requests: Sequence[SwapRequest],
+                     power_model: Optional[PowerModel] = None,
+                     ) -> Dict[str, MissionResult]:
+    """Run the same mission under every policy."""
+    return {name: run_mission(requests, name, power_model)
+            for name in POLICIES}
+
+
+def generate_mission(swap_count: int = 200,
+                     seed: int = 7,
+                     size_kb_choices: Sequence[float] = (30.0, 49.0,
+                                                         81.0, 156.0),
+                     deadline_ms_range: tuple = (0.3, 4.0),
+                     mean_interarrival_ms: float = 40.0,
+                     ) -> List[SwapRequest]:
+    """Synthetic mission: Poisson arrivals, mixed sizes and deadlines.
+
+    Models the adaptive-application setting of the paper's intro:
+    mode switches arrive irregularly, some urgent (handover-class
+    deadlines), some relaxed (background-class).
+    """
+    rng = random.Random(seed)
+    requests: List[SwapRequest] = []
+    clock = 0
+    for index in range(swap_count):
+        clock += round(rng.expovariate(1.0 / mean_interarrival_ms)
+                       * 1e9)  # ms -> ps
+        size = DataSize.from_kb(rng.choice(list(size_kb_choices)))
+        low, high = deadline_ms_range
+        deadline = ms(rng.uniform(low, high))
+        requests.append(SwapRequest(
+            at_ps=clock,
+            module=f"module-{index % 8}",
+            size=size,
+            deadline_ps=deadline,
+        ))
+    return requests

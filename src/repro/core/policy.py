@@ -1,0 +1,171 @@
+"""Power-aware frequency selection (the "Pa" in UPaRC).
+
+Section III-A-3 and Section V: the Manager analyzes performance and
+power constraints at run time and picks the CLK_2 frequency through
+DyCloGen.  The paper's conclusion is the policy implemented here:
+*use the lowest frequency that meets the timing constraint* — power
+rises with frequency, so any faster clock wastes power; but because
+the (current, unoptimized) manager actively waits, *energy* falls with
+frequency, so an energy-capped selection pushes the other way.  The
+policy exposes all three objectives.
+
+Candidate frequencies are the DCM-synthesizable grid (F_in x M / D
+within the DFS window and the controller envelope), exactly what
+DyCloGen can actually produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import PolicyError
+from repro.fpga.dcm import D_RANGE, FOUT_MIN, M_RANGE
+from repro.power.model import PowerModel
+from repro.units import DataSize, Frequency, PS_PER_S
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One candidate frequency with its predicted consequences."""
+
+    frequency: Frequency
+    duration_ps: int
+    power_mw: float
+    energy_uj: float
+
+
+class FrequencyPolicy:
+    """Selects CLK_2 operating points for mode-i reconfigurations."""
+
+    def __init__(self, power_model: PowerModel,
+                 f_in: Frequency = Frequency.from_mhz(100),
+                 max_frequency: Frequency = Frequency.from_mhz(362.5),
+                 control_overhead_ps: int = 1_200_000,
+                 burst_setup_cycles: int = 3) -> None:
+        self._power = power_model
+        self._f_in = f_in
+        self._max_frequency = max_frequency
+        self._control_overhead_ps = control_overhead_ps
+        self._burst_setup_cycles = burst_setup_cycles
+
+    # -- candidate grid ---------------------------------------------------
+
+    def candidate_frequencies(self) -> List[Frequency]:
+        """The DCM-synthesizable grid up to the controller envelope."""
+        seen = set()
+        result: List[Frequency] = []
+        for multiplier in range(M_RANGE[0], M_RANGE[1] + 1):
+            for divisor in range(D_RANGE[0], D_RANGE[1] + 1):
+                frequency = self._f_in.scaled(multiplier, divisor)
+                if frequency < FOUT_MIN or frequency > self._max_frequency:
+                    continue
+                if frequency.hertz in seen:
+                    continue
+                seen.add(frequency.hertz)
+                result.append(frequency)
+        result.sort()
+        if not result:
+            raise PolicyError("empty DCM frequency grid")
+        return result
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict_duration_ps(self, size: DataSize,
+                            frequency: Frequency) -> int:
+        """Mode-i reconfiguration time at a candidate frequency."""
+        cycles = size.words + 1 + self._burst_setup_cycles  # + header read
+        return (frequency.duration_of(cycles)
+                + self._control_overhead_ps)
+
+    def operating_point(self, size: DataSize,
+                        frequency: Frequency) -> OperatingPoint:
+        duration = self.predict_duration_ps(size, frequency)
+        power = self._power.uparc_reconfiguration_mw(frequency.mhz)
+        energy = power * 1e-3 * (duration / PS_PER_S) * 1e6  # uJ
+        return OperatingPoint(frequency, duration, power, energy)
+
+    # -- objectives -----------------------------------------------------------
+
+    def lowest_frequency_for_deadline(self, size: DataSize,
+                                      deadline_ps: int) -> OperatingPoint:
+        """The paper's power-aware rule: slowest clock that still fits."""
+        for frequency in self.candidate_frequencies():
+            point = self.operating_point(size, frequency)
+            if point.duration_ps <= deadline_ps:
+                return point
+        best = self.operating_point(size, self.candidate_frequencies()[-1])
+        raise PolicyError(
+            f"no frequency meets deadline {deadline_ps} ps for {size}; "
+            f"fastest point needs {best.duration_ps} ps at {best.frequency}"
+        )
+
+    def fastest_under_power(self, size: DataSize,
+                            power_budget_mw: float) -> OperatingPoint:
+        """Highest frequency whose busy power fits the budget."""
+        chosen: Optional[OperatingPoint] = None
+        for frequency in self.candidate_frequencies():
+            point = self.operating_point(size, frequency)
+            if point.power_mw <= power_budget_mw:
+                chosen = point
+        if chosen is None:
+            raise PolicyError(
+                f"no frequency fits power budget {power_budget_mw} mW "
+                f"(minimum is "
+                f"{self.operating_point(size, self.candidate_frequencies()[0]).power_mw:.0f} mW)"
+            )
+        return chosen
+
+    def minimum_energy(self, size: DataSize) -> OperatingPoint:
+        """Lowest-energy point (with an active-wait manager this is
+        the *fastest* clock — the paper's Section V observation)."""
+        points = [self.operating_point(size, frequency)
+                  for frequency in self.candidate_frequencies()]
+        return min(points, key=lambda point: point.energy_uj)
+
+    def select(self, size: DataSize,
+               deadline_ps: Optional[int] = None,
+               power_budget_mw: Optional[float] = None) -> OperatingPoint:
+        """Joint selection: meet the deadline at minimum power, under
+        an optional power cap.  Raises :class:`PolicyError` when the
+        constraints cannot be met simultaneously."""
+        candidates = [self.operating_point(size, frequency)
+                      for frequency in self.candidate_frequencies()]
+        if power_budget_mw is not None:
+            candidates = [point for point in candidates
+                          if point.power_mw <= power_budget_mw]
+            if not candidates:
+                raise PolicyError(
+                    f"power budget {power_budget_mw} mW excludes every "
+                    f"frequency"
+                )
+        if deadline_ps is not None:
+            candidates = [point for point in candidates
+                          if point.duration_ps <= deadline_ps]
+            if not candidates:
+                raise PolicyError(
+                    "no operating point satisfies both deadline and "
+                    "power budget"
+                )
+        # Lowest power first (equivalently lowest frequency).
+        return min(candidates, key=lambda point: point.power_mw)
+
+    def pareto_frontier(self, size: DataSize) -> List[OperatingPoint]:
+        """Non-dominated (duration, power) operating points.
+
+        The trade-off curve the Manager navigates: every point on it
+        is the fastest possible at its power level and the coolest at
+        its speed.  With power monotone in frequency and duration
+        anti-monotone, the whole grid is non-dominated — unless two
+        M/D settings land at nearly the same frequency, where the
+        worse one is pruned; the function therefore also deduplicates
+        numerically-equal neighbours.
+        """
+        points = [self.operating_point(size, frequency)
+                  for frequency in self.candidate_frequencies()]
+        frontier: List[OperatingPoint] = []
+        for point in sorted(points, key=lambda p: p.duration_ps):
+            if frontier and point.power_mw >= frontier[-1].power_mw:
+                continue  # dominated: slower or equal AND hotter
+            frontier.append(point)
+        return list(reversed(frontier))  # slow/cool -> fast/hot

@@ -1,0 +1,371 @@
+"""UPaRCSystem — the full Fig. 2 system, the library's main entry point.
+
+Wires a Manager (MicroBlaze), UReC, DyCloGen, the dual-port BRAM, the
+ICAP primitive and (optionally) a hardware decompressor onto one
+discrete-event simulator, with a power model sampling the whole thing.
+
+Typical use::
+
+    from repro.core import UPaRCSystem
+    from repro.bitstream import generate_bitstream
+    from repro.units import Frequency, DataSize
+
+    system = UPaRCSystem()
+    system.set_frequency(Frequency.from_mhz(362.5))
+    bitstream = generate_bitstream(size=DataSize.from_kb(216.5))
+    result = system.run(bitstream)
+    print(result.bandwidth_decimal_mbps, "MB/s")
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from repro.bitstream.device import DeviceInfo, VIRTEX5_SX50T
+from repro.bitstream.generator import PartialBitstream
+from repro.results import ReconfigurationResult, stream_crc
+from repro.core.dyclogen import CLK_2, DyCloGen
+from repro.fpga.dcm import best_settings
+from repro.core.manager import Manager, PreloadReport
+from repro.core.urec import OperationMode, UReC
+from repro.errors import ReconfigurationFailed
+from repro.fpga.bram import Bram, DEFAULT_BRAM_BYTES
+from repro.fpga.config_memory import ConfigurationLogic, ConfigurationMemory
+from repro.fpga.decompressor import (
+    DECOMPRESSOR_LIBRARY,
+    HardwareDecompressor,
+)
+from repro.fpga.dma import CustomBurstReader
+from repro.fpga.icap import Icap
+from repro.fpga.microblaze import MicroBlaze
+from repro.fpga.sequencer import HardwareSequencer
+from repro.power.energy import EnergyReport, energy_from_trace
+from repro.power.model import PowerModel
+from repro.power.trace import PowerTraceBuilder
+from repro.sim import Event, Process, Simulator
+from repro.units import DataSize, Frequency
+
+logger = logging.getLogger(__name__)
+
+
+class UPaRCSystem:
+    """The complete UPaRC system on a simulated FPGA."""
+
+    def __init__(self,
+                 device: DeviceInfo = VIRTEX5_SX50T,
+                 bram_capacity: DataSize = DataSize(DEFAULT_BRAM_BYTES),
+                 decompressor: Optional[str] = "x-matchpro",
+                 power_model: Optional[PowerModel] = None,
+                 f_in: Frequency = Frequency.from_mhz(100),
+                 initial_clk2: Frequency = Frequency.from_mhz(100),
+                 allow_overclock: bool = True,
+                 manager: str = "microblaze") -> None:
+        if manager not in ("microblaze", "hardware"):
+            raise ReconfigurationFailed(
+                f"manager must be 'microblaze' or 'hardware', got "
+                f"{manager!r}")
+        self.sim = Simulator()
+        self.device = device
+        self.manager_kind = manager
+        self.power_model = power_model if power_model is not None \
+            else PowerModel(hardware_manager=(manager == "hardware"))
+
+        decompressor_spec = (DECOMPRESSOR_LIBRARY[decompressor]
+                             if decompressor is not None else None)
+        if decompressor_spec is not None:
+            # Highest DCM-synthesizable CLK_3 that the decompressor
+            # tolerates (the grid rarely hits fmax exactly).
+            clk3_target = best_settings(
+                f_in, decompressor_spec.max_frequency,
+                fout_max=decompressor_spec.max_frequency,
+            ).output(f_in)
+        else:
+            clk3_target = Frequency.from_mhz(100)
+        self.dyclogen = DyCloGen(self.sim, f_in,
+                                 clk1=f_in,
+                                 clk2=initial_clk2,
+                                 clk3=clk3_target)
+        self.bram = Bram(self.sim, capacity=bram_capacity,
+                         allow_overclock=allow_overclock)
+        self.config_memory = ConfigurationMemory(device)
+        self.config_logic = ConfigurationLogic(self.config_memory)
+        self.icap = Icap(self.sim, device, self.dyclogen.clk2,
+                         allow_overclock=allow_overclock,
+                         config_logic=self.config_logic)
+        if manager == "hardware":
+            self.cpu = HardwareSequencer(self.sim, self.dyclogen.clk1)
+        else:
+            self.cpu = MicroBlaze(self.sim, self.dyclogen.clk1)
+        self.decompressor: Optional[HardwareDecompressor] = None
+        if decompressor_spec is not None:
+            self.decompressor = HardwareDecompressor(
+                self.sim, decompressor_spec, self.dyclogen.clk3)
+        self.urec = UReC(self.sim, self.bram, self.icap,
+                         self.dyclogen.clk2,
+                         reader=CustomBurstReader(
+                             max_frequency=device.icap_fmax_demonstrated),
+                         decompressor=self.decompressor)
+        self._power_builder: Optional[PowerTraceBuilder] = None
+        self.manager = Manager(self.sim, self.cpu, self.bram,
+                               self.dyclogen,
+                               decompressor=self.decompressor)
+        self._preloaded: Optional[PartialBitstream] = None
+        self._preload_report: Optional[PreloadReport] = None
+        self._run_index = 0
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def frequency(self) -> Frequency:
+        """The current reconfiguration clock (CLK_2)."""
+        return self.dyclogen.clk2.frequency
+
+    def set_frequency(self, target: Frequency) -> Frequency:
+        """Retune CLK_2 through DyCloGen (absorbs the DCM relock)."""
+        process = Process(
+            self.sim,
+            self.manager.adapt_frequency_process(target),
+            name="adapt-frequency",
+        )
+        self.sim.run()
+        achieved = process.result
+        settings = self.dyclogen.settings_of(CLK_2)
+        logger.info("CLK_2 retuned to %s (M=%d, D=%d)", achieved,
+                    settings.multiplier, settings.divisor)
+        return achieved
+
+    def set_decompressor_frequency(self, target: Frequency) -> Frequency:
+        process = Process(
+            self.sim,
+            self.manager.adapt_decompressor_clock_process(target),
+            name="adapt-clk3",
+        )
+        self.sim.run()
+        return process.result
+
+    def swap_decompressor(self, name: str) -> ReconfigurationResult:
+        """Swap the decompressor via partial reconfiguration (§VI).
+
+        "This decompressor is dynamically reconfigurable that allows
+        to change compression/decompression algorithm by partial
+        reconfiguration ... after being reconfigured, its frequency
+        (CLK_3) will be dynamically modified by DyCloGen."
+
+        The swap is a real reconfiguration: a partial bitstream sized
+        to the new decompressor's area streams through this system's
+        own UReC/ICAP path, then CLK_3 retunes to the new engine's
+        ceiling.  Returns the swap's reconfiguration result; after it
+        completes, compressed-mode runs use the new algorithm.
+        """
+        from repro.bitstream.generator import generate_bitstream
+        from repro.fpga.area import PACKERS, ResourceInventory
+        try:
+            spec = DECOMPRESSOR_LIBRARY[name]
+        except KeyError:
+            known = ", ".join(sorted(DECOMPRESSOR_LIBRARY))
+            raise ReconfigurationFailed(
+                f"unknown decompressor {name!r}; known: {known}"
+            ) from None
+
+        # Size the decompressor region from its slice count: a V5
+        # slice column pair is ~36 frames; ~6.5 slices of CLB resources
+        # per frame-column byte budget reduces to a simple proportional
+        # estimate of ~60 B of frame data per slice.
+        slices = PACKERS["virtex5"].slices(
+            ResourceInventory(luts=spec.luts, ffs=spec.ffs))
+        size = DataSize(max(4096, slices * 60))
+        swap_bitstream = generate_bitstream(
+            size=size, seed=hash(name) % 100_000,
+            device=self.device,
+            design_name=f"decompressor_{name}")
+        result = self.run(swap_bitstream)
+
+        # Install the new engine and retune CLK_3 beneath its ceiling.
+        self.decompressor = HardwareDecompressor(
+            self.sim, spec, self.dyclogen.clk3)
+        self.urec._decompressor = self.decompressor
+        self.manager._decompressor = self.decompressor
+        clk3_target = best_settings(
+            self.dyclogen.f_in, spec.max_frequency,
+            fout_max=spec.max_frequency).output(self.dyclogen.f_in)
+        self.set_decompressor_frequency(clk3_target)
+        logger.info("decompressor swapped to %s (CLK_3 = %s)",
+                    name, self.dyclogen.clk3.frequency)
+        return result
+
+    # -- preload --------------------------------------------------------------
+
+    def preload(self, bitstream: PartialBitstream,
+                mode: Optional[OperationMode] = None) -> PreloadReport:
+        """Stage a bitstream into BRAM (Manager port-A copy)."""
+        process = Process(
+            self.sim,
+            self.manager.preload_process(bitstream, mode),
+            name="preload",
+        )
+        self.sim.run()
+        self._preloaded = bitstream
+        self._preload_report = process.result
+        report = process.result
+        logger.debug("preloaded %s as %s (%s stored, %.1f us)",
+                     bitstream.size, report.mode.name.lower(),
+                     report.stored_size, report.duration_ps / 1e6)
+        return report
+
+    def preload_async(self, bitstream: PartialBitstream,
+                      mode: Optional[OperationMode] = None) -> Process:
+        """Start a preload without blocking simulated time.
+
+        Section III-A-1's overlap, on the real simulator: the Manager
+        fills BRAM port A while the fabric computes (model computation
+        with :meth:`advance`) — the preload costs no critical-path
+        time as long as the computation outlasts it.  The returned
+        process handle resolves to the :class:`PreloadReport`; the
+        bitstream becomes the staged one the moment it completes.
+        Do not overlap with :meth:`reconfigure` of the *same* staging
+        area — port B would read half-written words, exactly as on
+        hardware.
+        """
+        process = Process(
+            self.sim,
+            self.manager.preload_process(bitstream, mode),
+            name="preload-async",
+        )
+
+        def on_done(event) -> None:
+            self._preloaded = bitstream
+            self._preload_report = event.payload
+
+        process.finished.add_waiter(on_done)
+        return process
+
+    def advance(self, duration_ps: int) -> int:
+        """Let simulated time pass (computation, idling).
+
+        Pending background work (async preloads) progresses during the
+        window.  Returns the new simulation time.
+        """
+        return self.sim.run(until_ps=self.sim.now + duration_ps)
+
+    # -- reconfigure -----------------------------------------------------------
+
+    def reconfigure(self, collect_power: bool = True,
+                    ) -> ReconfigurationResult:
+        """Run one reconfiguration of the preloaded bitstream."""
+        if self._preloaded is None or self._preload_report is None:
+            raise ReconfigurationFailed("no bitstream preloaded")
+        bitstream = self._preloaded
+        report = self._preload_report
+        self._run_index += 1
+
+        builder: Optional[PowerTraceBuilder] = None
+        if collect_power:
+            builder = PowerTraceBuilder(
+                self.sim, self.power_model,
+                name=f"core_power.run{self._run_index}")
+            self.manager._power = builder
+
+        start = Event(self.sim, "start")
+        finish = Event(self.sim, "finish")
+        clk2_mhz = self.dyclogen.clk2.frequency.mhz
+        clk3_mhz = self.dyclogen.clk3.frequency.mhz
+        compressed = report.mode is OperationMode.COMPRESSED
+
+        if builder is not None:
+            def on_start(event: Event) -> None:
+                builder.chain_on(clk2_mhz)
+                if compressed:
+                    builder.decompressor_on(clk3_mhz)
+
+            def on_finish(event: Event) -> None:
+                builder.chain_off()
+                if compressed:
+                    builder.decompressor_off()
+
+            start.add_waiter(on_start)
+            finish.add_waiter(on_finish)
+
+        Process(self.sim, self.urec.process(start, finish), name="urec")
+        control = Process(
+            self.sim,
+            self.manager.control_process(start, finish),
+            name="manager-control",
+        )
+        self.sim.run()
+        start_ps, finish_ps, overhead_ps = control.result
+
+        expected = stream_crc(bitstream.raw_bytes)
+        frames_before = getattr(self, "_frames_written_total", 0)
+        self._frames_written_total = self.config_logic.frames_written
+        result = ReconfigurationResult(
+            controller="UPaRC_ii" if compressed else "UPaRC_i",
+            bitstream_size=bitstream.size,
+            stored_size=report.stored_size,
+            mode="compressed" if compressed else "raw",
+            frequency=self.dyclogen.clk2.frequency,
+            start_ps=start_ps,
+            finish_ps=finish_ps,
+            control_overhead_ps=overhead_ps,
+            preload_ps=report.duration_ps,
+            words_delivered=self.icap.words_accepted,
+            payload_crc=self.icap.payload_crc,
+            expected_crc=expected,
+            frames_written=self.config_logic.frames_written - frames_before,
+        )
+        if builder is not None:
+            trace = builder.finalize()
+            self.manager._power = None
+            result.power_trace = trace
+            energy = energy_from_trace(trace, start_ps, finish_ps)
+            idle = self.power_model.idle_mw()
+            corrected = energy_from_trace(trace, start_ps, finish_ps,
+                                          baseline_mw=idle)
+            mean_mw = energy / ((finish_ps - start_ps) / 1e12) / 1e3 \
+                if finish_ps > start_ps else 0.0
+            result.energy = EnergyReport(
+                controller=result.controller,
+                bitstream=bitstream.size,
+                duration_ps=finish_ps - start_ps,
+                mean_power_mw=mean_mw,
+                energy_uj=energy,
+                energy_uj_idle_corrected=corrected,
+            )
+        verified = result.require_verified()
+        logger.info("%s: %s in %.1f us (%.0f MB/s, %d frames)",
+                    verified.controller, verified.bitstream_size,
+                    verified.transfer_ps / 1e6,
+                    verified.bandwidth_decimal_mbps,
+                    verified.frames_written)
+        return verified
+
+    def run(self, bitstream: PartialBitstream,
+            frequency: Optional[Frequency] = None,
+            mode: Optional[OperationMode] = None,
+            collect_power: bool = True) -> ReconfigurationResult:
+        """Convenience: optional retune, preload, reconfigure."""
+        if frequency is not None:
+            self.set_frequency(frequency)
+        self.preload(bitstream, mode)
+        return self.reconfigure(collect_power=collect_power)
+
+    def run_with_constraints(self, bitstream: PartialBitstream,
+                             deadline_ps: Optional[int] = None,
+                             power_budget_mw: Optional[float] = None,
+                             ) -> ReconfigurationResult:
+        """The closed power-aware loop of Section III-A-3.
+
+        The Manager selects the CLK_2 operating point for the given
+        constraints (lowest power that meets the deadline under the
+        budget -- the paper's rule), retunes DyCloGen, and runs.
+        Raises :class:`~repro.errors.PolicyError` when the constraints
+        are jointly infeasible, *before* touching the clocks.
+        """
+        from repro.core.policy import FrequencyPolicy
+        policy = FrequencyPolicy(
+            self.power_model,
+            max_frequency=self.device.icap_fmax_demonstrated,
+        )
+        point = policy.select(bitstream.size, deadline_ps=deadline_ps,
+                              power_budget_mw=power_budget_mw)
+        return self.run(bitstream, frequency=point.frequency)

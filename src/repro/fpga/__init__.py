@@ -1,0 +1,54 @@
+"""Hardware component models.
+
+Cycle-level transaction models of every block in the paper's Figure 2
+system and the baseline controllers' substrates:
+
+* :class:`Icap` — the Internal Configuration Access Port primitive.
+* :class:`Bram` — dual-port block-RAM bitstream buffer.
+* :class:`Dcm` — digital clock manager with the DRP reprogramming
+  protocol (DyCloGen's substrate).
+* :class:`MicroBlaze` — cycle-cost model of the soft-core manager.
+* :mod:`repro.fpga.memory` — CompactFlash / DDR2 / cache storage.
+* :mod:`repro.fpga.dma` — Xilinx central DMA vs. UReC's custom reader.
+* :class:`HardwareDecompressor` — streaming decompressor timing model.
+* :mod:`repro.fpga.area` — primitive inventories and slice packing
+  (Table II).
+"""
+
+from repro.fpga.icap import Icap
+from repro.fpga.bram import Bram
+from repro.fpga.dcm import Dcm, DcmSettings
+from repro.fpga.microblaze import MicroBlaze
+from repro.fpga.memory import CacheModel, CompactFlash, Ddr2Sdram
+from repro.fpga.dma import CustomBurstReader, XilinxCentralDma
+from repro.fpga.decompressor import (
+    DECOMPRESSOR_LIBRARY,
+    DecompressorSpec,
+    HardwareDecompressor,
+)
+from repro.fpga.area import (
+    ResourceInventory,
+    SlicePacker,
+    MODULE_INVENTORIES,
+    slices_for,
+)
+
+__all__ = [
+    "Icap",
+    "Bram",
+    "Dcm",
+    "DcmSettings",
+    "MicroBlaze",
+    "CacheModel",
+    "CompactFlash",
+    "Ddr2Sdram",
+    "CustomBurstReader",
+    "XilinxCentralDma",
+    "HardwareDecompressor",
+    "DecompressorSpec",
+    "DECOMPRESSOR_LIBRARY",
+    "ResourceInventory",
+    "SlicePacker",
+    "MODULE_INVENTORIES",
+    "slices_for",
+]

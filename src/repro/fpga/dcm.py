@@ -1,0 +1,177 @@
+"""DCM — digital clock manager with Dynamic Reconfiguration Port.
+
+DyCloGen's substrate (Section III-D): the Virtex-5 DCM_ADV primitive
+synthesizes ``F_out = F_in x M / D`` and exposes M/D through the DRP so
+they can be reprogrammed at run time *without* partial reconfiguration.
+
+The model implements:
+
+* the legal M/D ranges and output-frequency window of the V5 DFS
+  (UG190: M 2..33, D 1..32, DFS output roughly 32..400 MHz beyond
+  which the DCM will not lock);
+* the DRP register protocol — DADDR/DI writes followed by a reset
+  pulse — with the real sequencing enforced (writes while a
+  reconfiguration is mid-lock are protocol errors);
+* the relock time during which the output clock is not usable (the
+  paper's frequency changes happen between reconfigurations, and the
+  Manager must absorb this latency).
+
+The paper's headline operating point, ``F_in = 100 MHz, M = 29,
+D = 8 -> 362.5 MHz``, is checked in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import DrpProtocolError, FrequencyError
+from repro.sim import Clock, Simulator
+from repro.units import Frequency, us
+
+# DRP register addresses of the M/D fields (DCM_ADV, UG191 appendix).
+DADDR_D = 0x50
+DADDR_M = 0x51
+
+M_RANGE = (2, 33)
+D_RANGE = (1, 32)
+
+# DFS output window for a -1 speed-grade Virtex-5 (low-frequency mode
+# extended by the paper's overclocking up to the demonstrated maximum).
+FOUT_MIN = Frequency.from_mhz(32)
+FOUT_MAX = Frequency.from_mhz(400)
+
+# Relock time after a DRP update.  UG191 specifies LOCK within tens of
+# microseconds for DFS at these frequencies; 50 us is a conservative
+# mid-range figure, and the value only shifts the (rare) retune cost,
+# never the per-reconfiguration bandwidth.
+DEFAULT_LOCK_TIME_PS = us(50)
+
+
+@dataclass(frozen=True)
+class DcmSettings:
+    """One (M, D) operating point."""
+
+    multiplier: int
+    divisor: int
+
+    def __post_init__(self) -> None:
+        if not M_RANGE[0] <= self.multiplier <= M_RANGE[1]:
+            raise FrequencyError(
+                f"M={self.multiplier} outside DCM range {M_RANGE}"
+            )
+        if not D_RANGE[0] <= self.divisor <= D_RANGE[1]:
+            raise FrequencyError(
+                f"D={self.divisor} outside DCM range {D_RANGE}"
+            )
+
+    def output(self, f_in: Frequency) -> Frequency:
+        return f_in.scaled(self.multiplier, self.divisor)
+
+
+def best_settings(f_in: Frequency, target: Frequency,
+                  fout_max: Frequency = FOUT_MAX) -> DcmSettings:
+    """The (M, D) pair whose output is closest to ``target``.
+
+    Exhaustive search of the legal space (DyCloGen does the same in a
+    small lookup ROM).  Ties prefer the smaller multiplier (lower VCO
+    stress / jitter).  Raises when no legal pair lands within the DFS
+    window.
+    """
+    best: Optional[Tuple[int, int, DcmSettings]] = None
+    for multiplier in range(M_RANGE[0], M_RANGE[1] + 1):
+        for divisor in range(D_RANGE[0], D_RANGE[1] + 1):
+            f_out = f_in.scaled(multiplier, divisor)
+            if f_out < FOUT_MIN or f_out > fout_max:
+                continue
+            error = abs(f_out.hertz - target.hertz)
+            key = (error, multiplier)
+            if best is None or key < (best[0], best[1]):
+                best = (error, multiplier,
+                        DcmSettings(multiplier, divisor))
+    if best is None:
+        raise FrequencyError(
+            f"no DCM setting reaches {target} from {f_in} within "
+            f"[{FOUT_MIN}, {fout_max}]"
+        )
+    return best[2]
+
+
+class Dcm:
+    """DCM_ADV with DRP reprogramming and relock latency."""
+
+    def __init__(self, sim: Simulator, f_in: Frequency,
+                 settings: DcmSettings,
+                 output_clock: Clock,
+                 lock_time_ps: int = DEFAULT_LOCK_TIME_PS) -> None:
+        self._sim = sim
+        self.f_in = f_in
+        self._settings = settings
+        self._lock_time_ps = lock_time_ps
+        self.output_clock = output_clock
+        self._pending_m: Optional[int] = None
+        self._pending_d: Optional[int] = None
+        self._locked = True
+        self._lock_ready_at = sim.now
+        self.retune_count = 0
+        output_clock.retune(settings.output(f_in))
+
+    @property
+    def settings(self) -> DcmSettings:
+        return self._settings
+
+    @property
+    def locked(self) -> bool:
+        return self._locked and self._sim.now >= self._lock_ready_at
+
+    def drp_write(self, address: int, value: int) -> None:
+        """Stage an M or D value through the DRP."""
+        if not self.locked:
+            raise DrpProtocolError(
+                "DRP write while DCM is relocking (wait for LOCKED)"
+            )
+        if address == DADDR_M:
+            self._pending_m = value
+        elif address == DADDR_D:
+            self._pending_d = value
+        else:
+            raise DrpProtocolError(f"unknown DRP address {address:#x}")
+
+    def apply(self) -> int:
+        """Pulse reset to latch staged values; returns relock duration.
+
+        The output clock carries the new frequency from *now* in the
+        simulation (the interesting timing effect is the lock stall,
+        which the caller must wait out before using the clock).
+        """
+        if self._pending_m is None and self._pending_d is None:
+            raise DrpProtocolError("apply() with no staged DRP writes")
+        multiplier = (self._pending_m if self._pending_m is not None
+                      else self._settings.multiplier)
+        divisor = (self._pending_d if self._pending_d is not None
+                   else self._settings.divisor)
+        new_settings = DcmSettings(multiplier, divisor)
+        f_out = new_settings.output(self.f_in)
+        if f_out < FOUT_MIN or f_out > FOUT_MAX:
+            raise FrequencyError(
+                f"DCM output {f_out} outside DFS window "
+                f"[{FOUT_MIN}, {FOUT_MAX}]"
+            )
+        self._settings = new_settings
+        self._pending_m = None
+        self._pending_d = None
+        self.output_clock.retune(f_out)
+        self._lock_ready_at = self._sim.now + self._lock_time_ps
+        self.retune_count += 1
+        return self._lock_time_ps
+
+    def retune_to(self, target: Frequency,
+                  fout_max: Frequency = FOUT_MAX) -> int:
+        """Full DRP sequence to the best (M, D) for ``target``.
+
+        Returns the relock duration the caller must wait.
+        """
+        settings = best_settings(self.f_in, target, fout_max)
+        self.drp_write(DADDR_M, settings.multiplier)
+        self.drp_write(DADDR_D, settings.divisor)
+        return self.apply()

@@ -1,0 +1,136 @@
+"""Hardware decompressor timing model.
+
+UPaRC's decompressor block (Fig. 2) is itself dynamically
+reconfigurable: different algorithms can be swapped in, each with its
+own maximum frequency and per-cycle output rate (Section III-C and the
+future-work section).  The library below records the operating points
+the paper discusses:
+
+* **X-MatchPRO** — 64-bit datapath, 2 words/cycle at up to 126 MHz:
+  the 1.008 GB/s of UPaRC_ii in Table III.
+* **FaRM-RLE** — FaRM's run-length decoder, 1 word/cycle to 200 MHz
+  (FaRM's 800 MB/s ceiling).
+* **LZ77 / Huffman** — plausible alternates used by the run-time
+  codec-swap ablation.
+
+The *functional* decompression is done by the matching codec from
+:mod:`repro.compress` (the data really is decompressed and verified);
+this model supplies the timing and the area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.compress.base import Codec
+from repro.compress.registry import codec_by_name
+from repro.errors import FrequencyError, HardwareModelError
+from repro.sim import ActivityTrace, Clock, Simulator
+from repro.units import Frequency, ceil_div
+
+
+@dataclass(frozen=True)
+class DecompressorSpec:
+    """Operating envelope of one decompressor implementation."""
+
+    name: str                 # library key
+    codec_name: str           # repro.compress registry name
+    words_per_cycle: float    # output words per CLK_3 cycle
+    max_frequency: Frequency
+    luts: int
+    ffs: int
+    bram36: int = 0
+
+    def output_bandwidth_mbps(self, frequency: Frequency) -> float:
+        """Decompressed output bandwidth at a given CLK_3."""
+        if frequency > self.max_frequency:
+            raise FrequencyError(
+                f"decompressor {self.name!r} limited to {self.max_frequency}"
+            )
+        return frequency.hertz * self.words_per_cycle * 4 / (1024 * 1024)
+
+
+DECOMPRESSOR_LIBRARY: Dict[str, DecompressorSpec] = {
+    "x-matchpro": DecompressorSpec(
+        name="x-matchpro",
+        codec_name="X-MatchPRO",
+        words_per_cycle=2.0,
+        max_frequency=Frequency.from_mhz(126),
+        luts=2880,
+        ffs=3312,
+        bram36=4,
+    ),
+    "farm-rle": DecompressorSpec(
+        name="farm-rle",
+        codec_name="RLE",
+        words_per_cycle=1.0,
+        max_frequency=Frequency.from_mhz(200),
+        luts=420,
+        ffs=310,
+    ),
+    "lz77": DecompressorSpec(
+        name="lz77",
+        codec_name="LZ77",
+        words_per_cycle=1.0,
+        max_frequency=Frequency.from_mhz(150),
+        luts=980,
+        ffs=760,
+        bram36=1,
+    ),
+    "huffman": DecompressorSpec(
+        name="huffman",
+        codec_name="Huffman",
+        words_per_cycle=0.5,
+        max_frequency=Frequency.from_mhz(180),
+        luts=640,
+        ffs=512,
+        bram36=1,
+    ),
+}
+
+
+class HardwareDecompressor:
+    """Streaming decompressor instance bound to CLK_3.
+
+    Functional path: :meth:`expand` really decompresses with the
+    matching software codec and returns the original bytes.  Timing
+    path: :meth:`stream_cycles` gives the CLK_3 cycles to emit a given
+    number of output words (output-rate limited; the compressed input
+    side always keeps up because it reads fewer words than it writes).
+    """
+
+    def __init__(self, sim: Simulator, spec: DecompressorSpec,
+                 clock: Clock) -> None:
+        self._sim = sim
+        self.spec = spec
+        self.clock = clock
+        self.activity = ActivityTrace(sim, f"decompressor.{spec.name}")
+        self._codec: Codec = codec_by_name(spec.codec_name)
+
+    def check_frequency(self) -> None:
+        if self.clock.frequency > self.spec.max_frequency:
+            raise FrequencyError(
+                f"decompressor {self.spec.name!r} at {self.clock.frequency} "
+                f"exceeds its maximum {self.spec.max_frequency}"
+            )
+
+    def compress_offline(self, data: bytes) -> bytes:
+        """The PC-side compression step of preloading mode ii."""
+        return self._codec.compress(data)
+
+    def expand(self, compressed: bytes) -> bytes:
+        """Functionally decompress (bit-exact, verified by tests)."""
+        return self._codec.decompress(compressed)
+
+    def stream_cycles(self, output_words: int) -> int:
+        """CLK_3 cycles to emit ``output_words`` decompressed words."""
+        if output_words < 0:
+            raise HardwareModelError("negative word count")
+        if self.spec.words_per_cycle >= 1.0:
+            return ceil_div(output_words, int(self.spec.words_per_cycle))
+        cycles_per_word = 1.0 / self.spec.words_per_cycle
+        return round(output_words * cycles_per_word)
+
+    def output_bandwidth_mbps(self) -> float:
+        return self.spec.output_bandwidth_mbps(self.clock.frequency)

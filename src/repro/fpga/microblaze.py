@@ -1,0 +1,81 @@
+"""MicroBlaze manager cycle-cost model.
+
+The Manager in Fig. 2 is a MicroBlaze at 100 MHz.  Only three of its
+behaviours matter to the paper's numbers, and each reduces to a cycle
+cost at the manager clock:
+
+* **Control overhead** — driving "Start" and detecting "Finish" costs a
+  constant ~120 cycles (1.2 us at 100 MHz).  Fig. 5 pins this down:
+  at 362.5 MHz a 6.5 KB bitstream reaches 78.8 % of theoretical
+  bandwidth, which implies exactly this fixed overhead.
+* **Software copy loop** — xps_hwicap moves every word through the
+  processor: load, store to the HWICAP FIFO, poll status.  From the
+  14.5 MB/s the paper cites for the cached variant at 100 MHz, the
+  loop costs ~26 cycles/word.
+* **Active wait** — the manager spins on "Finish" during UPaRC
+  reconfigurations (the paper's explanation for why energy is not
+  flat across frequencies).  The wait itself is an activity interval
+  the power model charges.
+
+The same model also exposes preload-copy costs (external memory to
+BRAM over the peripheral bus).
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareModelError
+from repro.sim import ActivityTrace, Clock, Simulator
+from repro.units import Frequency
+
+DEFAULT_MANAGER_FREQUENCY = Frequency.from_mhz(100)
+
+# Calibrated cycle costs (see module docstring).
+CONTROL_OVERHEAD_CYCLES = 120
+XPS_COPY_CYCLES_PER_WORD = 26
+PRELOAD_COPY_CYCLES_PER_WORD = 8
+PARSE_PREAMBLE_CYCLES = 400
+
+
+class MicroBlaze:
+    """Manager processor: constant-cost control plus copy loops."""
+
+    def __init__(self, sim: Simulator, clock: Clock,
+                 control_overhead_cycles: int = CONTROL_OVERHEAD_CYCLES,
+                 copy_cycles_per_word: int = XPS_COPY_CYCLES_PER_WORD,
+                 preload_cycles_per_word: int = PRELOAD_COPY_CYCLES_PER_WORD,
+                 ) -> None:
+        for label, value in (("control", control_overhead_cycles),
+                             ("copy", copy_cycles_per_word),
+                             ("preload", preload_cycles_per_word)):
+            if value <= 0:
+                raise HardwareModelError(f"{label} cycle cost must be positive")
+        self._sim = sim
+        self.clock = clock
+        self.control_overhead_cycles = control_overhead_cycles
+        self.copy_cycles_per_word = copy_cycles_per_word
+        self.preload_cycles_per_word = preload_cycles_per_word
+        # Busy = executing instructions (control, copy, parse).
+        self.busy = ActivityTrace(sim, "microblaze.busy")
+        # Waiting = spinning on "Finish" (still burns power!).
+        self.waiting = ActivityTrace(sim, "microblaze.wait")
+
+    def control_duration_ps(self) -> int:
+        """Start-trigger + Finish-detection overhead."""
+        return self.clock.cycles_duration(self.control_overhead_cycles)
+
+    def copy_duration_ps(self, words: int) -> int:
+        """Software word-copy loop (the xps_hwicap data path)."""
+        if words < 0:
+            raise HardwareModelError("negative word count")
+        return self.clock.cycles_duration(words * self.copy_cycles_per_word)
+
+    def preload_duration_ps(self, words: int) -> int:
+        """Bus copy from external memory into the BRAM preload port."""
+        if words < 0:
+            raise HardwareModelError("negative word count")
+        return self.clock.cycles_duration(
+            words * self.preload_cycles_per_word)
+
+    def parse_duration_ps(self) -> int:
+        """Preamble parsing of one bitstream file."""
+        return self.clock.cycles_duration(PARSE_PREAMBLE_CYCLES)

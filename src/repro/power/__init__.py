@@ -1,0 +1,32 @@
+"""Power and energy substrate (Fig. 7 and the Section V energy claims).
+
+The model is calibrated against the paper's ML605 measurements:
+
+* the four Fig. 7 operating points (183 mW @ 50 MHz ... 453 mW @
+  300 MHz during reconfiguration of a 216.5 KB bitstream);
+* the energy-efficiency pair of Section V — 30 uJ/KB for xps_hwicap at
+  1.5 MB/s and 0.66 uJ/KB for UPaRC — which together pin the static
+  (~30 mW) and manager active-wait (~15 mW) contributions, making the
+  45x ratio emerge rather than being hard-coded.
+
+Two model modes: ``calibrated`` interpolates the published points
+(exact at the four frequencies), ``analytic`` uses a least-squares
+linear P = P0 + k*f fit for extrapolation and ablations; the deviation
+between the two is reported in EXPERIMENTS.md.
+"""
+
+from repro.power.calibration import Calibration, ML605_CALIBRATION
+from repro.power.model import PowerModel, PowerBreakdown
+from repro.power.trace import PowerTraceBuilder
+from repro.power.energy import EnergyReport, energy_from_trace, uj_per_kb
+
+__all__ = [
+    "Calibration",
+    "ML605_CALIBRATION",
+    "PowerModel",
+    "PowerBreakdown",
+    "PowerTraceBuilder",
+    "EnergyReport",
+    "energy_from_trace",
+    "uj_per_kb",
+]

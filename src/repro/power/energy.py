@@ -1,0 +1,85 @@
+"""Energy metrics — the Section V efficiency figures.
+
+The paper's metric is **total measured power x reconfiguration time,
+per KB of bitstream** (that is the only reading under which its
+0.66 uJ/KB for UPaRC at 100 MHz and 30 uJ/KB for xps_hwicap are both
+consistent with its Fig. 7 powers; see power/calibration.py).  This
+module computes that metric from power traces or from (power, time)
+pairs, plus an idle-corrected variant for sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import ValueTrace
+from repro.units import DataSize, PS_PER_S
+
+
+def energy_from_trace(trace: ValueTrace, start_ps: int, end_ps: int,
+                      baseline_mw: float = 0.0) -> float:
+    """Energy in microjoules over [start_ps, end_ps).
+
+    ``baseline_mw`` is subtracted from every sample (use the static
+    power for the idle-corrected variant).
+    """
+    if end_ps <= start_ps:
+        raise ValueError("empty window")
+    total_mw_ps = 0.0
+    samples = trace.samples
+    for index, sample in enumerate(samples):
+        seg_start = sample.time_ps
+        seg_end = (samples[index + 1].time_ps
+                   if index + 1 < len(samples) else end_ps)
+        lo = max(seg_start, start_ps)
+        hi = min(seg_end, end_ps)
+        if lo < hi:
+            total_mw_ps += max(0.0, sample.value - baseline_mw) * (hi - lo)
+    # mW * ps = 1e-3 W * 1e-12 s = 1e-15 J = 1e-9 uJ.
+    return total_mw_ps * 1e-9
+
+
+def uj_per_kb(energy_uj: float, size: DataSize) -> float:
+    """The paper's efficiency figure of merit."""
+    if size.bytes <= 0:
+        raise ValueError("size must be positive")
+    return energy_uj / size.kb
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one reconfiguration."""
+
+    controller: str
+    bitstream: DataSize
+    duration_ps: int
+    mean_power_mw: float
+    energy_uj: float
+    energy_uj_idle_corrected: float
+
+    @property
+    def uj_per_kb(self) -> float:
+        return uj_per_kb(self.energy_uj, self.bitstream)
+
+    @property
+    def uj_per_kb_idle_corrected(self) -> float:
+        return uj_per_kb(self.energy_uj_idle_corrected, self.bitstream)
+
+    @classmethod
+    def from_power(cls, controller: str, bitstream: DataSize,
+                   duration_ps: int, power_mw: float,
+                   idle_mw: float) -> "EnergyReport":
+        """Build from a constant busy power (the paper's arithmetic)."""
+        if duration_ps <= 0:
+            raise ValueError("duration must be positive")
+        seconds = duration_ps / PS_PER_S
+        energy = power_mw * 1e-3 * seconds * 1e6  # -> uJ
+        corrected = max(0.0, power_mw - idle_mw) * 1e-3 * seconds * 1e6
+        return cls(
+            controller=controller,
+            bitstream=bitstream,
+            duration_ps=duration_ps,
+            mean_power_mw=power_mw,
+            energy_uj=energy,
+            energy_uj_idle_corrected=corrected,
+        )

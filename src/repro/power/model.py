@@ -1,0 +1,137 @@
+"""Component power model on top of a calibration.
+
+:class:`PowerModel` answers one question: *given what is active right
+now and the clock frequencies, what is the FPGA core power in mW?*
+The trace builder samples it at activity edges to produce Fig. 7-style
+curves, and the energy module integrates those.
+
+Contributions:
+
+====================  ============================================
+static                always on (leakage)
+manager               control burst / software copy / active wait
+reconfiguration chain UReC + BRAM + ICAP + CLK_2 tree, scales with
+                      the reconfiguration clock per the calibration
+decompressor          mode ii only, scales with CLK_3
+====================  ============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import CalibrationError
+from repro.power.calibration import Calibration, ML605_CALIBRATION
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Instantaneous power decomposition in mW."""
+
+    static: float
+    manager: float
+    chain: float
+    decompressor: float
+
+    @property
+    def total(self) -> float:
+        return self.static + self.manager + self.chain + self.decompressor
+
+    def chain_components(self, split: Dict[str, float]) -> Dict[str, float]:
+        """Per-component chain share (reporting convenience)."""
+        return {name: self.chain * share for name, share in split.items()}
+
+
+class ManagerState:
+    """Manager activity levels, in increasing power order."""
+
+    IDLE = "idle"
+    WAIT = "wait"        # spinning on "Finish"
+    COPY = "copy"        # software word-copy loop
+    CONTROL = "control"  # control burst (the pre-start peak)
+
+
+class PowerModel:
+    """Maps component states to instantaneous power."""
+
+    def __init__(self, calibration: Calibration = ML605_CALIBRATION,
+                 analytic: bool = False,
+                 hardware_manager: bool = False) -> None:
+        self._calibration = calibration
+        self._analytic = analytic
+        self.hardware_manager = hardware_manager
+
+    @property
+    def calibration(self) -> Calibration:
+        return self._calibration
+
+    def manager_mw(self, state: str) -> float:
+        calibration = self._calibration
+        if self.hardware_manager:
+            levels = {
+                ManagerState.IDLE: 0.0,
+                ManagerState.WAIT: calibration.hw_manager_wait_mw,
+                ManagerState.COPY: calibration.hw_manager_control_mw,
+                ManagerState.CONTROL: calibration.hw_manager_control_mw,
+            }
+        else:
+            levels = {
+                ManagerState.IDLE: 0.0,
+                ManagerState.WAIT: calibration.manager_wait_mw,
+                ManagerState.COPY: calibration.manager_copy_mw,
+                ManagerState.CONTROL: calibration.manager_control_mw,
+            }
+        try:
+            return levels[state]
+        except KeyError:
+            raise CalibrationError(f"unknown manager state {state!r}") \
+                from None
+
+    def chain_mw(self, active: bool, clk2_mhz: float) -> float:
+        if not active:
+            return 0.0
+        if self._analytic:
+            return self._calibration.chain_dynamic_mw_analytic(clk2_mhz)
+        return self._calibration.chain_dynamic_mw(clk2_mhz)
+
+    def decompressor_mw(self, active: bool, clk3_mhz: float) -> float:
+        if not active:
+            return 0.0
+        return self._calibration.decompressor_mw_per_mhz * clk3_mhz
+
+    def breakdown(self, manager_state: str = ManagerState.IDLE,
+                  chain_active: bool = False,
+                  clk2_mhz: float = 100.0,
+                  decompressor_active: bool = False,
+                  clk3_mhz: float = 0.0) -> PowerBreakdown:
+        return PowerBreakdown(
+            static=self._calibration.static_mw,
+            manager=self.manager_mw(manager_state),
+            chain=self.chain_mw(chain_active, clk2_mhz),
+            decompressor=self.decompressor_mw(decompressor_active, clk3_mhz),
+        )
+
+    def total_mw(self, **kwargs) -> float:
+        return self.breakdown(**kwargs).total
+
+    # -- paper-level summary figures -----------------------------------
+
+    def idle_mw(self) -> float:
+        return self._calibration.static_mw
+
+    def uparc_reconfiguration_mw(self, clk2_mhz: float,
+                                 decompressor_clk3_mhz: Optional[float] = None,
+                                 ) -> float:
+        """Total during a UPaRC reconfiguration (manager active-waits)."""
+        return self.total_mw(
+            manager_state=ManagerState.WAIT,
+            chain_active=True,
+            clk2_mhz=clk2_mhz,
+            decompressor_active=decompressor_clk3_mhz is not None,
+            clk3_mhz=decompressor_clk3_mhz or 0.0,
+        )
+
+    def xps_reconfiguration_mw(self) -> float:
+        """Total during an xps_hwicap reconfiguration (manager copies)."""
+        return self.total_mw(manager_state=ManagerState.COPY)

@@ -1,0 +1,101 @@
+"""Power-trace construction from simulation activity.
+
+Builds the Fig. 7 curves: a :class:`~repro.sim.trace.ValueTrace` of
+total core power over time, assembled from timestamped *phase events*
+that controllers emit while they run (manager control burst, copy
+loop, active wait, chain enable/disable, decompressor enable/disable).
+
+Controllers call the ``enter_*``/``leave_*`` methods as their
+simulation processes advance; the builder samples the power model at
+every state change, producing a stepwise trace whose integral is the
+reconfiguration energy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.power.model import ManagerState, PowerModel
+from repro.sim import Simulator, ValueTrace
+
+
+class PowerTraceBuilder:
+    """Accumulates component state and samples total power."""
+
+    def __init__(self, sim: Simulator, model: PowerModel,
+                 name: str = "core_power") -> None:
+        self._sim = sim
+        self._model = model
+        self.trace = ValueTrace(name)
+        self._manager_state = ManagerState.IDLE
+        self._chain_active = False
+        self._clk2_mhz = 100.0
+        self._decompressor_active = False
+        self._clk3_mhz = 0.0
+        self._sample()
+
+    # -- state transitions ---------------------------------------------
+
+    def manager_state(self, state: str) -> None:
+        if state != self._manager_state:
+            self._manager_state = state
+            self._sample()
+
+    def chain_on(self, clk2_mhz: float) -> None:
+        self._chain_active = True
+        self._clk2_mhz = clk2_mhz
+        self._sample()
+
+    def chain_off(self) -> None:
+        if self._chain_active:
+            self._chain_active = False
+            self._sample()
+
+    def decompressor_on(self, clk3_mhz: float) -> None:
+        self._decompressor_active = True
+        self._clk3_mhz = clk3_mhz
+        self._sample()
+
+    def decompressor_off(self) -> None:
+        if self._decompressor_active:
+            self._decompressor_active = False
+            self._sample()
+
+    def finalize(self) -> ValueTrace:
+        """Return to idle and close the trace."""
+        self._manager_state = ManagerState.IDLE
+        self._chain_active = False
+        self._decompressor_active = False
+        self._sample()
+        return self.trace
+
+    # -- sampling --------------------------------------------------------
+
+    @property
+    def current_mw(self) -> float:
+        return self._model.total_mw(
+            manager_state=self._manager_state,
+            chain_active=self._chain_active,
+            clk2_mhz=self._clk2_mhz,
+            decompressor_active=self._decompressor_active,
+            clk3_mhz=self._clk3_mhz,
+        )
+
+    def _sample(self) -> None:
+        self.trace.record(self._sim.now, self.current_mw)
+
+    def power_between(self, start_ps: int, end_ps: int) -> float:
+        """Mean power over a window (mW), zero-order-hold weighted."""
+        if end_ps <= start_ps:
+            raise ValueError("empty window")
+        total = 0.0
+        samples = self.trace.samples
+        for index, sample in enumerate(samples):
+            seg_start = sample.time_ps
+            seg_end = (samples[index + 1].time_ps
+                       if index + 1 < len(samples) else end_ps)
+            lo = max(seg_start, start_ps)
+            hi = min(seg_end, end_ps)
+            if lo < hi:
+                total += sample.value * (hi - lo)
+        return total / (end_ps - start_ps)

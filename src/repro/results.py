@@ -1,0 +1,94 @@
+"""Reconfiguration result records (shared by core and controllers).
+
+A :class:`ReconfigurationResult` captures everything Table III,
+Fig. 5 and the energy comparison need from one reconfiguration run:
+timing decomposition (control overhead vs. transfer), bandwidth in the
+paper's decimal MB/s and in binary MB/s, data-integrity verification
+(the ICAP-side CRC must match the source bitstream — a reconfiguration
+that delivers wrong bits is a failure, not a fast run), and the energy
+report when a power model is attached.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReconfigurationFailed
+from repro.power.energy import EnergyReport
+from repro.sim import ValueTrace
+from repro.units import DataSize, Frequency, PS_PER_S
+
+
+class LargeBitstreamGrade(enum.Enum):
+    """Table III's 'Large Bitstream' column (capacity handling)."""
+
+    UNLIMITED = "+++"   # external non-volatile storage
+    COMPRESSED = "++"   # on-chip storage stretched by compression
+    LIMITED = "-"       # raw on-chip storage only
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class ReconfigurationResult:
+    """Outcome and accounting of one reconfiguration."""
+
+    controller: str
+    bitstream_size: DataSize        # uncompressed configuration stream
+    stored_size: DataSize           # bytes held in the staging store
+    mode: str                       # "raw" | "compressed" | storage name
+    frequency: Frequency            # the reconfiguration clock
+    start_ps: int                   # "Start" assertion time
+    finish_ps: int                  # "Finish" assertion time
+    control_overhead_ps: int        # manager control contribution
+    preload_ps: Optional[int] = None        # off-critical-path preload
+    words_delivered: int = 0
+    payload_crc: int = 0
+    expected_crc: int = 0
+    frames_written: int = 0
+    power_trace: Optional[ValueTrace] = None
+    energy: Optional[EnergyReport] = None
+
+    @property
+    def duration_ps(self) -> int:
+        """Reconfiguration time: Start to Finish plus control share."""
+        return (self.finish_ps - self.start_ps) + self.control_overhead_ps
+
+    @property
+    def transfer_ps(self) -> int:
+        return self.finish_ps - self.start_ps
+
+    @property
+    def verified(self) -> bool:
+        """Did ICAP receive exactly the source configuration stream?"""
+        return (self.payload_crc == self.expected_crc
+                and self.words_delivered > 0)
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        """Binary MB/s over the full duration (incl. control)."""
+        return (self.bitstream_size.bytes / (1024 * 1024)
+                * PS_PER_S / self.duration_ps)
+
+    @property
+    def bandwidth_decimal_mbps(self) -> float:
+        """Decimal MB/s — the unit Table III and Fig. 5 use."""
+        return (self.bitstream_size.bytes / 1e6
+                * PS_PER_S / self.duration_ps)
+
+    def require_verified(self) -> "ReconfigurationResult":
+        if not self.verified:
+            raise ReconfigurationFailed(
+                f"{self.controller}: ICAP payload CRC mismatch "
+                f"({self.payload_crc:#010x} != {self.expected_crc:#010x})"
+            )
+        return self
+
+
+def stream_crc(data: bytes) -> int:
+    """CRC-32 used to verify ICAP received the exact word stream."""
+    return zlib.crc32(data) & 0xFFFFFFFF

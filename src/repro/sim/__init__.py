@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic event-driven kernel in the style of hardware
+simulators: integer-picosecond timestamps, generator-based processes,
+signals with edge callbacks, and clock domains whose frequency can be
+retuned at run time (the mechanism DyCloGen exercises).
+
+Public surface::
+
+    from repro.sim import Simulator, Process, Delay, WaitEvent, Event
+    from repro.sim import Signal, Clock, WaitCycles
+    from repro.sim import ActivityTrace, ValueTrace
+"""
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Delay, Process, WaitCycles, WaitEvent
+from repro.sim.signal import Event, Signal
+from repro.sim.clock import Clock
+from repro.sim.trace import ActivityTrace, ValueTrace
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Delay",
+    "WaitEvent",
+    "WaitCycles",
+    "Event",
+    "Signal",
+    "Clock",
+    "ActivityTrace",
+    "ValueTrace",
+]

@@ -1,0 +1,111 @@
+"""Run-time retunable clock domains.
+
+A :class:`Clock` converts cycle counts into simulated durations at its
+*current* frequency.  DyCloGen's whole purpose is to retune these clocks
+while the system runs, so the frequency is mutable — but only through
+:meth:`retune`, which also enforces an optional maximum (the component
+envelope, e.g. 300 MHz for BRAM reads or 362.5 MHz for UReC on
+Virtex-5) and records the retuning history for the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ClockError, FrequencyError
+from repro.sim.kernel import Simulator
+from repro.units import Frequency
+
+
+@dataclass(frozen=True)
+class RetuneRecord:
+    """One frequency change: when it happened and the new frequency."""
+
+    time_ps: int
+    frequency: Frequency
+
+
+class Clock:
+    """A clock domain with a mutable frequency and retune history."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        frequency: Frequency,
+        max_frequency: Optional[Frequency] = None,
+    ) -> None:
+        if max_frequency is not None and frequency > max_frequency:
+            raise FrequencyError(
+                f"clock {name!r}: initial {frequency} exceeds maximum "
+                f"{max_frequency}"
+            )
+        self._sim = sim
+        self.name = name
+        self.max_frequency = max_frequency
+        self._frequency = frequency
+        self.history: List[RetuneRecord] = [RetuneRecord(sim.now, frequency)]
+
+    @property
+    def frequency(self) -> Frequency:
+        return self._frequency
+
+    @property
+    def period_ps(self) -> int:
+        return self._frequency.period_ps
+
+    def retune(self, frequency: Frequency) -> None:
+        """Change the output frequency (DyCloGen's DRP reprogramming).
+
+        The change is instantaneous from the clock's point of view; the
+        DCM model layers its lock time *around* this call.
+        """
+        if frequency.hertz <= 0:
+            raise ClockError(f"clock {self.name!r}: non-positive frequency")
+        if self.max_frequency is not None and frequency > self.max_frequency:
+            raise FrequencyError(
+                f"clock {self.name!r}: {frequency} exceeds maximum "
+                f"{self.max_frequency}"
+            )
+        if frequency == self._frequency:
+            return
+        self._frequency = frequency
+        self.history.append(RetuneRecord(self._sim.now, frequency))
+
+    def cycles_duration(self, cycles: int) -> int:
+        """Duration of ``cycles`` ticks at the current frequency, in ps."""
+        if cycles < 0:
+            raise ClockError("cycle count must be non-negative")
+        return self._frequency.duration_of(cycles)
+
+    def cycles_between(self, start_ps: int, end_ps: int) -> int:
+        """Whole cycles elapsed between two timestamps.
+
+        Walks the retune history so a window spanning a frequency change
+        is counted piecewise — needed when energy is integrated over a
+        run that retunes mid-flight.
+        """
+        if end_ps < start_ps:
+            raise ClockError("end before start")
+        total = 0
+        segments = self._segments(start_ps, end_ps)
+        for seg_start, seg_end, freq in segments:
+            total += freq.cycles_in(seg_end - seg_start)
+        return total
+
+    def _segments(self, start_ps: int, end_ps: int):
+        """Yield (start, end, frequency) pieces of [start_ps, end_ps)."""
+        records = self.history
+        pieces = []
+        for index, record in enumerate(records):
+            seg_start = record.time_ps
+            seg_end = records[index + 1].time_ps if index + 1 < len(records) else end_ps
+            lo = max(seg_start, start_ps)
+            hi = min(seg_end, end_ps)
+            if lo < hi:
+                pieces.append((lo, hi, record.frequency))
+        return pieces
+
+    def __repr__(self) -> str:
+        return f"Clock({self.name} @ {self._frequency})"

@@ -1,0 +1,106 @@
+"""Signals and one-shot events.
+
+:class:`Signal` models a named wire carrying a Python value.  Observers
+subscribe to changes; hardware models use this for the Start/Finish/EN
+handshakes the paper describes.  :class:`Event` is a one-shot
+synchronization point (a "rising edge that happens once"), used by
+processes that wait for completion notifications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.kernel import Simulator
+
+Observer = Callable[[Any, int], None]
+
+
+class Signal:
+    """A named, observable value with change history support."""
+
+    def __init__(self, sim: Simulator, name: str, initial: Any = 0) -> None:
+        self._sim = sim
+        self.name = name
+        self._value = initial
+        self._observers: List[Observer] = []
+        self.change_count = 0
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def set(self, value: Any) -> None:
+        """Drive the signal.  Observers fire only on an actual change."""
+        if value == self._value:
+            return
+        self._value = value
+        self.change_count += 1
+        for observer in list(self._observers):
+            observer(value, self._sim.now)
+
+    def pulse(self, active: Any = 1, idle: Any = 0) -> None:
+        """Drive ``active`` then immediately return to ``idle``.
+
+        Models a single-cycle strobe such as the UReC "Start" input;
+        both edges are visible to observers within the same timestamp.
+        """
+        self.set(active)
+        self.set(idle)
+
+    def observe(self, observer: Observer) -> Callable[[], None]:
+        """Register a change observer; returns an unsubscribe closure."""
+        self._observers.append(observer)
+
+        def unsubscribe() -> None:
+            if observer in self._observers:
+                self._observers.remove(observer)
+
+        return unsubscribe
+
+    def on_value(self, wanted: Any, callback: Callable[[int], None]) -> None:
+        """Invoke ``callback(time)`` once, the next time value == wanted."""
+
+        def observer(value: Any, time_ps: int) -> None:
+            if value == wanted:
+                unsubscribe()
+                callback(time_ps)
+
+        unsubscribe = self.observe(observer)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name}={self._value!r})"
+
+
+class Event:
+    """One-shot completion event with an optional payload."""
+
+    def __init__(self, sim: Simulator, name: str = "event") -> None:
+        self._sim = sim
+        self.name = name
+        self.triggered = False
+        self.payload: Any = None
+        self.trigger_time: Optional[int] = None
+        self._waiters: List[Callable[["Event"], None]] = []
+
+    def trigger(self, payload: Any = None) -> None:
+        """Fire the event.  Triggering twice is an error in our models."""
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.payload = payload
+        self.trigger_time = self._sim.now
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(self)
+
+    def add_waiter(self, callback: Callable[["Event"], None]) -> None:
+        """Call ``callback(event)`` at trigger time (immediately if done)."""
+        if self.triggered:
+            callback(self)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"Event({self.name}, {state})"

@@ -1,0 +1,139 @@
+"""VCD (Value Change Dump) export of simulation traces.
+
+Writes the standard IEEE-1364 VCD text format, so a UPaRC run's
+signals — the power trace, component activity (EN windows), manager
+states — can be inspected in GTKWave or any other waveform viewer
+alongside real-hardware captures.
+
+Two channel kinds map onto VCD variable types:
+
+* :class:`~repro.sim.trace.ActivityTrace`  -> a 1-bit ``wire``;
+* :class:`~repro.sim.trace.ValueTrace`     -> a ``real`` variable.
+
+Example::
+
+    writer = VcdWriter(timescale_ps=1000)          # 1 ns ticks
+    writer.add_activity("icap_en", icap.activity)
+    writer.add_values("core_power_mw", result.power_trace)
+    writer.write("run.vcd")
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.sim.trace import ActivityTrace, ValueTrace
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_IDENT_ALPHABET = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier codes: !, ", ..., !!, !\", ..."""
+    if index < 0:
+        raise SimulationError("negative identifier index")
+    base = len(_IDENT_ALPHABET)
+    code = ""
+    index += 1
+    while index > 0:
+        index -= 1
+        code = _IDENT_ALPHABET[index % base] + code
+        index //= base
+    return code
+
+
+class VcdWriter:
+    """Collects channels and serializes one VCD file."""
+
+    def __init__(self, timescale_ps: int = 1,
+                 module_name: str = "uparc") -> None:
+        if timescale_ps <= 0:
+            raise SimulationError("timescale must be positive")
+        self._timescale_ps = timescale_ps
+        self._module = module_name
+        # name -> ("wire"|"real", identifier, [(time_ps, value), ...])
+        self._channels: Dict[str, Tuple[str, str, List[Tuple[int, object]]]] = {}
+
+    def _claim(self, name: str, kind: str) -> str:
+        if name in self._channels:
+            raise SimulationError(f"duplicate VCD channel {name!r}")
+        identifier = _identifier(len(self._channels))
+        self._channels[name] = (kind, identifier, [])
+        return identifier
+
+    def add_activity(self, name: str, activity: ActivityTrace) -> None:
+        """One-bit channel: 1 inside every interval, 0 outside."""
+        self._claim(name, "wire")
+        changes = self._channels[name][2]
+        changes.append((0, 0))
+        for begin, end in activity.intervals:
+            changes.append((begin, 1))
+            changes.append((end, 0))
+
+    def add_values(self, name: str, trace: ValueTrace) -> None:
+        """Real-valued channel from a sampled trace."""
+        self._claim(name, "real")
+        changes = self._channels[name][2]
+        for sample in trace.samples:
+            changes.append((sample.time_ps, sample.value))
+
+    def render(self) -> str:
+        """The complete VCD document as a string."""
+        lines: List[str] = []
+        lines.append("$comment repro UPaRC simulation dump $end")
+        lines.append(f"$timescale {self._timescale_ps} ps $end")
+        lines.append(f"$scope module {self._module} $end")
+        for name, (kind, identifier, _) in self._channels.items():
+            if kind == "wire":
+                lines.append(f"$var wire 1 {identifier} {name} $end")
+            else:
+                lines.append(f"$var real 64 {identifier} {name} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+
+        # Merge all changes into one time-ordered stream.
+        merged: List[Tuple[int, str, str, object]] = []
+        for name, (kind, identifier, changes) in self._channels.items():
+            for time_ps, value in changes:
+                merged.append((time_ps, kind, identifier, value))
+        merged.sort(key=lambda item: item[0])
+
+        current_tick = None
+        for time_ps, kind, identifier, value in merged:
+            tick = time_ps // self._timescale_ps
+            if tick != current_tick:
+                lines.append(f"#{tick}")
+                current_tick = tick
+            if kind == "wire":
+                lines.append(f"{int(value)}{identifier}")
+            else:
+                lines.append(f"r{float(value):.6g} {identifier}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: PathLike) -> int:
+        """Write the file; returns the byte count."""
+        text = self.render()
+        with open(path, "w") as handle:
+            handle.write(text)
+        return len(text)
+
+
+def dump_run(result, system, path: PathLike,
+             timescale_ps: int = 1000) -> int:
+    """Convenience: dump the interesting channels of one UPaRC run.
+
+    ``result`` is a :class:`~repro.results.ReconfigurationResult` with
+    a power trace; ``system`` the :class:`~repro.core.system.UPaRCSystem`
+    that produced it.
+    """
+    writer = VcdWriter(timescale_ps=timescale_ps)
+    if result.power_trace is not None:
+        writer.add_values("core_power_mw", result.power_trace)
+    writer.add_activity("icap_en", system.icap.activity)
+    writer.add_activity("bram_port_b_en", system.bram.port_b_activity)
+    writer.add_activity("manager_busy", system.cpu.busy)
+    writer.add_activity("manager_wait", system.cpu.waiting)
+    return writer.write(path)

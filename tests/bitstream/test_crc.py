@@ -1,0 +1,65 @@
+"""CRC-32C and the configuration CRC register."""
+
+import pytest
+
+from repro.bitstream.crc import ConfigCrc, crc32c
+
+
+class TestCrc32c:
+    def test_known_vector(self):
+        # The canonical CRC-32C check value for "123456789".
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty(self):
+        assert crc32c(b"") == 0
+
+    def test_incremental_equals_whole(self):
+        data = b"the quick brown fox"
+        split = 7
+        partial = crc32c(data[:split])
+        # Incremental continuation must equal the one-shot result.
+        assert crc32c(data[split:], partial) == crc32c(data)
+
+    def test_sensitivity_to_single_bit(self):
+        base = crc32c(b"\x00" * 64)
+        flipped = crc32c(b"\x00" * 63 + b"\x01")
+        assert base != flipped
+
+
+class TestConfigCrc:
+    def test_initial_value_zero(self):
+        assert ConfigCrc().value == 0
+
+    def test_update_changes_value(self):
+        crc = ConfigCrc()
+        crc.update(2, 0xDEADBEEF)
+        assert crc.value != 0
+
+    def test_order_sensitive(self):
+        first = ConfigCrc()
+        first.update(2, 0x11111111)
+        first.update(2, 0x22222222)
+        second = ConfigCrc()
+        second.update(2, 0x22222222)
+        second.update(2, 0x11111111)
+        assert first.value != second.value
+
+    def test_register_address_included(self):
+        fdri = ConfigCrc()
+        fdri.update(2, 0x12345678)
+        far = ConfigCrc()
+        far.update(1, 0x12345678)
+        assert fdri.value != far.value
+
+    def test_reset_is_rcrc(self):
+        crc = ConfigCrc()
+        crc.update(4, 7)
+        crc.reset()
+        assert crc.value == 0
+
+    def test_check(self):
+        crc = ConfigCrc()
+        crc.update(2, 42)
+        expected = crc.value
+        assert crc.check(expected)
+        assert not crc.check(expected ^ 1)

@@ -1,0 +1,57 @@
+"""Device description table."""
+
+import pytest
+
+from repro.bitstream.device import (
+    VIRTEX4_FX60,
+    VIRTEX5_SX50T,
+    VIRTEX6_LX240T,
+    device_by_name,
+)
+from repro.units import DataSize, Frequency
+
+
+def test_lookup_by_name():
+    assert device_by_name("XC5VSX50T") is VIRTEX5_SX50T
+    assert device_by_name("XC6VLX240T") is VIRTEX6_LX240T
+    assert device_by_name("XC4VFX60") is VIRTEX4_FX60
+
+
+def test_unknown_device():
+    with pytest.raises(KeyError):
+        device_by_name("XC7K325T")
+
+
+def test_v5_paper_parameters():
+    # Values quoted in the paper.
+    assert VIRTEX5_SX50T.full_bitstream == DataSize.from_kb(2444)
+    assert VIRTEX5_SX50T.icap_fmax_demonstrated == Frequency.from_mhz(362.5)
+    assert VIRTEX5_SX50T.bram_fmax == Frequency.from_mhz(300)
+    assert VIRTEX5_SX50T.core_voltage == 1.0
+
+
+def test_v6_demonstrated_below_v5():
+    # "362.5 MHz is not reliable [on V6], the maximum frequency seems
+    # to be few MHz lower."
+    assert VIRTEX6_LX240T.icap_fmax_demonstrated \
+        < VIRTEX5_SX50T.icap_fmax_demonstrated
+
+
+def test_frame_words_per_family():
+    assert VIRTEX5_SX50T.frame_words == 41
+    assert VIRTEX6_LX240T.frame_words == 81
+    assert VIRTEX5_SX50T.frame_bytes == 164
+
+
+def test_process_nodes():
+    assert VIRTEX5_SX50T.process_nm == 65
+    assert VIRTEX6_LX240T.process_nm == 40
+
+
+def test_frames_for_rounds_up():
+    assert VIRTEX5_SX50T.frames_for(DataSize(165)) == 2
+    assert VIRTEX5_SX50T.frames_for(DataSize(164)) == 1
+
+
+def test_total_frames_positive():
+    assert VIRTEX5_SX50T.total_frames > 10_000

@@ -1,0 +1,78 @@
+"""Single-frame repair bitstreams (the scrubbing building block)."""
+
+import pytest
+
+from repro.bitstream.device import VIRTEX5_SX50T
+from repro.bitstream.frames import BlockType, FrameAddress
+from repro.bitstream.generator import (
+    frame_repair_bitstream,
+    generate_bitstream,
+)
+from repro.core.system import UPaRCSystem
+from repro.errors import BitstreamError
+from repro.units import DataSize
+
+
+def far(column, minor=0):
+    return FrameAddress(BlockType.CLB_IO_CLK, 0, 0, column, minor)
+
+
+def test_needs_frames():
+    with pytest.raises(BitstreamError):
+        frame_repair_bitstream(VIRTEX5_SX50T, far(4), [])
+
+
+def test_frame_size_enforced():
+    with pytest.raises(BitstreamError):
+        frame_repair_bitstream(VIRTEX5_SX50T, far(4), [[0] * 40])
+
+
+def test_single_frame_repair_is_tiny():
+    repair = frame_repair_bitstream(VIRTEX5_SX50T, far(4),
+                                    [[7] * 41])
+    # One frame + shell: well under 1 KB.
+    assert repair.size.bytes < 1024
+    assert repair.frame_count == 1
+
+
+def test_repair_configures_exact_frame():
+    repair = frame_repair_bitstream(VIRTEX5_SX50T, far(9, 3),
+                                    [[0xABCD] * 41])
+    system = UPaRCSystem(decompressor=None)
+    result = system.run(repair)
+    assert result.verified
+    assert system.config_memory.read_frame(far(9, 3)) == [0xABCD] * 41
+    assert system.config_memory.configured_frames == 1
+
+
+def test_scrub_repairs_single_upset_end_to_end():
+    """Full loop: configure, corrupt one frame, repair just it."""
+    golden = generate_bitstream(size=DataSize.from_kb(16))
+    system = UPaRCSystem(decompressor=None)
+    system.run(golden)
+
+    device = golden.spec.device
+    victim = golden.spec.origin
+    for _ in range(5):
+        victim = victim.next_in(device)
+    clean = system.config_memory.read_frame(victim)
+    corrupted = list(clean)
+    corrupted[11] ^= 1 << 3
+    system.config_memory.write_frame(victim, corrupted)
+
+    repair = frame_repair_bitstream(device, victim, [clean])
+    result = system.run(repair)
+    assert result.verified
+    assert result.transfer_ps < 2_000_000  # sub-2 us frame repair
+    assert system.config_memory.read_frame(victim) == clean
+
+
+def test_multi_frame_repair_consecutive():
+    frames = [[index] * 41 for index in range(1, 4)]
+    repair = frame_repair_bitstream(VIRTEX5_SX50T, far(20), frames)
+    system = UPaRCSystem(decompressor=None)
+    system.run(repair)
+    address = far(20)
+    for frame in frames:
+        assert system.config_memory.read_frame(address) == frame
+        address = address.next_in(VIRTEX5_SX50T)

@@ -1,0 +1,83 @@
+"""Frame-address packing and enumeration."""
+
+import pytest
+
+from repro.bitstream.device import VIRTEX5_SX50T
+from repro.bitstream.frames import BlockType, FrameAddress, region_frames
+from repro.errors import BitstreamFormatError
+
+
+def test_pack_unpack_roundtrip():
+    address = FrameAddress(BlockType.CLB_IO_CLK, top=1, row=3,
+                           column=17, minor=5)
+    assert FrameAddress.unpack(address.pack()) == address
+
+
+def test_pack_zero():
+    assert FrameAddress(BlockType.CLB_IO_CLK, 0, 0, 0, 0).pack() == 0
+
+
+def test_pack_field_positions():
+    address = FrameAddress(BlockType.BRAM_CONTENT, top=0, row=0,
+                           column=0, minor=1)
+    raw = address.pack()
+    assert raw & 0x7F == 1                 # minor in low bits
+    assert (raw >> 21) & 0b111 == 1        # block type field
+
+
+def test_field_range_enforced():
+    with pytest.raises(BitstreamFormatError):
+        FrameAddress(BlockType.CLB_IO_CLK, top=2, row=0, column=0, minor=0)
+    with pytest.raises(BitstreamFormatError):
+        FrameAddress(BlockType.CLB_IO_CLK, top=0, row=32, column=0, minor=0)
+    with pytest.raises(BitstreamFormatError):
+        FrameAddress(BlockType.CLB_IO_CLK, top=0, row=0, column=256, minor=0)
+    with pytest.raises(BitstreamFormatError):
+        FrameAddress(BlockType.CLB_IO_CLK, top=0, row=0, column=0, minor=128)
+
+
+def test_unpack_invalid_block_type():
+    with pytest.raises(BitstreamFormatError):
+        FrameAddress.unpack(0b111 << 21)
+
+
+def test_unpack_oversized_raises():
+    with pytest.raises(BitstreamFormatError):
+        FrameAddress.unpack(1 << 32)
+
+
+def test_next_in_advances_minor():
+    start = FrameAddress(BlockType.CLB_IO_CLK, 0, 0, 4, 0)
+    successor = start.next_in(VIRTEX5_SX50T)
+    assert successor.minor == 1
+    assert successor.column == 4
+
+
+def test_next_in_wraps_minor_into_column():
+    start = FrameAddress(BlockType.CLB_IO_CLK, 0, 0, 4,
+                         VIRTEX5_SX50T.minor_frames_clb - 1)
+    successor = start.next_in(VIRTEX5_SX50T)
+    assert successor.minor == 0
+    assert successor.column == 5
+
+
+def test_next_in_wraps_column_into_row():
+    start = FrameAddress(BlockType.CLB_IO_CLK, 0, 0,
+                         VIRTEX5_SX50T.columns - 1,
+                         VIRTEX5_SX50T.minor_frames_clb - 1)
+    successor = start.next_in(VIRTEX5_SX50T)
+    assert successor.column == 0
+    assert successor.row == 1
+
+
+def test_region_frames_counts_and_is_strictly_advancing():
+    start = FrameAddress(BlockType.CLB_IO_CLK, 0, 0, 0, 0)
+    frames = list(region_frames(VIRTEX5_SX50T, start, 100))
+    assert len(frames) == 100
+    assert len({frame.pack() for frame in frames}) == 100
+
+
+def test_region_frames_negative_count():
+    start = FrameAddress(BlockType.CLB_IO_CLK, 0, 0, 0, 0)
+    with pytest.raises(ValueError):
+        list(region_frames(VIRTEX5_SX50T, start, -1))

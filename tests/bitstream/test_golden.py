@@ -1,0 +1,40 @@
+"""Golden-file format stability.
+
+The on-disk bitstream format and the generator's output are part of
+the library's contract: EXPERIMENTS.md promises its numbers reproduce
+exactly, and saved ``.bit`` assets must stay loadable across versions.
+A byte-exact golden file guards both.  If this test fails after an
+*intentional* format/generator change, regenerate the golden file and
+bump the note in EXPERIMENTS.md — never silently.
+"""
+
+import hashlib
+from pathlib import Path
+
+from repro.bitstream.device import VIRTEX5_SX50T
+from repro.bitstream.fileio import load_bit
+from repro.bitstream.generator import generate_bitstream
+from repro.units import DataSize
+
+GOLDEN = Path(__file__).resolve().parent.parent / "data" \
+    / "golden_4kb_seed2012.bit"
+GOLDEN_SHA256 = \
+    "f480087037c420f7ca4c3879077c78d68621d846b85e813118ff4c7b7ba8deab"
+
+
+def test_golden_file_unchanged():
+    blob = GOLDEN.read_bytes()
+    assert hashlib.sha256(blob).hexdigest() == GOLDEN_SHA256
+
+
+def test_generator_reproduces_golden_bytes():
+    bitstream = generate_bitstream(size=DataSize.from_kb(4), seed=2012)
+    assert bitstream.file_bytes == GOLDEN.read_bytes()
+
+
+def test_golden_file_loads_and_verifies():
+    loaded = load_bit(GOLDEN, VIRTEX5_SX50T)
+    from repro.core.system import UPaRCSystem
+    result = UPaRCSystem(decompressor=None).run(loaded)
+    assert result.verified
+    assert result.frames_written == loaded.frame_count

@@ -1,0 +1,67 @@
+"""Bitstream parser (the Manager's view)."""
+
+import pytest
+
+from repro.bitstream.device import VIRTEX5_SX50T, VIRTEX6_LX240T
+from repro.bitstream.generator import generate_bitstream
+from repro.bitstream.parser import BitstreamParser
+from repro.errors import BitstreamFormatError, DeviceMismatchError
+from repro.units import DataSize
+
+
+def test_parse_roundtrip(small_bitstream):
+    parsed = BitstreamParser(VIRTEX5_SX50T).parse(small_bitstream.file_bytes)
+    assert parsed.raw_words == small_bitstream.raw_words
+    assert parsed.header == small_bitstream.header
+
+
+def test_size_matches_raw_stream(small_bitstream):
+    parsed = BitstreamParser().parse(small_bitstream.file_bytes)
+    assert parsed.size == small_bitstream.size
+
+
+def test_idcode_extracted(small_bitstream):
+    parsed = BitstreamParser(VIRTEX5_SX50T).parse(small_bitstream.file_bytes)
+    assert parsed.idcode == VIRTEX5_SX50T.idcode
+
+
+def test_frame_data_words_counted(small_bitstream):
+    parsed = BitstreamParser(VIRTEX5_SX50T).parse(small_bitstream.file_bytes)
+    assert parsed.frame_data_words == small_bitstream.frame_payload_words
+
+
+def test_sync_index_points_at_sync(small_bitstream):
+    parsed = BitstreamParser().parse(small_bitstream.file_bytes)
+    assert parsed.raw_words[parsed.sync_index] == 0xAA995566
+
+
+def test_wrong_device_rejected(small_bitstream):
+    with pytest.raises(DeviceMismatchError):
+        BitstreamParser(VIRTEX6_LX240T).parse(small_bitstream.file_bytes)
+
+
+def test_declared_length_mismatch_rejected(small_bitstream):
+    truncated = small_bitstream.file_bytes[:-8]
+    with pytest.raises(BitstreamFormatError):
+        BitstreamParser().parse(truncated)
+
+
+def test_missing_sync_rejected(small_bitstream):
+    header = small_bitstream.header
+    # Keep the declared length honest but zero out the payload.
+    blob = header.encode() + bytes(header.payload_length)
+    with pytest.raises(BitstreamFormatError):
+        BitstreamParser().parse(blob)
+
+
+def test_decode_packets_can_be_disabled(small_bitstream):
+    parsed = BitstreamParser(decode_packets=False).parse(
+        small_bitstream.file_bytes)
+    assert parsed.packets == []
+    assert parsed.idcode is None
+
+
+def test_large_bitstream_parses():
+    bitstream = generate_bitstream(size=DataSize.from_kb(300))
+    parsed = BitstreamParser(VIRTEX5_SX50T).parse(bitstream.file_bytes)
+    assert parsed.size.kb == pytest.approx(300, rel=0.01)

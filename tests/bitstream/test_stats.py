@@ -1,0 +1,72 @@
+"""Bitstream content statistics and generator-regime assertions."""
+
+import pytest
+
+from repro.bitstream.generator import generate_bitstream
+from repro.bitstream.stats import byte_entropy, content_stats
+from repro.units import DataSize
+
+
+class TestByteEntropy:
+    def test_empty(self):
+        assert byte_entropy(b"") == 0.0
+
+    def test_single_symbol_zero_entropy(self):
+        assert byte_entropy(b"\x00" * 1000) == 0.0
+
+    def test_uniform_two_symbols_one_bit(self):
+        assert byte_entropy(b"\x00\x01" * 500) == pytest.approx(1.0)
+
+    def test_uniform_bytes_eight_bits(self):
+        data = bytes(range(256)) * 8
+        assert byte_entropy(data) == pytest.approx(8.0)
+
+
+class TestContentStats:
+    def test_zero_stream(self):
+        stats = content_stats(b"\x00" * 400)
+        assert stats.zero_byte_fraction == 1.0
+        assert stats.zero_word_fraction == 1.0
+        assert stats.distinct_words == 1
+        assert stats.mean_zero_run_words == 100.0
+
+    def test_repeat_fraction(self):
+        data = b"\x01\x02\x03\x04" * 10
+        stats = content_stats(data)
+        assert stats.word_repeat_fraction == 1.0
+
+    def test_compressibility_floor(self):
+        stats = content_stats(b"\x00" * 512 + b"\xFF" * 512)
+        # 1 bit/byte entropy -> 87.5 % floor.
+        assert stats.compressibility_floor_percent == pytest.approx(87.5)
+
+
+class TestGeneratorRegime:
+    """The synthetic corpus must stay in the calibrated regime."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        bitstream = generate_bitstream(size=DataSize.from_kb(64))
+        return content_stats(bitstream.raw_bytes)
+
+    def test_byte_entropy_band(self, stats):
+        # Huffman's 74 % ratio needs ~2 bits/byte of entropy.
+        assert 1.5 < stats.byte_entropy_bits < 3.0
+
+    def test_zero_byte_majority(self, stats):
+        assert 0.60 < stats.zero_byte_fraction < 0.90
+
+    def test_zero_words_majority_but_not_total(self, stats):
+        assert 0.50 < stats.zero_word_fraction < 0.90
+
+    def test_word_repeats_feed_rle(self, stats):
+        # RLE's ~61 % needs a majority of repeated-word positions.
+        assert 0.30 < stats.word_repeat_fraction < 0.80
+
+    def test_utilization_lowers_entropy(self):
+        dense = generate_bitstream(size=DataSize.from_kb(32),
+                                   utilization=1.0)
+        sparse = generate_bitstream(size=DataSize.from_kb(32),
+                                    utilization=0.2)
+        assert content_stats(sparse.raw_bytes).byte_entropy_bits \
+            < content_stats(dense.raw_bytes).byte_entropy_bits

@@ -1,0 +1,88 @@
+"""Bit-level reader/writer."""
+
+import pytest
+
+from repro.compress.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
+
+
+def test_single_bits_roundtrip():
+    writer = BitWriter()
+    bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+    for bit in bits:
+        writer.write_bit(bit)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+
+def test_msb_first_order():
+    writer = BitWriter()
+    writer.write_bits(0b10110010, 8)
+    assert writer.getvalue() == bytes([0b10110010])
+
+
+def test_partial_byte_zero_padded():
+    writer = BitWriter()
+    writer.write_bits(0b101, 3)
+    assert writer.getvalue() == bytes([0b10100000])
+
+
+def test_write_bits_width_checked():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write_bits(4, 2)
+    with pytest.raises(ValueError):
+        writer.write_bits(1, -1)
+
+
+def test_multi_width_roundtrip():
+    writer = BitWriter()
+    values = [(5, 3), (1023, 10), (0, 1), (65535, 16), (7, 5)]
+    for value, width in values:
+        writer.write_bits(value, width)
+    reader = BitReader(writer.getvalue())
+    for value, width in values:
+        assert reader.read_bits(width) == value
+
+
+def test_unary_roundtrip():
+    writer = BitWriter()
+    for value in (0, 1, 5, 12):
+        writer.write_unary(value)
+    reader = BitReader(writer.getvalue())
+    for value in (0, 1, 5, 12):
+        assert reader.read_unary() == value
+
+
+def test_unary_runaway_guard():
+    reader = BitReader(b"\xFF" * 10)
+    with pytest.raises(CorruptStreamError):
+        reader.read_unary(limit=50)
+
+
+def test_bytes_roundtrip():
+    writer = BitWriter()
+    writer.write_bit(1)  # misalign on purpose
+    writer.write_bytes(b"\x12\x34")
+    reader = BitReader(writer.getvalue())
+    assert reader.read_bit() == 1
+    assert reader.read_bytes(2) == b"\x12\x34"
+
+
+def test_exhausted_reader_raises():
+    reader = BitReader(b"\xFF")
+    reader.read_bits(8)
+    with pytest.raises(CorruptStreamError):
+        reader.read_bit()
+
+
+def test_bit_length_tracks_writer():
+    writer = BitWriter()
+    writer.write_bits(0, 13)
+    assert writer.bit_length == 13
+
+
+def test_bits_remaining():
+    reader = BitReader(b"\x00\x00")
+    reader.read_bits(3)
+    assert reader.bits_remaining == 13

@@ -1,0 +1,139 @@
+"""Hypothesis property tests: every codec is a lossless bijection on
+its image, and the arithmetic-coder substrate is self-consistent."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compress import (
+    DeflateCodec,
+    HuffmanCodec,
+    Lz77Codec,
+    Lz78Codec,
+    LzmaLikeCodec,
+    RleCodec,
+    XMatchProCodec,
+)
+from repro.compress.arith import (
+    AdaptiveModel,
+    ArithmeticDecoder,
+    ArithmeticEncoder,
+)
+from repro.compress.bitio import BitReader, BitWriter
+
+# LZ-ish payloads: random bytes mixed with repetitions, the worst and
+# best cases for dictionary coders.
+payloads = st.one_of(
+    st.binary(max_size=2048),
+    st.builds(
+        lambda chunk, repeats, tail: chunk * repeats + tail,
+        st.binary(min_size=1, max_size=64),
+        st.integers(min_value=1, max_value=64),
+        st.binary(max_size=32),
+    ),
+    st.builds(
+        lambda chunks: b"".join(chunks),
+        st.lists(st.sampled_from(
+            [b"\x00\x00\x00\x00", b"\xDE\xAD\xBE\xEF",
+             b"\x01\x02\x03\x04", b"\xFF"]), max_size=256),
+    ),
+)
+
+slow = settings(max_examples=40, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@slow
+@given(payloads)
+def test_rle_roundtrip(data):
+    codec = RleCodec()
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@slow
+@given(payloads)
+def test_lz77_roundtrip(data):
+    codec = Lz77Codec()
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@slow
+@given(payloads)
+def test_lz78_roundtrip(data):
+    codec = Lz78Codec()
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@slow
+@given(payloads)
+def test_huffman_roundtrip(data):
+    codec = HuffmanCodec()
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@slow
+@given(payloads)
+def test_xmatchpro_roundtrip(data):
+    codec = XMatchProCodec()
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@slow
+@given(payloads)
+def test_deflate_roundtrip(data):
+    codec = DeflateCodec()
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@slow
+@given(payloads)
+def test_lzma_like_roundtrip(data):
+    codec = LzmaLikeCodec()
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=65535),
+                          st.integers(min_value=1, max_value=16)),
+                max_size=200))
+def test_bitio_roundtrip(values):
+    writer = BitWriter()
+    clipped = [(value % (1 << width), width) for value, width in values]
+    for value, width in clipped:
+        writer.write_bits(value, width)
+    reader = BitReader(writer.getvalue())
+    for value, width in clipped:
+        assert reader.read_bits(width) == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=800))
+def test_arithmetic_coder_roundtrip(symbols):
+    encoder = ArithmeticEncoder()
+    model_enc = AdaptiveModel(257)
+    for symbol in symbols:
+        encoder.encode(model_enc, symbol)
+    encoder.encode(model_enc, 256)  # EOF
+    stream = encoder.finish()
+
+    decoder = ArithmeticDecoder(stream)
+    model_dec = AdaptiveModel(257)
+    decoded = []
+    while True:
+        symbol = decoder.decode(model_dec)
+        if symbol == 256:
+            break
+        decoded.append(symbol)
+    assert decoded == symbols
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                max_size=500))
+def test_adaptive_model_invariants(updates):
+    model = AdaptiveModel(16)
+    for symbol in updates:
+        model.update(symbol)
+        assert model.total == model.cumulative(16)
+        assert model.frequency(symbol) >= 1
+    # Cumulative is monotone non-decreasing.
+    sums = [model.cumulative(index) for index in range(17)]
+    assert sums == sorted(sums)

@@ -1,0 +1,59 @@
+"""Codec registry and Table I reference data."""
+
+import pytest
+
+from repro.compress import (
+    PAPER_TABLE1_RATIOS,
+    all_codecs,
+    codec_by_name,
+)
+
+
+def test_reference_ratios_match_paper():
+    assert PAPER_TABLE1_RATIOS == {
+        "RLE": 63.0,
+        "LZ77": 71.4,
+        "Huffman": 72.3,
+        "X-MatchPRO": 74.2,
+        "LZ78": 75.6,
+        "Zip": 81.2,
+        "7-zip": 81.9,
+    }
+
+
+def test_reference_ratios_in_paper_order():
+    values = list(PAPER_TABLE1_RATIOS.values())
+    assert values == sorted(values)
+
+
+def test_codec_by_name_resolves_every_row():
+    for name in PAPER_TABLE1_RATIOS:
+        assert codec_by_name(name).name == name
+
+
+def test_codec_by_name_unknown():
+    with pytest.raises(KeyError):
+        codec_by_name("Brotli")
+
+
+def test_all_codecs_instances_are_fresh():
+    first = all_codecs()
+    second = all_codecs()
+    assert all(a is not b for a, b in zip(first, second))
+
+
+def test_measured_ratios_track_table1_shape(medium_bitstream):
+    """The headline Table I claim: same ranking, each ratio within a
+    few points of the paper on default synthetic bitstreams."""
+    data = medium_bitstream.raw_bytes
+    measured = {codec.name: codec.measure(data).ratio_percent
+                for codec in all_codecs()}
+    # Ranking preserved.
+    paper_order = list(PAPER_TABLE1_RATIOS)
+    measured_order = sorted(measured, key=measured.get)
+    assert measured_order == paper_order
+    # Absolute agreement within 4 percentage points per codec.
+    for name, paper_value in PAPER_TABLE1_RATIOS.items():
+        assert abs(measured[name] - paper_value) < 4.0, (
+            f"{name}: measured {measured[name]:.1f} vs paper {paper_value}"
+        )

@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+Bitstream generation dominates test setup cost, so the common sizes
+are generated once per session and shared read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitstream.generator import generate_bitstream
+from repro.sim import Simulator
+from repro.units import DataSize
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def small_bitstream():
+    """~8 KB partial bitstream (fast everywhere)."""
+    return generate_bitstream(size=DataSize.from_kb(8))
+
+
+@pytest.fixture(scope="session")
+def medium_bitstream():
+    """~64 KB partial bitstream (compression-grade content)."""
+    return generate_bitstream(size=DataSize.from_kb(64))
+
+
+@pytest.fixture(scope="session")
+def paper_bitstream():
+    """The 216.5 KB bitstream of the power/energy experiments."""
+    return generate_bitstream(size=DataSize.from_kb(216.5))

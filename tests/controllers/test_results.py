@@ -1,0 +1,69 @@
+"""ReconfigurationResult accounting."""
+
+import pytest
+
+from repro.errors import ReconfigurationFailed
+from repro.results import (
+    LargeBitstreamGrade,
+    ReconfigurationResult,
+    stream_crc,
+)
+from repro.units import DataSize, Frequency
+
+
+def make_result(**overrides):
+    fields = dict(
+        controller="test",
+        bitstream_size=DataSize.from_kb(100),
+        stored_size=DataSize.from_kb(100),
+        mode="raw",
+        frequency=Frequency.from_mhz(100),
+        start_ps=1_000_000,
+        finish_ps=257_000_000,
+        control_overhead_ps=1_200_000,
+        words_delivered=25_600,
+        payload_crc=0xABCD,
+        expected_crc=0xABCD,
+    )
+    fields.update(overrides)
+    return ReconfigurationResult(**fields)
+
+
+def test_duration_includes_control_overhead():
+    result = make_result()
+    assert result.duration_ps == 256_000_000 + 1_200_000
+    assert result.transfer_ps == 256_000_000
+
+
+def test_bandwidth_decimal_vs_binary():
+    result = make_result()
+    assert result.bandwidth_decimal_mbps > result.bandwidth_mbps
+    ratio = result.bandwidth_decimal_mbps / result.bandwidth_mbps
+    assert ratio == pytest.approx(1.048576)
+
+
+def test_verified_requires_matching_crc_and_data():
+    assert make_result().verified
+    assert not make_result(payload_crc=0x1234).verified
+    assert not make_result(words_delivered=0).verified
+
+
+def test_require_verified_raises_on_mismatch():
+    with pytest.raises(ReconfigurationFailed):
+        make_result(payload_crc=0x9999).require_verified()
+
+
+def test_require_verified_passes_through():
+    result = make_result()
+    assert result.require_verified() is result
+
+
+def test_stream_crc_deterministic():
+    assert stream_crc(b"abc") == stream_crc(b"abc")
+    assert stream_crc(b"abc") != stream_crc(b"abd")
+
+
+def test_grade_strings():
+    assert str(LargeBitstreamGrade.UNLIMITED) == "+++"
+    assert str(LargeBitstreamGrade.COMPRESSED) == "++"
+    assert str(LargeBitstreamGrade.LIMITED) == "-"

@@ -1,0 +1,101 @@
+"""Hypothesis properties of the DAG scheduler.
+
+For arbitrary task graphs, the schedule must respect every resource
+constraint: no region/ICAP/manager double-booking, dependencies
+ordered, every task placed exactly once.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bitstream.generator import generate_bitstream
+from repro.core.dag_scheduler import DagScheduler, DagTask
+from repro.units import DataSize, Frequency, us
+
+MODULES = ["m0", "m1", "m2", "m3"]
+REGIONS = ["r0", "r1", "r2"]
+
+_BITSTREAMS = {
+    name: generate_bitstream(size=DataSize.from_kb(8 + 4 * index),
+                             seed=index)
+    for index, name in enumerate(MODULES)
+}
+
+
+@st.composite
+def task_graphs(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    tasks = []
+    for index in range(count):
+        deps = ()
+        if index:
+            dep_indices = draw(st.lists(
+                st.integers(0, index - 1), max_size=3, unique=True))
+            deps = tuple(f"t{d}" for d in dep_indices)
+        module = draw(st.sampled_from(MODULES))
+        tasks.append(DagTask(
+            name=f"t{index}",
+            module=module,
+            bitstream=_BITSTREAMS[module],
+            region=draw(st.sampled_from(REGIONS)),
+            compute_ps=draw(st.integers(0, us(500))),
+            deps=deps,
+        ))
+    return tasks
+
+
+def intervals_disjoint(intervals):
+    ordered = sorted(intervals)
+    return all(first_end <= second_start
+               for (_, first_end), (second_start, _)
+               in zip(ordered, ordered[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(task_graphs())
+def test_schedule_invariants(tasks):
+    scheduler = DagScheduler(
+        reconfiguration_frequency=Frequency.from_mhz(362.5))
+    report = scheduler.schedule(tasks)
+    by_task = {task.name: task for task in tasks}
+
+    # Every task computes exactly once.
+    computes = [entry for entry in report.timeline
+                if entry.phase == "compute"]
+    assert {entry.task for entry in computes} == set(by_task)
+    assert len(computes) == len(tasks)
+
+    # Dependencies ordered.
+    compute_start = {entry.task: entry.start_ps for entry in computes}
+    compute_end = {entry.task: entry.end_ps for entry in computes}
+    for task in tasks:
+        for dep in task.deps:
+            assert compute_start[task.name] >= compute_end[dep]
+
+    # Regions never double-booked (compute + reconfigure occupy the
+    # region).
+    for region in REGIONS:
+        intervals = []
+        for entry in report.timeline:
+            if entry.phase in ("compute", "reconfigure") \
+                    and by_task[entry.task].region == region \
+                    and entry.duration_ps > 0:
+                intervals.append((entry.start_ps, entry.end_ps))
+        assert intervals_disjoint(intervals)
+
+    # ICAP serialized.
+    reconfigs = [(entry.start_ps, entry.end_ps)
+                 for entry in report.timeline
+                 if entry.phase == "reconfigure"]
+    assert intervals_disjoint(reconfigs)
+
+    # Manager (preload path) serialized.
+    preloads = [(entry.start_ps, entry.end_ps)
+                for entry in report.timeline
+                if entry.phase == "preload" and entry.duration_ps > 0]
+    assert intervals_disjoint(preloads)
+
+    # Each task either reconfigured or reused a resident module.
+    assert report.reconfigurations + report.reuses == len(tasks)
+
+    # Makespan never exceeds the fully-serial baseline.
+    assert report.makespan_ps <= scheduler.serial_baseline(tasks)

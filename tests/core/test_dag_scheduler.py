@@ -1,0 +1,183 @@
+"""DAG scheduler over multiple reconfigurable regions."""
+
+import pytest
+
+from repro.bitstream.generator import generate_bitstream
+from repro.core.dag_scheduler import DagScheduler, DagTask
+from repro.errors import PolicyError
+from repro.units import DataSize, Frequency, ms
+
+
+@pytest.fixture(scope="module")
+def bitstreams():
+    return {
+        "fft": generate_bitstream(size=DataSize.from_kb(30), seed=1),
+        "fir": generate_bitstream(size=DataSize.from_kb(49), seed=2),
+        "crc": generate_bitstream(size=DataSize.from_kb(12), seed=3),
+    }
+
+
+@pytest.fixture
+def scheduler():
+    return DagScheduler(
+        reconfiguration_frequency=Frequency.from_mhz(362.5))
+
+
+def make_task(name, bitstreams, module="fft", region="r0",
+              compute=ms(2), deps=()):
+    return DagTask(name=name, module=module,
+                   bitstream=bitstreams[module], region=region,
+                   compute_ps=compute, deps=deps)
+
+
+class TestGraphValidation:
+    def test_cycle_rejected(self, scheduler, bitstreams):
+        tasks = [
+            make_task("a", bitstreams, deps=("b",)),
+            make_task("b", bitstreams, deps=("a",)),
+        ]
+        with pytest.raises(PolicyError, match="cycle"):
+            scheduler.schedule(tasks)
+
+    def test_unknown_dependency_rejected(self, scheduler, bitstreams):
+        tasks = [make_task("a", bitstreams, deps=("ghost",))]
+        with pytest.raises(PolicyError, match="unknown"):
+            scheduler.schedule(tasks)
+
+    def test_duplicate_names_rejected(self, scheduler, bitstreams):
+        tasks = [make_task("a", bitstreams), make_task("a", bitstreams)]
+        with pytest.raises(PolicyError, match="duplicate"):
+            scheduler.schedule(tasks)
+
+    def test_negative_compute_rejected(self, bitstreams):
+        with pytest.raises(PolicyError):
+            DagTask("a", "fft", bitstreams["fft"], "r0", compute_ps=-1)
+
+
+class TestDependencies:
+    def test_dependency_orders_computation(self, scheduler, bitstreams):
+        tasks = [
+            make_task("producer", bitstreams, module="fft", region="r0"),
+            make_task("consumer", bitstreams, module="fir", region="r1",
+                      deps=("producer",)),
+        ]
+        report = scheduler.schedule(tasks)
+        assert report.entries_for("consumer")["compute"].start_ps \
+            >= report.compute_end("producer")
+
+    def test_diamond_graph_joins(self, scheduler, bitstreams):
+        tasks = [
+            make_task("src", bitstreams, module="fft", region="r0"),
+            make_task("left", bitstreams, module="fir", region="r1",
+                      deps=("src",)),
+            make_task("right", bitstreams, module="crc", region="r2",
+                      deps=("src",)),
+            make_task("sink", bitstreams, module="fft", region="r0",
+                      deps=("left", "right")),
+        ]
+        report = scheduler.schedule(tasks)
+        sink_start = report.entries_for("sink")["compute"].start_ps
+        assert sink_start >= report.compute_end("left")
+        assert sink_start >= report.compute_end("right")
+
+
+class TestParallelism:
+    def test_independent_regions_compute_in_parallel(self, scheduler,
+                                                     bitstreams):
+        tasks = [
+            make_task("a", bitstreams, module="fft", region="r0",
+                      compute=ms(10)),
+            make_task("b", bitstreams, module="fir", region="r1",
+                      compute=ms(10)),
+        ]
+        report = scheduler.schedule(tasks)
+        a = report.entries_for("a")["compute"]
+        b = report.entries_for("b")["compute"]
+        overlap = min(a.end_ps, b.end_ps) - max(a.start_ps, b.start_ps)
+        assert overlap > ms(8)  # nearly full overlap
+
+    def test_icap_serializes_reconfigurations(self, scheduler,
+                                              bitstreams):
+        tasks = [
+            make_task("a", bitstreams, module="fft", region="r0"),
+            make_task("b", bitstreams, module="fir", region="r1"),
+            make_task("c", bitstreams, module="crc", region="r2"),
+        ]
+        report = scheduler.schedule(tasks)
+        reconfigs = sorted(
+            (entry for entry in report.timeline
+             if entry.phase == "reconfigure"),
+            key=lambda entry: entry.start_ps)
+        for first, second in zip(reconfigs, reconfigs[1:]):
+            assert second.start_ps >= first.end_ps
+
+    def test_same_region_serializes_compute(self, scheduler, bitstreams):
+        tasks = [
+            make_task("a", bitstreams, module="fft", region="r0",
+                      compute=ms(5)),
+            make_task("b", bitstreams, module="fir", region="r0",
+                      compute=ms(5)),
+        ]
+        report = scheduler.schedule(tasks)
+        a = report.entries_for("a")["compute"]
+        b = report.entries_for("b")["compute"]
+        assert a.end_ps <= b.start_ps or b.end_ps <= a.start_ps
+
+
+class TestModuleReuse:
+    def test_repeat_module_skips_reconfiguration(self, scheduler,
+                                                 bitstreams):
+        tasks = [
+            make_task("first", bitstreams, module="fft", region="r0"),
+            make_task("second", bitstreams, module="fft", region="r0",
+                      deps=("first",)),
+        ]
+        report = scheduler.schedule(tasks)
+        assert report.reconfigurations == 1
+        assert report.reuses == 1
+        assert "reconfigure" not in report.entries_for("second")
+
+    def test_module_change_forces_reconfiguration(self, scheduler,
+                                                  bitstreams):
+        tasks = [
+            make_task("first", bitstreams, module="fft", region="r0"),
+            make_task("other", bitstreams, module="fir", region="r0",
+                      deps=("first",)),
+            make_task("again", bitstreams, module="fft", region="r0",
+                      deps=("other",)),
+        ]
+        report = scheduler.schedule(tasks)
+        assert report.reconfigurations == 3
+        assert report.reuses == 0
+
+
+class TestMakespan:
+    def test_never_worse_than_serial(self, scheduler, bitstreams):
+        tasks = [
+            make_task("a", bitstreams, module="fft", region="r0",
+                      compute=ms(3)),
+            make_task("b", bitstreams, module="fir", region="r1",
+                      compute=ms(4)),
+            make_task("c", bitstreams, module="crc", region="r2",
+                      compute=ms(2), deps=("a",)),
+            make_task("d", bitstreams, module="fft", region="r0",
+                      compute=ms(1), deps=("b", "c")),
+        ]
+        report = scheduler.schedule(tasks)
+        assert report.makespan_ps <= scheduler.serial_baseline(tasks)
+
+    def test_deterministic(self, scheduler, bitstreams):
+        tasks = [
+            make_task("a", bitstreams, module="fft", region="r0"),
+            make_task("b", bitstreams, module="fir", region="r1"),
+            make_task("c", bitstreams, module="crc", region="r2",
+                      deps=("a", "b")),
+        ]
+        first = scheduler.schedule(tasks)
+        second = scheduler.schedule(tasks)
+        assert first.timeline == second.timeline
+
+    def test_empty_graph(self, scheduler):
+        report = scheduler.schedule([])
+        assert report.makespan_ps == 0
+        assert report.timeline == []

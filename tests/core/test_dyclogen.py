@@ -1,0 +1,70 @@
+"""DyCloGen clock generator."""
+
+import pytest
+
+from repro.core.dyclogen import CLK_1, CLK_2, CLK_3, DyCloGen
+from repro.errors import FrequencyError
+from repro.units import Frequency
+
+
+def mhz(value):
+    return Frequency.from_mhz(value)
+
+
+@pytest.fixture
+def dyclogen(sim):
+    return DyCloGen(sim, f_in=mhz(100),
+                    clk1=mhz(100), clk2=mhz(100), clk3=mhz(125))
+
+
+def test_three_outputs(dyclogen):
+    assert dyclogen.clk1.frequency == mhz(100)
+    assert dyclogen.clk2.frequency == mhz(100)
+    assert dyclogen.clk3.frequency == mhz(125)
+
+
+def test_retune_clk2_to_paper_maximum(sim, dyclogen):
+    lock_ps = dyclogen.retune(CLK_2, mhz(362.5))
+    assert dyclogen.clk2.frequency == mhz(362.5)
+    assert lock_ps > 0
+    # The DCM settings are the paper's M=29, D=8.
+    settings = dyclogen.settings_of(CLK_2)
+    assert (settings.multiplier, settings.divisor) == (29, 8)
+
+
+def test_retune_unknown_output_rejected(dyclogen):
+    with pytest.raises(FrequencyError):
+        dyclogen.retune("clk9", mhz(100))
+
+
+def test_unsynthesizable_target_rejected(dyclogen):
+    # 100 * M / D cannot land within 1% of 11 MHz inside the window.
+    with pytest.raises(FrequencyError):
+        dyclogen.retune(CLK_2, mhz(11))
+
+
+def test_retunes_are_independent(sim, dyclogen):
+    dyclogen.retune(CLK_2, mhz(200))
+    assert dyclogen.clk1.frequency == mhz(100)
+    assert dyclogen.clk3.frequency == mhz(125)
+
+
+def test_frequencies_snapshot(dyclogen):
+    snapshot = dyclogen.frequencies()
+    assert set(snapshot) == {CLK_1, CLK_2, CLK_3}
+    assert snapshot[CLK_2] == mhz(100)
+
+
+def test_fig7_sweep_targets_all_synthesizable(sim, dyclogen):
+    for target in (50, 100, 150, 200, 250, 300, 362.5):
+        lock_ps = dyclogen.retune(CLK_2, mhz(target))
+        sim.run(until_ps=sim.now + lock_ps)  # wait out the relock
+        achieved = dyclogen.clk2.frequency
+        assert abs(achieved.mhz - target) <= target * 0.01
+
+
+def test_retune_before_lock_completes_rejected(sim, dyclogen):
+    dyclogen.retune(CLK_2, mhz(200))
+    with pytest.raises(Exception) as excinfo:
+        dyclogen.retune(CLK_2, mhz(300))
+    assert "relock" in str(excinfo.value)

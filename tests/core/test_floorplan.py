@@ -1,0 +1,105 @@
+"""Floorplan / reconfigurable-region bookkeeping."""
+
+import pytest
+
+from repro.bitstream.device import VIRTEX5_SX50T
+from repro.bitstream.frames import BlockType, FrameAddress
+from repro.bitstream.generator import generate_bitstream
+from repro.core.floorplan import Floorplan, Region
+from repro.errors import BitstreamError, CapacityError
+from repro.units import DataSize
+
+
+def far(column, minor=0):
+    return FrameAddress(BlockType.CLB_IO_CLK, top=0, row=0,
+                        column=column, minor=minor)
+
+
+@pytest.fixture
+def floorplan():
+    plan = Floorplan(VIRTEX5_SX50T)
+    plan.add_region(Region("lane0", far(4), frame_count=72))
+    plan.add_region(Region("lane1", far(10), frame_count=72))
+    return plan
+
+
+class TestRegion:
+    def test_capacity(self):
+        region = Region("r", far(4), frame_count=10)
+        assert region.capacity(VIRTEX5_SX50T) == DataSize(10 * 164)
+
+    def test_positive_frame_count(self):
+        with pytest.raises(BitstreamError):
+            Region("r", far(4), frame_count=0)
+
+    def test_frames_enumerated(self):
+        region = Region("r", far(4), frame_count=40)
+        frames = region.frames(VIRTEX5_SX50T)
+        assert len(frames) == 40
+        assert frames[0] == far(4)
+        assert frames[36] == far(5)  # spilled into the next column
+
+
+class TestFloorplan:
+    def test_regions_listed(self, floorplan):
+        assert {region.name for region in floorplan.regions} \
+            == {"lane0", "lane1"}
+
+    def test_duplicate_name_rejected(self, floorplan):
+        with pytest.raises(BitstreamError):
+            floorplan.add_region(Region("lane0", far(40), 10))
+
+    def test_overlap_rejected(self, floorplan):
+        # lane0 covers columns 4..5 (72 frames = 2 columns); column 5
+        # collides.
+        with pytest.raises(BitstreamError, match="overlaps"):
+            floorplan.add_region(Region("clash", far(5), 10))
+
+    def test_adjacent_regions_allowed(self, floorplan):
+        floorplan.add_region(Region("lane2", far(6), frame_count=36))
+
+    def test_unknown_region_lookup(self, floorplan):
+        with pytest.raises(KeyError):
+            floorplan.region("lane9")
+
+
+class TestBitstreamMatching:
+    def test_origin_extracted(self, floorplan, small_bitstream):
+        origin = Floorplan.bitstream_origin(small_bitstream)
+        assert origin == far(4)  # the generator default
+
+    def test_match_finds_region(self, floorplan, small_bitstream):
+        region = floorplan.match(small_bitstream)
+        assert region.name == "lane0"
+
+    def test_match_respects_capacity(self, floorplan):
+        oversized = generate_bitstream(size=DataSize.from_kb(64))
+        # 64 KB is ~398 frames, far beyond lane0's 72.
+        with pytest.raises(CapacityError, match="overruns"):
+            floorplan.match(oversized)
+
+    def test_bitstream_for_other_region(self, floorplan):
+        other = generate_bitstream(size=DataSize.from_kb(8),
+                                   origin=far(10))
+        assert floorplan.match(other).name == "lane1"
+
+    def test_unplaced_origin_rejected(self, floorplan):
+        stray = generate_bitstream(size=DataSize.from_kb(8),
+                                   origin=far(60))
+        with pytest.raises(CapacityError, match="no region"):
+            floorplan.match(stray)
+
+    def test_validate_names_must_agree(self, floorplan, small_bitstream):
+        floorplan.validate(small_bitstream, "lane0")
+        with pytest.raises(CapacityError, match="targets region"):
+            floorplan.validate(small_bitstream, "lane1")
+
+    def test_region_specific_bitstreams_configure_their_frames(self,
+                                                               floorplan):
+        from repro.core.system import UPaRCSystem
+        bitstream = generate_bitstream(size=DataSize.from_kb(8),
+                                       origin=far(10))
+        system = UPaRCSystem(decompressor=None)
+        system.run(bitstream)
+        assert system.config_memory.read_frame(far(10)) is not None
+        assert system.config_memory.read_frame(far(4)) is None

@@ -1,0 +1,133 @@
+"""Manager: preloading, control handshake, frequency adaptation."""
+
+import pytest
+
+from repro.core.dyclogen import DyCloGen
+from repro.core.manager import Manager
+from repro.core.urec import OperationMode, unpack_header
+from repro.errors import CapacityError
+from repro.fpga.bram import Bram
+from repro.fpga.decompressor import DECOMPRESSOR_LIBRARY, HardwareDecompressor
+from repro.fpga.microblaze import MicroBlaze
+from repro.sim import Event, Process
+from repro.units import DataSize, Frequency
+
+
+def mhz(value):
+    return Frequency.from_mhz(value)
+
+
+def build(sim, bram_capacity=DataSize(256 * 1024), with_decompressor=True):
+    dyclogen = DyCloGen(sim, f_in=mhz(100), clk1=mhz(100),
+                        clk2=mhz(100), clk3=mhz(125))
+    bram = Bram(sim, capacity=bram_capacity)
+    cpu = MicroBlaze(sim, dyclogen.clk1)
+    decompressor = None
+    if with_decompressor:
+        decompressor = HardwareDecompressor(
+            sim, DECOMPRESSOR_LIBRARY["x-matchpro"], dyclogen.clk3)
+    manager = Manager(sim, cpu, bram, dyclogen, decompressor=decompressor)
+    return manager, bram, dyclogen
+
+
+class TestChooseMode:
+    def test_small_bitstream_raw(self, sim, small_bitstream):
+        manager, _, _ = build(sim)
+        assert manager.choose_mode(small_bitstream) is OperationMode.RAW
+
+    def test_oversized_bitstream_compressed(self, sim, small_bitstream):
+        manager, _, _ = build(sim, bram_capacity=DataSize.from_kb(4))
+        assert manager.choose_mode(small_bitstream) \
+            is OperationMode.COMPRESSED
+
+    def test_oversized_without_decompressor_rejected(self, sim,
+                                                     small_bitstream):
+        manager, _, _ = build(sim, bram_capacity=DataSize.from_kb(4),
+                              with_decompressor=False)
+        with pytest.raises(CapacityError):
+            manager.choose_mode(small_bitstream)
+
+
+class TestPreload:
+    def test_raw_preload_writes_header_and_payload(self, sim,
+                                                   small_bitstream):
+        manager, bram, _ = build(sim)
+        process = Process(sim, manager.preload_process(small_bitstream))
+        sim.run()
+        report = process.result
+        assert report.mode is OperationMode.RAW
+        assert report.stored_size == small_bitstream.size
+        bram.enable_read_port(_read_clock(sim))
+        mode, words = unpack_header(bram.read_word(0))
+        assert mode is OperationMode.RAW
+        assert words == len(small_bitstream.raw_words)
+        assert bram.read_word(1) == small_bitstream.raw_words[0]
+
+    def test_compressed_preload_stores_less(self, sim, small_bitstream):
+        manager, bram, _ = build(sim)
+        process = Process(sim, manager.preload_process(
+            small_bitstream, OperationMode.COMPRESSED))
+        sim.run()
+        report = process.result
+        assert report.mode is OperationMode.COMPRESSED
+        assert report.stored_size.bytes < small_bitstream.size.bytes
+        assert report.compression_ratio_percent > 50.0
+
+    def test_preload_takes_time(self, sim, small_bitstream):
+        manager, _, _ = build(sim)
+        process = Process(sim, manager.preload_process(small_bitstream))
+        sim.run()
+        assert process.result.duration_ps > 0
+        assert sim.now == process.result.duration_ps
+
+    def test_compressed_overflow_rejected(self, sim, medium_bitstream):
+        # 64 KB compresses to ~12 KB; an 8 KB BRAM still cannot hold it.
+        manager, _, _ = build(sim, bram_capacity=DataSize.from_kb(8))
+        process_generator = manager.preload_process(
+            medium_bitstream, OperationMode.COMPRESSED)
+        with pytest.raises(CapacityError):
+            Process(sim, process_generator)
+            sim.run()
+
+
+class TestControl:
+    def test_handshake_sequence(self, sim, small_bitstream):
+        manager, _, _ = build(sim)
+        start = Event(sim, "start")
+        finish = Event(sim, "finish")
+
+        def responder():
+            from repro.sim import Delay, WaitEvent
+            yield WaitEvent(start)
+            yield Delay(5_000_000)  # 5 us of "reconfiguration"
+            finish.trigger()
+
+        Process(sim, responder(), name="responder")
+        control = Process(sim, manager.control_process(start, finish))
+        sim.run()
+        start_ps, finish_ps, overhead_ps = control.result
+        assert finish_ps - start_ps == 5_000_000
+        assert overhead_ps == 1_200_000  # 120 cycles at 100 MHz
+
+
+class TestFrequencyAdaptation:
+    def test_adapt_retunes_and_waits_for_lock(self, sim, small_bitstream):
+        manager, _, dyclogen = build(sim)
+        process = Process(
+            sim, manager.adapt_frequency_process(mhz(362.5)))
+        sim.run()
+        assert process.result == mhz(362.5)
+        assert dyclogen.clk2.frequency == mhz(362.5)
+        assert sim.now >= 50_000_000  # at least the DCM lock time
+
+    def test_adapt_clk3(self, sim):
+        manager, _, dyclogen = build(sim)
+        process = Process(
+            sim, manager.adapt_decompressor_clock_process(mhz(100)))
+        sim.run()
+        assert dyclogen.clk3.frequency == mhz(100)
+
+
+def _read_clock(sim):
+    from repro.sim import Clock
+    return Clock(sim, "probe", mhz(100))

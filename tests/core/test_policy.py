@@ -1,0 +1,124 @@
+"""Power-aware frequency policy."""
+
+import pytest
+
+from repro.core.policy import FrequencyPolicy
+from repro.errors import PolicyError
+from repro.power.model import PowerModel
+from repro.units import DataSize, Frequency, us
+
+
+@pytest.fixture
+def policy():
+    return FrequencyPolicy(PowerModel())
+
+
+SIZE = DataSize.from_kb(216.5)
+
+
+def test_candidate_grid_is_sorted_and_bounded(policy):
+    grid = policy.candidate_frequencies()
+    assert grid == sorted(grid)
+    assert grid[0] >= Frequency.from_mhz(32)
+    assert grid[-1] <= Frequency.from_mhz(362.5)
+    assert Frequency.from_mhz(362.5) in grid
+
+
+def test_predicted_duration_matches_paper_100mhz(policy):
+    # 216.5 KB at 100 MHz: ~554 us transfer + 1.2 us control.
+    duration = policy.predict_duration_ps(SIZE, Frequency.from_mhz(100))
+    assert duration == pytest.approx(555_480_000, rel=0.001)
+
+
+def test_deadline_selects_lowest_sufficient_frequency(policy):
+    # A 1 ms deadline: well within reach of mid frequencies; the
+    # policy must not pick the maximum.
+    point = policy.lowest_frequency_for_deadline(SIZE, us(1000))
+    assert point.duration_ps <= us(1000)
+    assert point.frequency < Frequency.from_mhz(362.5)
+    # The next lower candidate must miss the deadline.
+    grid = policy.candidate_frequencies()
+    lower = [f for f in grid if f < point.frequency]
+    if lower:
+        worse = policy.operating_point(SIZE, lower[-1])
+        assert worse.duration_ps > us(1000)
+
+
+def test_impossible_deadline_raises(policy):
+    with pytest.raises(PolicyError):
+        policy.lowest_frequency_for_deadline(SIZE, us(10))
+
+
+def test_power_budget_selection(policy):
+    point = policy.fastest_under_power(SIZE, power_budget_mw=300.0)
+    assert point.power_mw <= 300.0
+    # Anything faster would blow the budget.
+    grid = policy.candidate_frequencies()
+    higher = [f for f in grid if f > point.frequency]
+    if higher:
+        over = policy.operating_point(SIZE, higher[0])
+        assert over.power_mw > 300.0
+
+
+def test_unmeetable_power_budget_raises(policy):
+    with pytest.raises(PolicyError):
+        policy.fastest_under_power(SIZE, power_budget_mw=10.0)
+
+
+def test_minimum_energy_is_fastest_with_active_wait(policy):
+    # Paper Section V: with an active-wait manager, energy decreases
+    # with frequency, so the energy-optimal point is the fastest clock.
+    point = policy.minimum_energy(SIZE)
+    assert point.frequency == policy.candidate_frequencies()[-1]
+
+
+def test_joint_selection_meets_both_constraints(policy):
+    point = policy.select(SIZE, deadline_ps=us(2000),
+                          power_budget_mw=300.0)
+    assert point.duration_ps <= us(2000)
+    assert point.power_mw <= 300.0
+
+
+def test_joint_selection_prefers_lowest_power(policy):
+    relaxed = policy.select(SIZE, deadline_ps=us(100_000))
+    tight = policy.select(SIZE, deadline_ps=us(700))
+    assert relaxed.power_mw < tight.power_mw
+
+
+def test_conflicting_constraints_raise(policy):
+    with pytest.raises(PolicyError):
+        policy.select(SIZE, deadline_ps=us(700), power_budget_mw=200.0)
+
+
+def test_power_grows_monotonically_on_grid(policy):
+    grid = policy.candidate_frequencies()
+    powers = [policy.operating_point(SIZE, f).power_mw for f in grid]
+    assert powers == sorted(powers)
+
+
+class TestParetoFrontier:
+    def test_frontier_is_nondominated(self, policy):
+        frontier = policy.pareto_frontier(SIZE)
+        for first, second in zip(frontier, frontier[1:]):
+            # Later points are faster but hotter.
+            assert second.duration_ps < first.duration_ps
+            assert second.power_mw > first.power_mw
+
+    def test_frontier_spans_grid_extremes(self, policy):
+        frontier = policy.pareto_frontier(SIZE)
+        grid = policy.candidate_frequencies()
+        assert frontier[0].frequency == grid[0]
+        assert frontier[-1].frequency == grid[-1]
+
+    def test_every_grid_point_dominated_or_on_frontier(self, policy):
+        frontier = policy.pareto_frontier(SIZE)
+        keys = {(p.duration_ps, round(p.power_mw, 9)) for p in frontier}
+        for frequency in policy.candidate_frequencies():
+            point = policy.operating_point(SIZE, frequency)
+            if (point.duration_ps, round(point.power_mw, 9)) in keys:
+                continue
+            dominated = any(
+                other.duration_ps <= point.duration_ps
+                and other.power_mw <= point.power_mw
+                for other in frontier)
+            assert dominated, point

@@ -1,0 +1,173 @@
+"""UPaRCSystem end-to-end behaviour."""
+
+import pytest
+
+from repro.core.system import UPaRCSystem
+from repro.core.urec import OperationMode
+from repro.errors import ControllerError, ReconfigurationFailed
+from repro.units import DataSize, Frequency
+
+
+def mhz(value):
+    return Frequency.from_mhz(value)
+
+
+def test_reconfigure_without_preload_rejected():
+    with pytest.raises(ReconfigurationFailed):
+        UPaRCSystem().reconfigure()
+
+
+def test_run_raw_mode_verifies_payload(small_bitstream):
+    result = UPaRCSystem(decompressor=None).run(small_bitstream)
+    assert result.verified
+    assert result.mode == "raw"
+    assert result.words_delivered == len(small_bitstream.raw_words)
+
+
+def test_set_frequency_retunes_clk2(small_bitstream):
+    system = UPaRCSystem()
+    achieved = system.set_frequency(mhz(362.5))
+    assert achieved == mhz(362.5)
+    assert system.frequency == mhz(362.5)
+
+
+def test_bandwidth_scales_with_frequency(small_bitstream):
+    system = UPaRCSystem(decompressor=None)
+    slow = system.run(small_bitstream, frequency=mhz(50))
+    fast = system.run(small_bitstream, frequency=mhz(300))
+    assert fast.bandwidth_decimal_mbps > 5 * slow.bandwidth_decimal_mbps
+
+
+def test_repeated_reconfigurations_accumulate_time(small_bitstream):
+    system = UPaRCSystem(decompressor=None)
+    first = system.run(small_bitstream)
+    second = system.reconfigure()
+    assert second.start_ps > first.finish_ps
+    assert second.verified
+
+
+def test_forced_compressed_mode(small_bitstream):
+    system = UPaRCSystem()
+    result = system.run(small_bitstream, frequency=mhz(255),
+                        mode=OperationMode.COMPRESSED)
+    assert result.mode == "compressed"
+    assert result.controller == "UPaRC_ii"
+    assert result.stored_size.bytes < small_bitstream.size.bytes
+    assert result.verified
+
+
+def test_auto_mode_compresses_oversized(small_bitstream):
+    system = UPaRCSystem(bram_capacity=DataSize.from_kb(4))
+    result = system.run(small_bitstream)
+    assert result.mode == "compressed"
+    assert result.verified
+
+
+def test_power_trace_attached_by_default(small_bitstream):
+    result = UPaRCSystem(decompressor=None).run(small_bitstream)
+    assert result.power_trace is not None
+    assert result.energy is not None
+    assert result.energy.energy_uj > 0
+
+
+def test_collect_power_false_skips_trace(small_bitstream):
+    result = UPaRCSystem(decompressor=None).run(small_bitstream,
+                                                collect_power=False)
+    assert result.power_trace is None
+    assert result.energy is None
+
+
+def test_power_plateau_matches_calibration(small_bitstream):
+    system = UPaRCSystem(decompressor=None)
+    result = system.run(small_bitstream, frequency=mhz(200))
+    assert result.energy.mean_power_mw == pytest.approx(394.0, rel=0.001)
+
+
+def test_preload_does_not_count_in_reconfig_duration(paper_bitstream):
+    system = UPaRCSystem(decompressor=None)
+    result = system.run(paper_bitstream, frequency=mhz(100))
+    assert result.preload_ps is not None
+    # The preload is much longer than the control overhead and must not
+    # appear in the reconfiguration window.
+    assert result.duration_ps < result.preload_ps
+
+
+def test_control_overhead_is_constant_across_sizes():
+    from repro.bitstream.generator import generate_bitstream
+    small = generate_bitstream(size=DataSize.from_kb(6.5))
+    system = UPaRCSystem(decompressor=None)
+    result = system.run(small, frequency=mhz(362.5))
+    assert result.control_overhead_ps == 1_200_000
+
+
+def test_fig5_anchor_efficiencies():
+    from repro.bitstream.generator import generate_bitstream
+    system = UPaRCSystem(decompressor=None)
+    small = generate_bitstream(size=DataSize.from_kb(6.5))
+    result = system.run(small, frequency=mhz(362.5))
+    theoretical = 362.5e6 * 4 / 1e6
+    efficiency = result.bandwidth_decimal_mbps / theoretical * 100
+    assert efficiency == pytest.approx(78.8, abs=1.5)
+
+
+def test_mode_ii_throughput_paced_by_decompressor(paper_bitstream):
+    system = UPaRCSystem()
+    result = system.run(paper_bitstream, frequency=mhz(255),
+                        mode=OperationMode.COMPRESSED)
+    # ~1 GB/s: 2 words/cycle at ~125 MHz.
+    assert result.bandwidth_decimal_mbps == pytest.approx(1000, rel=0.02)
+
+
+class TestRunWithConstraints:
+    def test_deadline_met_at_lowest_power(self, small_bitstream):
+        from repro.units import us
+        system = UPaRCSystem(decompressor=None)
+        result = system.run_with_constraints(small_bitstream,
+                                             deadline_ps=us(200))
+        assert result.duration_ps <= us(200)
+        # A relaxed deadline must yield a lower (or equal) frequency.
+        relaxed = UPaRCSystem(decompressor=None).run_with_constraints(
+            small_bitstream, deadline_ps=us(2000))
+        assert relaxed.frequency <= result.frequency
+
+    def test_power_budget_respected(self, small_bitstream):
+        system = UPaRCSystem(decompressor=None)
+        result = system.run_with_constraints(small_bitstream,
+                                             power_budget_mw=260.0)
+        assert result.energy.mean_power_mw <= 260.0
+
+    def test_infeasible_rejected_before_retune(self, small_bitstream):
+        from repro.errors import PolicyError
+        from repro.units import us
+        system = UPaRCSystem(decompressor=None)
+        before = system.frequency
+        with pytest.raises(PolicyError):
+            system.run_with_constraints(small_bitstream,
+                                        deadline_ps=us(1),
+                                        power_budget_mw=100.0)
+        assert system.frequency == before
+
+
+class TestLogging:
+    def test_run_emits_info_logs(self, small_bitstream, caplog):
+        import logging
+        with caplog.at_level(logging.INFO, logger="repro.core.system"):
+            system = UPaRCSystem(decompressor=None)
+            system.run(small_bitstream, frequency=mhz(200))
+        messages = " | ".join(record.message for record in caplog.records)
+        assert "CLK_2 retuned to 200 MHz" in messages
+        assert "UPaRC_i" in messages
+
+    def test_preload_emits_debug_log(self, small_bitstream, caplog):
+        import logging
+        with caplog.at_level(logging.DEBUG, logger="repro.core.system"):
+            UPaRCSystem(decompressor=None).preload(small_bitstream)
+        assert any("preloaded" in record.message
+                   for record in caplog.records)
+
+
+def test_set_decompressor_frequency_via_system():
+    system = UPaRCSystem()  # x-matchpro, clk3 at 125 MHz
+    achieved = system.set_decompressor_frequency(mhz(100))
+    assert achieved == mhz(100)
+    assert system.dyclogen.clk3.frequency == mhz(100)

@@ -1,0 +1,90 @@
+"""Area model — must reproduce Table II exactly."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.fpga.area import (
+    MODULE_INVENTORIES,
+    PACKERS,
+    ResourceInventory,
+    SlicePacker,
+    slices_for,
+)
+
+# Table II of the paper.
+PAPER_TABLE2 = {
+    "dyclogen": {"virtex5": 24, "virtex6": 18},
+    "urec": {"virtex5": 26, "virtex6": 26},
+    "decompressor": {"virtex5": 1035, "virtex6": 900},
+}
+
+
+@pytest.mark.parametrize("module", sorted(PAPER_TABLE2))
+@pytest.mark.parametrize("family", ["virtex5", "virtex6"])
+def test_table2_reproduced_exactly(module, family):
+    assert slices_for(module, family) == PAPER_TABLE2[module][family]
+
+
+def test_ff_bound_modules_shrink_on_v6():
+    # V6 slices hold twice the flip-flops, so FF-bound designs shrink.
+    assert slices_for("dyclogen", "virtex6") < slices_for("dyclogen",
+                                                          "virtex5")
+    assert slices_for("decompressor", "virtex6") \
+        < slices_for("decompressor", "virtex5")
+
+
+def test_lut_bound_module_constant_across_families():
+    assert slices_for("urec", "virtex5") == slices_for("urec", "virtex6")
+
+
+def test_urec_is_tiny_relative_to_decompressor():
+    assert slices_for("urec", "virtex5") * 30 \
+        < slices_for("decompressor", "virtex5")
+
+
+def test_microblaze_dwarfs_urec():
+    # The Section III argument for hardware managers: the MicroBlaze
+    # costs more than an order of magnitude more area than UReC.
+    assert slices_for("microblaze", "virtex5") \
+        > 10 * slices_for("urec", "virtex5")
+
+
+def test_unknown_module_and_family():
+    with pytest.raises(KeyError):
+        slices_for("nonexistent", "virtex5")
+    with pytest.raises(KeyError):
+        slices_for("urec", "virtex9")
+
+
+def test_inventory_addition():
+    total = MODULE_INVENTORIES["dyclogen"] + MODULE_INVENTORIES["urec"]
+    assert total.luts == 56 + 82
+    assert total.ffs == 76 + 64
+    assert total.dcm == 1
+
+
+def test_negative_inventory_rejected():
+    with pytest.raises(HardwareModelError):
+        ResourceInventory(luts=-1, ffs=0)
+
+
+def test_packer_efficiency_bounds():
+    with pytest.raises(HardwareModelError):
+        SlicePacker("x", 4, 4, packing_efficiency=0.0)
+    with pytest.raises(HardwareModelError):
+        SlicePacker("x", 4, 4, packing_efficiency=1.5)
+
+
+def test_packer_takes_max_of_pressures():
+    packer = SlicePacker("test", luts_per_slice=4, ffs_per_slice=4,
+                         packing_efficiency=1.0)
+    lut_heavy = ResourceInventory(luts=40, ffs=4)
+    ff_heavy = ResourceInventory(luts=4, ffs=40)
+    assert packer.slices(lut_heavy) == 10
+    assert packer.slices(ff_heavy) == 10
+
+
+def test_families_registered():
+    assert set(PACKERS) == {"virtex4", "virtex5", "virtex6"}
+    assert PACKERS["virtex6"].ffs_per_slice \
+        == 2 * PACKERS["virtex5"].ffs_per_slice

@@ -1,0 +1,106 @@
+"""Hypothesis properties of the configuration logic.
+
+For arbitrary frame workloads expressed as legal packet streams, the
+configuration memory must end up exactly as written — and the CRC
+check must catch any single corrupted payload word.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bitstream.crc import ConfigCrc
+from repro.bitstream.device import VIRTEX5_SX50T
+from repro.bitstream.format import (
+    Command,
+    ConfigPacket,
+    ConfigRegister,
+    Opcode,
+    SYNC_WORD,
+    command_packet,
+    write_packet,
+)
+from repro.bitstream.frames import BlockType, FrameAddress, region_frames
+from repro.fpga.config_memory import (
+    ConfigurationLogic,
+    ConfigurationMemory,
+)
+
+DEVICE = VIRTEX5_SX50T
+
+frame_contents = st.lists(
+    st.lists(st.integers(0, 2**32 - 1),
+             min_size=DEVICE.frame_words, max_size=DEVICE.frame_words),
+    min_size=1, max_size=6)
+
+origins = st.builds(
+    lambda column, minor: FrameAddress(BlockType.CLB_IO_CLK, 0, 0,
+                                       column, minor),
+    st.integers(0, 80), st.integers(0, 30))
+
+
+def build_stream(origin, frames):
+    """A legal configuration stream writing ``frames`` at ``origin``."""
+    crc = ConfigCrc()
+    words = [SYNC_WORD]
+
+    def emit(packet):
+        encoded = packet.encode()
+        words.extend(encoded)
+
+    emit(command_packet(Command.RCRC))
+    emit(write_packet(ConfigRegister.IDCODE, [DEVICE.idcode]))
+    crc.update(int(ConfigRegister.IDCODE), DEVICE.idcode)
+    emit(command_packet(Command.WCFG))
+    crc.update(int(ConfigRegister.CMD), int(Command.WCFG))
+    emit(write_packet(ConfigRegister.FAR, [origin.pack()]))
+    crc.update(int(ConfigRegister.FAR), origin.pack())
+    flat = [word for frame in frames for word in frame]
+    emit(ConfigPacket(Opcode.WRITE, ConfigRegister.FDRI, flat,
+                      type2=True))
+    for word in flat:
+        crc.update(int(ConfigRegister.FDRI), word)
+    emit(write_packet(ConfigRegister.CRC, [crc.value]))
+    emit(command_packet(Command.DESYNC))
+    return words
+
+
+@settings(max_examples=40, deadline=None)
+@given(origins, frame_contents)
+def test_frames_land_exactly_where_addressed(origin, frames):
+    logic = ConfigurationLogic(ConfigurationMemory(DEVICE))
+    logic.feed_words(build_stream(origin, frames))
+    assert logic.frames_written == len(frames)
+    assert logic.crc_checks_passed == 1
+    assert not logic.synced  # DESYNC consumed
+    addresses = list(region_frames(DEVICE, origin, len(frames)))
+    for address, frame in zip(addresses, frames):
+        assert logic.memory.read_frame(address) == frame
+
+
+@settings(max_examples=30, deadline=None)
+@given(origins, frame_contents, st.data())
+def test_single_word_corruption_always_caught(origin, frames, data):
+    words = build_stream(origin, frames)
+    flat_len = len(frames) * DEVICE.frame_words
+    # The FDRI payload sits right before the trailing 4 shell words
+    # (CRC header+value, CMD header+DESYNC) — corrupt one payload word.
+    payload_start = len(words) - 4 - flat_len
+    index = payload_start + data.draw(
+        st.integers(0, flat_len - 1))
+    bit = data.draw(st.integers(0, 31))
+    corrupted = list(words)
+    corrupted[index] ^= 1 << bit
+    logic = ConfigurationLogic(ConfigurationMemory(DEVICE))
+    import pytest
+    from repro.errors import BitstreamFormatError
+    with pytest.raises(BitstreamFormatError, match="CRC mismatch"):
+        logic.feed_words(corrupted)
+
+
+@settings(max_examples=20, deadline=None)
+@given(origins, frame_contents)
+def test_permissive_mode_still_writes_frames(origin, frames):
+    logic = ConfigurationLogic(ConfigurationMemory(DEVICE),
+                               strict_crc=False)
+    words = build_stream(origin, frames)
+    logic.feed_words(words)
+    assert logic.frames_written == len(frames)

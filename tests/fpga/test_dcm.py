@@ -1,0 +1,135 @@
+"""DCM / DRP model (DyCloGen's substrate)."""
+
+import pytest
+
+from repro.errors import DrpProtocolError, FrequencyError
+from repro.fpga.dcm import (
+    DADDR_D,
+    DADDR_M,
+    Dcm,
+    DcmSettings,
+    best_settings,
+)
+from repro.sim import Clock
+from repro.units import Frequency
+
+
+def mhz(value):
+    return Frequency.from_mhz(value)
+
+
+def make_dcm(sim, m=2, d=2, f_in=100.0):
+    clock = Clock(sim, "out", mhz(f_in))
+    dcm = Dcm(sim, mhz(f_in), DcmSettings(m, d), clock)
+    return dcm, clock
+
+
+class TestSettings:
+    def test_paper_headline_operating_point(self):
+        # F_in = 100 MHz, M = 29, D = 8 -> 362.5 MHz (Section IV).
+        assert DcmSettings(29, 8).output(mhz(100)) == mhz(362.5)
+
+    def test_m_range_enforced(self):
+        with pytest.raises(FrequencyError):
+            DcmSettings(1, 8)
+        with pytest.raises(FrequencyError):
+            DcmSettings(34, 8)
+
+    def test_d_range_enforced(self):
+        with pytest.raises(FrequencyError):
+            DcmSettings(2, 0)
+        with pytest.raises(FrequencyError):
+            DcmSettings(2, 33)
+
+
+class TestBestSettings:
+    def test_exact_target_found(self):
+        settings = best_settings(mhz(100), mhz(362.5))
+        assert settings.output(mhz(100)) == mhz(362.5)
+
+    def test_paper_m_d_pair(self):
+        settings = best_settings(mhz(100), mhz(362.5))
+        # Ties prefer smaller M; 29/8 is the smallest exact pair.
+        assert (settings.multiplier, settings.divisor) == (29, 8)
+
+    def test_inexact_target_close(self):
+        settings = best_settings(mhz(100), mhz(126))
+        achieved = settings.output(mhz(100))
+        assert abs(achieved.mhz - 126) < 2.0
+
+    def test_fout_cap_respected(self):
+        settings = best_settings(mhz(100), mhz(126), fout_max=mhz(126))
+        assert settings.output(mhz(100)) <= mhz(126)
+
+    def test_unreachable_target_clamps_to_window_edge(self):
+        # The grid cannot reach 10 GHz; the closest legal output is the
+        # DFS window edge (DyCloGen's 1 % check rejects it upstream).
+        settings = best_settings(mhz(100), mhz(10_000))
+        assert settings.output(mhz(100)) <= mhz(400)
+        assert settings.output(mhz(100)) >= mhz(390)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(FrequencyError):
+            best_settings(mhz(100), mhz(50), fout_max=mhz(10))
+
+
+class TestDcm:
+    def test_output_clock_synthesized_at_init(self, sim):
+        dcm, clock = make_dcm(sim, m=29, d=8)
+        assert clock.frequency == mhz(362.5)
+        assert dcm.locked
+
+    def test_drp_write_then_apply_retunes(self, sim):
+        dcm, clock = make_dcm(sim, m=2, d=2)
+        dcm.drp_write(DADDR_M, 4)
+        dcm.drp_write(DADDR_D, 2)
+        lock_ps = dcm.apply()
+        assert clock.frequency == mhz(200)
+        assert lock_ps > 0
+        assert not dcm.locked  # mid-relock
+
+    def test_locked_after_lock_time(self, sim):
+        dcm, _ = make_dcm(sim)
+        dcm.drp_write(DADDR_M, 4)
+        lock_ps = dcm.apply()
+        sim.run(until_ps=lock_ps)
+        assert dcm.locked
+
+    def test_drp_write_during_relock_rejected(self, sim):
+        dcm, _ = make_dcm(sim)
+        dcm.drp_write(DADDR_M, 4)
+        dcm.apply()
+        with pytest.raises(DrpProtocolError):
+            dcm.drp_write(DADDR_M, 8)
+
+    def test_apply_without_staged_writes_rejected(self, sim):
+        dcm, _ = make_dcm(sim)
+        with pytest.raises(DrpProtocolError):
+            dcm.apply()
+
+    def test_unknown_drp_address_rejected(self, sim):
+        dcm, _ = make_dcm(sim)
+        with pytest.raises(DrpProtocolError):
+            dcm.drp_write(0x99, 1)
+
+    def test_partial_update_keeps_other_field(self, sim):
+        dcm, clock = make_dcm(sim, m=2, d=2)  # 100 MHz
+        dcm.drp_write(DADDR_M, 6)
+        dcm.apply()
+        assert dcm.settings.divisor == 2
+        assert clock.frequency == mhz(300)
+
+    def test_out_of_window_output_rejected(self, sim):
+        dcm, _ = make_dcm(sim)
+        dcm.drp_write(DADDR_M, 2)
+        dcm.drp_write(DADDR_D, 32)  # 6.25 MHz, below DFS window
+        with pytest.raises(FrequencyError):
+            dcm.apply()
+
+    def test_retune_to_sequences_full_protocol(self, sim):
+        dcm, clock = make_dcm(sim)
+        lock_ps = dcm.retune_to(mhz(362.5))
+        assert clock.frequency == mhz(362.5)
+        assert dcm.retune_count == 1
+        sim.run(until_ps=lock_ps)
+        assert dcm.locked

@@ -1,0 +1,84 @@
+"""Hardware decompressor timing model."""
+
+import pytest
+
+from repro.errors import FrequencyError, HardwareModelError
+from repro.fpga.decompressor import (
+    DECOMPRESSOR_LIBRARY,
+    HardwareDecompressor,
+)
+from repro.sim import Clock
+from repro.units import Frequency
+
+
+def make(sim, name="x-matchpro", mhz=125.0):
+    spec = DECOMPRESSOR_LIBRARY[name]
+    clock = Clock(sim, "clk3", Frequency.from_mhz(mhz))
+    return HardwareDecompressor(sim, spec, clock)
+
+
+def test_library_has_the_paper_algorithms():
+    assert set(DECOMPRESSOR_LIBRARY) >= {"x-matchpro", "farm-rle",
+                                         "lz77", "huffman"}
+
+
+def test_xmatchpro_spec_matches_paper():
+    spec = DECOMPRESSOR_LIBRARY["x-matchpro"]
+    # 2 words/cycle, 64-bit datapath, 126 MHz -> 1.008 GB/s.
+    assert spec.words_per_cycle == 2.0
+    assert spec.max_frequency == Frequency.from_mhz(126)
+    bandwidth = spec.output_bandwidth_mbps(Frequency.from_mhz(126))
+    assert bandwidth * 1.048576 == pytest.approx(1008, rel=0.001)
+
+
+def test_farm_rle_spec():
+    spec = DECOMPRESSOR_LIBRARY["farm-rle"]
+    assert spec.max_frequency == Frequency.from_mhz(200)
+    assert spec.words_per_cycle == 1.0
+
+
+def test_output_bandwidth_respects_fmax():
+    spec = DECOMPRESSOR_LIBRARY["x-matchpro"]
+    with pytest.raises(FrequencyError):
+        spec.output_bandwidth_mbps(Frequency.from_mhz(200))
+
+
+def test_stream_cycles_two_words_per_cycle(sim):
+    decompressor = make(sim, "x-matchpro")
+    assert decompressor.stream_cycles(1000) == 500
+    assert decompressor.stream_cycles(1001) == 501
+
+
+def test_stream_cycles_half_word_per_cycle(sim):
+    decompressor = make(sim, "huffman", mhz=150)
+    assert decompressor.stream_cycles(100) == 200
+
+
+def test_stream_cycles_negative_rejected(sim):
+    with pytest.raises(HardwareModelError):
+        make(sim).stream_cycles(-1)
+
+
+def test_check_frequency(sim):
+    fast = make(sim, "x-matchpro", mhz=150)
+    with pytest.raises(FrequencyError):
+        fast.check_frequency()
+    ok = make(sim, "x-matchpro", mhz=125)
+    ok.check_frequency()
+
+
+def test_functional_roundtrip(sim, small_bitstream):
+    decompressor = make(sim)
+    compressed = decompressor.compress_offline(small_bitstream.raw_bytes)
+    assert decompressor.expand(compressed) == small_bitstream.raw_bytes
+    assert len(compressed) < len(small_bitstream.raw_bytes)
+
+
+def test_each_library_entry_is_functional(sim, small_bitstream):
+    data = small_bitstream.raw_bytes[:8192]
+    for name in DECOMPRESSOR_LIBRARY:
+        spec = DECOMPRESSOR_LIBRARY[name]
+        clock = Clock(sim, name, spec.max_frequency)
+        decompressor = HardwareDecompressor(sim, spec, clock)
+        assert decompressor.expand(
+            decompressor.compress_offline(data)) == data

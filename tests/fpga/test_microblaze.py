@@ -1,0 +1,75 @@
+"""MicroBlaze manager cycle-cost model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.fpga.microblaze import (
+    CONTROL_OVERHEAD_CYCLES,
+    MicroBlaze,
+    XPS_COPY_CYCLES_PER_WORD,
+)
+from repro.sim import Clock
+from repro.units import Frequency
+
+
+def make_cpu(sim, mhz=100.0, **kwargs):
+    clock = Clock(sim, "clk1", Frequency.from_mhz(mhz))
+    return MicroBlaze(sim, clock, **kwargs)
+
+
+def test_control_overhead_is_1_2us_at_100mhz(sim):
+    # The Fig. 5 calibration: 120 cycles at 100 MHz = 1.2 us.
+    cpu = make_cpu(sim)
+    assert cpu.control_duration_ps() == 1_200_000
+
+
+def test_control_overhead_scales_with_clock(sim):
+    fast = make_cpu(sim, mhz=200)
+    assert fast.control_duration_ps() == 600_000
+
+
+def test_copy_loop_gives_14_5_mbps(sim):
+    # 26 cycles/word at 100 MHz -> ~14.7 decimal MB/s (paper: 14.5).
+    cpu = make_cpu(sim)
+    words = 25_000
+    duration_s = cpu.copy_duration_ps(words) / 1e12
+    mbps = words * 4 / 1e6 / duration_s
+    assert mbps == pytest.approx(15.4, rel=0.02)
+
+
+def test_unoptimized_profile_gives_1_5_mbps(sim):
+    cpu = make_cpu(sim, copy_cycles_per_word=254)
+    words = 25_000
+    duration_s = cpu.copy_duration_ps(words) / 1e12
+    mbps = words * 4 / 1e6 / duration_s
+    assert mbps == pytest.approx(1.57, rel=0.02)
+
+
+def test_preload_duration(sim):
+    cpu = make_cpu(sim)
+    assert cpu.preload_duration_ps(10) \
+        == 10 * cpu.preload_cycles_per_word * 10_000
+
+
+def test_parse_duration_positive(sim):
+    assert make_cpu(sim).parse_duration_ps() > 0
+
+
+def test_negative_word_counts_rejected(sim):
+    cpu = make_cpu(sim)
+    with pytest.raises(HardwareModelError):
+        cpu.copy_duration_ps(-1)
+    with pytest.raises(HardwareModelError):
+        cpu.preload_duration_ps(-1)
+
+
+def test_invalid_cycle_costs_rejected(sim):
+    with pytest.raises(HardwareModelError):
+        make_cpu(sim, control_overhead_cycles=0)
+    with pytest.raises(HardwareModelError):
+        make_cpu(sim, copy_cycles_per_word=-5)
+
+
+def test_defaults_exported():
+    assert CONTROL_OVERHEAD_CYCLES == 120
+    assert XPS_COPY_CYCLES_PER_WORD == 26

@@ -1,0 +1,73 @@
+"""Cross-validation of independent timing paths.
+
+Three parts of the library compute reconfiguration time through
+different code: the discrete-event simulator (UPaRCSystem), the
+frequency policy's analytic predictor, and the schedulers' duration
+helpers.  They must agree to sub-cycle precision, or every policy
+decision and schedule would drift from what the system actually does.
+"""
+
+import pytest
+
+from repro.bitstream.generator import generate_bitstream
+from repro.core.policy import FrequencyPolicy
+from repro.core.scheduler import PrefetchScheduler
+from repro.core.system import UPaRCSystem
+from repro.power.model import PowerModel
+from repro.units import DataSize, Frequency
+
+CASES = [(6.5, 362.5), (49.0, 100.0), (81.0, 250.0), (216.5, 50.0)]
+
+
+@pytest.mark.parametrize("size_kb,mhz", CASES)
+def test_policy_prediction_matches_simulation(size_kb, mhz):
+    bitstream = generate_bitstream(size=DataSize.from_kb(size_kb))
+    frequency = Frequency.from_mhz(mhz)
+
+    system = UPaRCSystem(decompressor=None)
+    result = system.run(bitstream, frequency=frequency,
+                        collect_power=False)
+
+    policy = FrequencyPolicy(PowerModel())
+    predicted = policy.predict_duration_ps(bitstream.size, frequency)
+
+    # Sub-0.1% agreement (the predictor's word count uses the nominal
+    # size; the generator quantizes to whole frames).
+    assert result.duration_ps == pytest.approx(predicted, rel=1e-3)
+
+
+@pytest.mark.parametrize("size_kb,mhz", CASES)
+def test_scheduler_duration_matches_simulation(size_kb, mhz):
+    bitstream = generate_bitstream(size=DataSize.from_kb(size_kb))
+    frequency = Frequency.from_mhz(mhz)
+
+    system = UPaRCSystem(decompressor=None)
+    result = system.run(bitstream, frequency=frequency,
+                        collect_power=False)
+
+    scheduler = PrefetchScheduler(reconfiguration_frequency=frequency)
+    assert scheduler.reconfigure_ps(bitstream.size) \
+        == pytest.approx(result.duration_ps, rel=1e-3)
+
+
+def test_policy_power_matches_simulated_plateau(paper_bitstream):
+    policy = FrequencyPolicy(PowerModel())
+    for mhz in (50.0, 200.0):
+        frequency = Frequency.from_mhz(mhz)
+        point = policy.operating_point(paper_bitstream.size, frequency)
+        system = UPaRCSystem(decompressor=None)
+        result = system.run(paper_bitstream, frequency=frequency)
+        assert point.power_mw == pytest.approx(
+            result.energy.mean_power_mw, rel=1e-6)
+
+
+def test_policy_energy_matches_simulated_energy(paper_bitstream):
+    policy = FrequencyPolicy(PowerModel())
+    frequency = Frequency.from_mhz(100.0)
+    point = policy.operating_point(paper_bitstream.size, frequency)
+    system = UPaRCSystem(decompressor=None)
+    result = system.run(paper_bitstream, frequency=frequency)
+    # The policy charges the control window too; the simulator's
+    # energy report covers Start..Finish.  Within 1 %.
+    assert point.energy_uj == pytest.approx(result.energy.energy_uj,
+                                            rel=0.01)

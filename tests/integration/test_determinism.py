@@ -1,0 +1,57 @@
+"""Whole-pipeline determinism.
+
+The repository's claim that every number in EXPERIMENTS.md reproduces
+exactly depends on end-to-end determinism: same inputs, same events,
+same traces, bit for bit.  These tests run complete experiments twice
+and require identity — not approximate equality.
+"""
+
+from repro.analysis.bandwidth import bandwidth_surface
+from repro.analysis.powersweep import fig7_power_sweep
+from repro.bitstream.generator import generate_bitstream
+from repro.core.system import UPaRCSystem
+from repro.units import DataSize, Frequency
+
+
+def test_generator_bit_identical():
+    first = generate_bitstream(size=DataSize.from_kb(32), seed=77)
+    second = generate_bitstream(size=DataSize.from_kb(32), seed=77)
+    assert first.file_bytes == second.file_bytes
+
+
+def test_full_run_identical(small_bitstream):
+    def run():
+        system = UPaRCSystem(decompressor=None)
+        return system.run(small_bitstream,
+                          frequency=Frequency.from_mhz(300))
+
+    first, second = run(), run()
+    assert first.start_ps == second.start_ps
+    assert first.finish_ps == second.finish_ps
+    assert first.payload_crc == second.payload_crc
+    assert first.energy.energy_uj == second.energy.energy_uj
+    assert [(s.time_ps, s.value) for s in first.power_trace.samples] \
+        == [(s.time_ps, s.value) for s in second.power_trace.samples]
+
+
+def test_fig5_cell_identical():
+    first = bandwidth_surface(sizes_kb=(12.0,), frequencies_mhz=(200.0,))
+    second = bandwidth_surface(sizes_kb=(12.0,),
+                               frequencies_mhz=(200.0,))
+    assert first[0].duration_ps == second[0].duration_ps
+    assert first[0].effective_mbps == second[0].effective_mbps
+
+
+def test_fig7_point_identical():
+    first = fig7_power_sweep(frequencies_mhz=(100.0,), size_kb=16.0)
+    second = fig7_power_sweep(frequencies_mhz=(100.0,), size_kb=16.0)
+    assert first[0].energy_uj == second[0].energy_uj
+    assert first[0].reconfiguration_us == second[0].reconfiguration_us
+
+
+def test_compression_deterministic(medium_bitstream):
+    from repro.compress import all_codecs
+    data = medium_bitstream.raw_bytes[:16384]
+    for codec in all_codecs():
+        fresh = type(codec)()
+        assert codec.compress(data) == fresh.compress(data), codec.name

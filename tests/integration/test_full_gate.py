@@ -1,0 +1,14 @@
+"""The full (non-quick) acceptance gate, at the paper's exact
+conditions.  The slowest test in the suite by design: it runs every
+experiment end to end once, as `python -m repro validate` does."""
+
+from repro.analysis.validation import validate_reproduction
+
+
+def test_full_validation_gate_passes():
+    report = validate_reproduction(quick=False)
+    assert report.passed, "\n".join(
+        f"{claim.source}: {claim.statement} — {claim.detail}"
+        for claim in report.failures())
+    # The full gate checks strictly more than the quick gate.
+    assert len(report.claims) >= 13

@@ -1,0 +1,102 @@
+"""Mixed-mode, multi-run scenarios on one long-lived system.
+
+A deployed system interleaves everything: raw swaps, compressed
+swaps, frequency retunes, decompressor swaps, readback scrubs.  These
+tests run such sequences on a single UPaRCSystem instance and verify
+every step — the long-lived-state bugs (stale CRC windows, clock
+bleed-through, staging residue) that single-shot tests cannot see.
+"""
+
+import pytest
+
+from repro.bitstream.generator import generate_bitstream
+from repro.controllers import UparcController
+from repro.core.system import UPaRCSystem
+from repro.core.urec import OperationMode
+from repro.units import DataSize, Frequency
+
+
+def mhz(value):
+    return Frequency.from_mhz(value)
+
+
+@pytest.fixture(scope="module")
+def modules():
+    return {
+        name: generate_bitstream(size=DataSize.from_kb(kb), seed=kb,
+                                 design_name=name)
+        for name, kb in (("a", 16), ("b", 24), ("c", 32))
+    }
+
+
+def test_long_interleaved_sequence(modules):
+    system = UPaRCSystem()
+    steps = [
+        ("a", mhz(100), OperationMode.RAW),
+        ("b", mhz(362.5), OperationMode.RAW),
+        ("b", mhz(255), OperationMode.COMPRESSED),
+        ("c", mhz(50), OperationMode.RAW),
+        ("a", mhz(255), OperationMode.COMPRESSED),
+        ("c", mhz(300), OperationMode.RAW),
+    ]
+    previous_end = 0
+    for name, frequency, mode in steps:
+        result = system.run(modules[name], frequency=frequency,
+                            mode=mode)
+        assert result.verified, (name, frequency, mode)
+        assert result.start_ps >= previous_end
+        previous_end = result.finish_ps
+        from repro.results import stream_crc
+        assert result.payload_crc == stream_crc(modules[name].raw_bytes)
+
+
+def test_swap_decompressor_mid_sequence(modules):
+    system = UPaRCSystem()
+    first = system.run(modules["a"], frequency=mhz(200),
+                       mode=OperationMode.COMPRESSED)
+    assert first.verified
+    system.swap_decompressor("farm-rle")
+    second = system.run(modules["b"], frequency=mhz(200),
+                        mode=OperationMode.COMPRESSED)
+    assert second.verified
+    system.swap_decompressor("x-matchpro")
+    third = system.run(modules["a"], frequency=mhz(200),
+                       mode=OperationMode.COMPRESSED)
+    assert third.verified
+    # Same module, same codec as the first run: identical staging size.
+    assert third.stored_size == first.stored_size
+
+
+def test_scrub_between_swaps(modules):
+    from repro.bitstream.generator import REGION_ORIGIN
+    system = UPaRCSystem(decompressor=None)
+    system.run(modules["a"], frequency=mhz(362.5))
+    system.icap.enable()
+    data, _ = system.icap.readback(REGION_ORIGIN,
+                                   modules["a"].frame_count)
+    system.icap.disable()
+    result = system.run(modules["b"])
+    assert result.verified
+    # The readback did not pollute the new run's verification.
+    from repro.results import stream_crc
+    assert result.payload_crc == stream_crc(modules["b"].raw_bytes)
+
+
+def test_uparc_controller_with_alternate_decompressor(modules):
+    controller = UparcController("ii", decompressor="farm-rle")
+    result = controller.reconfigure(modules["c"], mhz(200))
+    assert result.verified
+    assert result.mode == "compressed"
+    # RLE staging is bigger than X-MatchPRO's on the same content.
+    xmatch = UparcController("ii").reconfigure(modules["c"], mhz(200))
+    assert result.stored_size.bytes > xmatch.stored_size.bytes
+
+
+def test_energy_accumulates_per_run_not_globally(modules):
+    system = UPaRCSystem(decompressor=None)
+    first = system.run(modules["a"], frequency=mhz(100))
+    second = system.run(modules["a"], frequency=mhz(100))
+    # Same conditions -> same per-run energy, even though the second
+    # run happens much later in simulated time.
+    assert second.energy.energy_uj \
+        == pytest.approx(first.energy.energy_uj, rel=1e-9)

@@ -1,0 +1,34 @@
+"""The acceptance gate itself: every encoded claim must hold."""
+
+import pytest
+
+from repro.analysis.validation import validate_reproduction
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validate_reproduction(quick=True)
+
+
+def test_gate_passes(report):
+    assert report.passed, "\n".join(
+        f"{claim.source}: {claim.statement} — {claim.detail}"
+        for claim in report.failures())
+
+
+def test_gate_covers_every_evaluation_artifact(report):
+    sources = {claim.source for claim in report.claims}
+    assert {"Table I", "Table II", "Table III",
+            "Fig. 5", "Fig. 7", "§V", "§IV"} <= sources
+
+
+def test_summary_counts(report):
+    assert report.summary.endswith("claims hold")
+    assert report.failures() == []
+
+
+def test_claims_carry_detail_where_quantitative(report):
+    quantitative = [claim for claim in report.claims
+                    if "within" in claim.statement
+                    or "x" in claim.statement]
+    assert any(claim.detail for claim in quantitative)

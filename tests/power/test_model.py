@@ -1,0 +1,77 @@
+"""PowerModel state-to-power mapping."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.power.model import ManagerState, PowerModel
+
+
+@pytest.fixture
+def model():
+    return PowerModel()
+
+
+def test_idle_is_static_only(model):
+    assert model.total_mw() == model.idle_mw()
+    assert model.idle_mw() == pytest.approx(30.0)
+
+
+def test_manager_states_ordered(model):
+    idle = model.manager_mw(ManagerState.IDLE)
+    wait = model.manager_mw(ManagerState.WAIT)
+    control = model.manager_mw(ManagerState.CONTROL)
+    assert idle < wait < control
+
+
+def test_unknown_manager_state_rejected(model):
+    with pytest.raises(CalibrationError):
+        model.manager_mw("sleeping")
+
+
+def test_chain_power_zero_when_inactive(model):
+    assert model.chain_mw(False, 300.0) == 0.0
+
+
+def test_chain_power_grows_with_frequency(model):
+    assert model.chain_mw(True, 300.0) > model.chain_mw(True, 50.0)
+
+
+def test_uparc_reconfiguration_power_matches_fig7(model):
+    for mhz, total in ((50.0, 183.0), (100.0, 259.0),
+                       (200.0, 394.0), (300.0, 453.0)):
+        assert model.uparc_reconfiguration_mw(mhz) == pytest.approx(total)
+
+
+def test_xps_reconfiguration_power_is_45mw(model):
+    assert model.xps_reconfiguration_mw() == pytest.approx(45.0)
+
+
+def test_decompressor_adds_power(model):
+    without = model.uparc_reconfiguration_mw(255.0)
+    with_decomp = model.uparc_reconfiguration_mw(
+        255.0, decompressor_clk3_mhz=125.0)
+    assert with_decomp > without
+
+
+def test_breakdown_totals_consistent(model):
+    breakdown = model.breakdown(manager_state=ManagerState.WAIT,
+                                chain_active=True, clk2_mhz=200.0)
+    assert breakdown.total == pytest.approx(
+        breakdown.static + breakdown.manager + breakdown.chain
+        + breakdown.decompressor)
+    assert breakdown.total == pytest.approx(394.0)
+
+
+def test_breakdown_chain_components(model):
+    breakdown = model.breakdown(chain_active=True, clk2_mhz=100.0)
+    parts = breakdown.chain_components(
+        model.calibration.chain_split)
+    assert sum(parts.values()) == pytest.approx(breakdown.chain)
+    assert parts["bram"] > parts["urec"]
+
+
+def test_analytic_mode_monotone_in_frequency():
+    model = PowerModel(analytic=True)
+    powers = [model.uparc_reconfiguration_mw(mhz)
+              for mhz in (50, 100, 200, 300, 362.5)]
+    assert powers == sorted(powers)

@@ -1,0 +1,114 @@
+"""Power trace builder and energy integration."""
+
+import pytest
+
+from repro.power.energy import EnergyReport, energy_from_trace, uj_per_kb
+from repro.power.model import ManagerState, PowerModel
+from repro.power.trace import PowerTraceBuilder
+from repro.sim import ValueTrace
+from repro.units import DataSize
+
+
+class TestPowerTraceBuilder:
+    def test_initial_sample_is_idle(self, sim):
+        builder = PowerTraceBuilder(sim, PowerModel())
+        assert builder.trace.samples[0].value == pytest.approx(30.0)
+
+    def test_state_changes_sampled(self, sim):
+        builder = PowerTraceBuilder(sim, PowerModel())
+        sim.run(until_ps=100)
+        builder.manager_state(ManagerState.CONTROL)
+        sim.run(until_ps=200)
+        builder.chain_on(100.0)
+        sim.run(until_ps=300)
+        builder.finalize()
+        values = [sample.value for sample in builder.trace.samples]
+        assert values[0] == pytest.approx(30.0)
+        assert values[1] == pytest.approx(90.0)    # static + control
+        assert values[-1] == pytest.approx(30.0)   # back to idle
+
+    def test_repeated_state_not_resampled(self, sim):
+        builder = PowerTraceBuilder(sim, PowerModel())
+        before = len(builder.trace)
+        builder.manager_state(ManagerState.IDLE)
+        assert len(builder.trace) == before
+
+    def test_chain_off_idempotent(self, sim):
+        builder = PowerTraceBuilder(sim, PowerModel())
+        builder.chain_off()  # never on; no crash, no sample
+        assert len(builder.trace) == 1
+
+    def test_power_between_weights_segments(self, sim):
+        builder = PowerTraceBuilder(sim, PowerModel())
+        sim.run(until_ps=100)
+        builder.chain_on(100.0)   # 259 - 15 (wait not set) = 244 mW
+        sim.run(until_ps=200)
+        builder.chain_off()
+        sim.run(until_ps=300)
+        mean = builder.power_between(0, 300)
+        chain_level = 30.0 + PowerModel().chain_mw(True, 100.0)
+        expected = (30.0 * 100 + chain_level * 100 + 30.0 * 100) / 300
+        assert mean == pytest.approx(expected)
+
+    def test_power_between_empty_window_raises(self, sim):
+        builder = PowerTraceBuilder(sim, PowerModel())
+        with pytest.raises(ValueError):
+            builder.power_between(10, 10)
+
+
+class TestEnergy:
+    def test_energy_constant_power(self):
+        trace = ValueTrace("p")
+        trace.record(0, 100.0)  # 100 mW forever
+        # 100 mW for 1 ms = 100 uJ.
+        assert energy_from_trace(trace, 0, 10**9) == pytest.approx(100.0)
+
+    def test_energy_with_baseline_subtraction(self):
+        trace = ValueTrace("p")
+        trace.record(0, 100.0)
+        energy = energy_from_trace(trace, 0, 10**9, baseline_mw=30.0)
+        assert energy == pytest.approx(70.0)
+
+    def test_energy_step_profile(self):
+        trace = ValueTrace("p")
+        trace.record(0, 50.0)
+        trace.record(10**9, 150.0)
+        energy = energy_from_trace(trace, 0, 2 * 10**9)
+        assert energy == pytest.approx(50.0 + 150.0)
+
+    def test_energy_empty_window_raises(self):
+        trace = ValueTrace("p")
+        trace.record(0, 1.0)
+        with pytest.raises(ValueError):
+            energy_from_trace(trace, 5, 5)
+
+    def test_uj_per_kb(self):
+        assert uj_per_kb(143.0, DataSize.from_kb(216.5)) \
+            == pytest.approx(0.6605, rel=0.001)
+        with pytest.raises(ValueError):
+            uj_per_kb(1.0, DataSize(0))
+
+    def test_report_from_power(self):
+        report = EnergyReport.from_power(
+            controller="UPaRC_i",
+            bitstream=DataSize.from_kb(216.5),
+            duration_ps=550 * 10**6,
+            power_mw=259.0,
+            idle_mw=30.0,
+        )
+        assert report.energy_uj == pytest.approx(142.45)
+        assert report.uj_per_kb == pytest.approx(0.658, rel=0.01)
+        assert report.energy_uj_idle_corrected \
+            == pytest.approx((259 - 30) * 1e-3 * 550e-6 * 1e6)
+
+    def test_report_from_power_invalid_duration(self):
+        with pytest.raises(ValueError):
+            EnergyReport.from_power("x", DataSize(1), 0, 1.0, 0.0)
+
+
+def test_idle_corrected_uj_per_kb():
+    report = EnergyReport.from_power(
+        controller="x", bitstream=DataSize.from_kb(100),
+        duration_ps=10**9, power_mw=130.0, idle_mw=30.0)
+    assert report.uj_per_kb_idle_corrected \
+        == pytest.approx(report.uj_per_kb * 100.0 / 130.0, rel=0.001)

@@ -1,0 +1,82 @@
+"""Clock domain retuning and cycle accounting."""
+
+import pytest
+
+from repro.errors import ClockError, FrequencyError
+from repro.sim import Clock
+from repro.units import Frequency
+
+
+def mhz(value):
+    return Frequency.from_mhz(value)
+
+
+def test_period_of_100mhz(sim):
+    clock = Clock(sim, "clk", mhz(100))
+    assert clock.period_ps == 10_000
+
+
+def test_period_of_362_5mhz_rounds_to_nearest_ps(sim):
+    clock = Clock(sim, "clk", mhz(362.5))
+    assert clock.period_ps == 2759  # 2758.62 ps rounded
+
+
+def test_cycles_duration(sim):
+    clock = Clock(sim, "clk", mhz(100))
+    assert clock.cycles_duration(5) == 50_000
+
+
+def test_negative_cycles_raises(sim):
+    clock = Clock(sim, "clk", mhz(100))
+    with pytest.raises(ClockError):
+        clock.cycles_duration(-1)
+
+
+def test_retune_changes_frequency_and_history(sim):
+    clock = Clock(sim, "clk", mhz(100))
+    sim.run(until_ps=1000)
+    clock.retune(mhz(200))
+    assert clock.frequency == mhz(200)
+    assert len(clock.history) == 2
+    assert clock.history[1].time_ps == 1000
+
+
+def test_retune_to_same_frequency_is_silent(sim):
+    clock = Clock(sim, "clk", mhz(100))
+    clock.retune(mhz(100))
+    assert len(clock.history) == 1
+
+
+def test_max_frequency_enforced_on_retune(sim):
+    clock = Clock(sim, "clk", mhz(100), max_frequency=mhz(300))
+    with pytest.raises(FrequencyError):
+        clock.retune(mhz(301))
+
+
+def test_max_frequency_enforced_at_construction(sim):
+    with pytest.raises(FrequencyError):
+        Clock(sim, "clk", mhz(400), max_frequency=mhz(300))
+
+
+def test_cycles_between_single_segment(sim):
+    clock = Clock(sim, "clk", mhz(100))  # 10 ns period
+    assert clock.cycles_between(0, 100_000) == 10
+
+
+def test_cycles_between_spanning_retune(sim):
+    clock = Clock(sim, "clk", mhz(100))
+    sim.run(until_ps=100_000)   # 10 cycles at 100 MHz
+    clock.retune(mhz(200))
+    sim.run(until_ps=200_000)   # +20 cycles at 200 MHz
+    assert clock.cycles_between(0, 200_000) == 30
+
+
+def test_cycles_between_partial_window(sim):
+    clock = Clock(sim, "clk", mhz(100))
+    assert clock.cycles_between(50_000, 150_000) == 10
+
+
+def test_cycles_between_backwards_raises(sim):
+    clock = Clock(sim, "clk", mhz(100))
+    with pytest.raises(ClockError):
+        clock.cycles_between(100, 50)

@@ -1,0 +1,133 @@
+"""Kernel event-queue semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_initial_time_is_zero(sim):
+    assert sim.now == 0
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.at(300, lambda: order.append("c"))
+    sim.at(100, lambda: order.append("a"))
+    sim.at(200, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order(sim):
+    order = []
+    for label in "abcde":
+        sim.at(50, lambda label=label: order.append(label))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_now_advances_to_event_time(sim):
+    seen = []
+    sim.at(123, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [123]
+    assert sim.now == 123
+
+
+def test_after_is_relative(sim):
+    seen = []
+    sim.at(100, lambda: sim.after(50, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [150]
+
+
+def test_scheduling_in_the_past_raises(sim):
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(50, lambda: None)
+
+
+def test_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_run_until_bound_is_inclusive(sim):
+    seen = []
+    sim.at(100, lambda: seen.append("on-bound"))
+    sim.at(101, lambda: seen.append("past-bound"))
+    sim.run(until_ps=100)
+    assert seen == ["on-bound"]
+    assert sim.now == 100
+
+
+def test_run_until_advances_time_even_when_idle(sim):
+    sim.run(until_ps=500)
+    assert sim.now == 500
+
+
+def test_cancelled_event_does_not_fire(sim):
+    seen = []
+    handle = sim.at(10, lambda: seen.append("x"))
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_after_fire_is_noop(sim):
+    seen = []
+    handle = sim.at(10, lambda: seen.append("x"))
+    sim.run()
+    handle.cancel()
+    assert seen == ["x"]
+
+
+def test_step_executes_single_event(sim):
+    seen = []
+    sim.at(10, lambda: seen.append("a"))
+    sim.at(20, lambda: seen.append("b"))
+    assert sim.step() is True
+    assert seen == ["a"]
+    assert sim.step() is True
+    assert seen == ["a", "b"]
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_run_are_executed(sim):
+    seen = []
+
+    def cascade(depth):
+        seen.append(depth)
+        if depth < 5:
+            sim.after(10, lambda: cascade(depth + 1))
+
+    sim.at(0, lambda: cascade(0))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50
+
+
+def test_reentrant_run_rejected(sim):
+    def inner():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.at(5, inner)
+    sim.run()
+
+
+def test_pending_events_counts_queue(sim):
+    sim.at(10, lambda: None)
+    sim.at(20, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_run_until_idle_alias(sim):
+    seen = []
+    sim.at(10, lambda: seen.append(1))
+    assert sim.run_until_idle() == 10
+    assert seen == [1]

@@ -1,0 +1,88 @@
+"""Signal and Event semantics."""
+
+import pytest
+
+from repro.sim import Event, Signal
+
+
+def test_signal_initial_value(sim):
+    assert Signal(sim, "s", initial=7).value == 7
+
+
+def test_set_changes_value_and_notifies(sim):
+    signal = Signal(sim, "s")
+    seen = []
+    signal.observe(lambda value, time: seen.append((value, time)))
+    sim.run(until_ps=42)
+    signal.set(1)
+    assert signal.value == 1
+    assert seen == [(1, 42)]
+
+
+def test_set_same_value_does_not_notify(sim):
+    signal = Signal(sim, "s", initial=5)
+    seen = []
+    signal.observe(lambda value, time: seen.append(value))
+    signal.set(5)
+    assert seen == []
+    assert signal.change_count == 0
+
+
+def test_pulse_produces_both_edges(sim):
+    signal = Signal(sim, "start")
+    seen = []
+    signal.observe(lambda value, time: seen.append(value))
+    signal.pulse()
+    assert seen == [1, 0]
+
+
+def test_unsubscribe_stops_notifications(sim):
+    signal = Signal(sim, "s")
+    seen = []
+    unsubscribe = signal.observe(lambda value, time: seen.append(value))
+    signal.set(1)
+    unsubscribe()
+    signal.set(2)
+    assert seen == [1]
+
+
+def test_on_value_fires_once(sim):
+    signal = Signal(sim, "s")
+    seen = []
+    signal.on_value(3, lambda time: seen.append(time))
+    signal.set(1)
+    signal.set(3)
+    signal.set(0)
+    signal.set(3)
+    assert len(seen) == 1
+
+
+def test_event_trigger_carries_payload(sim):
+    event = Event(sim, "done")
+    event.trigger(payload={"words": 42})
+    assert event.triggered
+    assert event.payload == {"words": 42}
+    assert event.trigger_time == 0
+
+
+def test_event_double_trigger_raises(sim):
+    event = Event(sim, "done")
+    event.trigger()
+    with pytest.raises(RuntimeError):
+        event.trigger()
+
+
+def test_waiter_called_on_trigger(sim):
+    event = Event(sim, "done")
+    seen = []
+    event.add_waiter(lambda ev: seen.append(ev.payload))
+    event.trigger("payload")
+    assert seen == ["payload"]
+
+
+def test_waiter_added_after_trigger_fires_immediately(sim):
+    event = Event(sim, "done")
+    event.trigger("x")
+    seen = []
+    event.add_waiter(lambda ev: seen.append(ev.payload))
+    assert seen == ["x"]

@@ -1,0 +1,110 @@
+"""Value and activity trace recorders."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import ActivityTrace, ValueTrace
+
+
+class TestValueTrace:
+    def test_records_samples(self):
+        trace = ValueTrace("p")
+        trace.record(0, 30.0)
+        trace.record(100, 250.0)
+        assert len(trace) == 2
+
+    def test_out_of_order_rejected(self):
+        trace = ValueTrace("p")
+        trace.record(100, 1.0)
+        with pytest.raises(SimulationError):
+            trace.record(50, 2.0)
+
+    def test_value_at_zero_order_hold(self):
+        trace = ValueTrace("p")
+        trace.record(0, 10.0)
+        trace.record(100, 20.0)
+        assert trace.value_at(0) == 10.0
+        assert trace.value_at(99) == 10.0
+        assert trace.value_at(100) == 20.0
+        assert trace.value_at(1000) == 20.0
+
+    def test_value_at_empty_raises(self):
+        with pytest.raises(SimulationError):
+            ValueTrace("p").value_at(0)
+
+    def test_integral_zero_order_hold(self):
+        trace = ValueTrace("p")
+        trace.record(0, 10.0)
+        trace.record(100, 20.0)
+        trace.record(200, 0.0)
+        # 10 * 100 + 20 * 100 = 3000 (value * ps)
+        assert trace.integral() == pytest.approx(3000.0)
+
+    def test_peak(self):
+        trace = ValueTrace("p")
+        trace.record(0, 5.0)
+        trace.record(10, 50.0)
+        trace.record(20, 7.0)
+        assert trace.peak() == 50.0
+
+
+class TestActivityTrace:
+    def test_basic_interval(self, sim):
+        activity = ActivityTrace(sim, "a")
+        activity.begin()
+        sim.run(until_ps=100)
+        activity.end()
+        assert activity.intervals == [(0, 100)]
+
+    def test_nested_begins_reference_counted(self, sim):
+        activity = ActivityTrace(sim, "a")
+        activity.begin()
+        sim.run(until_ps=10)
+        activity.begin()
+        sim.run(until_ps=50)
+        activity.end()
+        assert activity.active
+        sim.run(until_ps=100)
+        activity.end()
+        assert activity.intervals == [(0, 100)]
+
+    def test_end_without_begin_raises(self, sim):
+        with pytest.raises(SimulationError):
+            ActivityTrace(sim, "a").end()
+
+    def test_total_active_with_window(self, sim):
+        activity = ActivityTrace(sim, "a")
+        activity.begin()
+        sim.run(until_ps=100)
+        activity.end()
+        sim.run(until_ps=200)
+        activity.begin()
+        sim.run(until_ps=300)
+        activity.end()
+        assert activity.total_active_ps() == 200
+        assert activity.total_active_ps(50, 250) == 100
+
+    def test_open_interval_counted_to_now(self, sim):
+        activity = ActivityTrace(sim, "a")
+        activity.begin()
+        sim.run(until_ps=75)
+        assert activity.total_active_ps() == 75
+
+    def test_active_at(self, sim):
+        activity = ActivityTrace(sim, "a")
+        sim.run(until_ps=10)
+        activity.begin()
+        sim.run(until_ps=20)
+        activity.end()
+        assert not activity.active_at(5)
+        assert activity.active_at(15)
+        assert not activity.active_at(25)
+
+    def test_close_force_closes(self, sim):
+        activity = ActivityTrace(sim, "a")
+        activity.begin()
+        activity.begin()
+        sim.run(until_ps=40)
+        activity.close()
+        assert not activity.active
+        assert activity.intervals == [(0, 40)]

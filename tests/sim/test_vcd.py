@@ -1,0 +1,101 @@
+"""VCD waveform export."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import ActivityTrace, ValueTrace
+from repro.sim.vcd import VcdWriter, _identifier, dump_run
+
+
+class TestIdentifiers:
+    def test_first_codes(self):
+        assert _identifier(0) == "!"
+        assert _identifier(1) == '"'
+
+    def test_codes_unique_for_many_channels(self):
+        codes = {_identifier(index) for index in range(500)}
+        assert len(codes) == 500
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            _identifier(-1)
+
+
+class TestVcdWriter:
+    def test_header_structure(self):
+        writer = VcdWriter(timescale_ps=1000, module_name="dut")
+        text = writer.render()
+        assert "$timescale 1000 ps $end" in text
+        assert "$scope module dut $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_activity_channel(self, sim):
+        activity = ActivityTrace(sim, "en")
+        activity.begin()
+        sim.run(until_ps=5000)
+        activity.end()
+        writer = VcdWriter(timescale_ps=1000)
+        writer.add_activity("en", activity)
+        text = writer.render()
+        assert "$var wire 1 ! en $end" in text
+        # 0 at t0, 1 at t0, 0 at tick 5.
+        assert "#0" in text and "#5" in text
+        assert "1!" in text and "0!" in text
+
+    def test_value_channel(self):
+        trace = ValueTrace("p")
+        trace.record(0, 30.0)
+        trace.record(2000, 259.5)
+        writer = VcdWriter(timescale_ps=1000)
+        writer.add_values("power", trace)
+        text = writer.render()
+        assert "$var real 64 ! power $end" in text
+        assert "r30 !" in text
+        assert "r259.5 !" in text
+
+    def test_changes_time_ordered(self):
+        trace = ValueTrace("p")
+        for time, value in ((0, 1.0), (3000, 2.0), (9000, 3.0)):
+            trace.record(time, value)
+        writer = VcdWriter(timescale_ps=1000)
+        writer.add_values("p", trace)
+        lines = writer.render().splitlines()
+        ticks = [int(line[1:]) for line in lines if line.startswith("#")]
+        assert ticks == sorted(ticks)
+
+    def test_duplicate_channel_rejected(self):
+        writer = VcdWriter()
+        trace = ValueTrace("p")
+        trace.record(0, 1.0)
+        writer.add_values("p", trace)
+        with pytest.raises(SimulationError):
+            writer.add_values("p", trace)
+
+    def test_invalid_timescale(self):
+        with pytest.raises(SimulationError):
+            VcdWriter(timescale_ps=0)
+
+    def test_write_to_file(self, tmp_path):
+        trace = ValueTrace("p")
+        trace.record(0, 42.0)
+        writer = VcdWriter()
+        writer.add_values("p", trace)
+        path = tmp_path / "run.vcd"
+        written = writer.write(path)
+        assert path.stat().st_size == written
+
+
+class TestDumpRun:
+    def test_full_run_dump(self, tmp_path, small_bitstream):
+        from repro.core.system import UPaRCSystem
+        system = UPaRCSystem(decompressor=None)
+        result = system.run(small_bitstream)
+        path = tmp_path / "run.vcd"
+        written = dump_run(result, system, path)
+        assert written > 0
+        text = path.read_text()
+        for channel in ("core_power_mw", "icap_en", "bram_port_b_en",
+                        "manager_busy", "manager_wait"):
+            assert channel in text
+        # The power plateau must appear as a real sample.
+        assert "r259" in text or "r" in text

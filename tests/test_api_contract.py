@@ -1,0 +1,73 @@
+"""Package-level API contracts.
+
+The import surface promised by docs/api_overview.md: every ``__all__``
+name resolves, every library exception is catchable as ReproError,
+and the version is sane.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+import repro.errors as errors
+
+
+PACKAGES = ["repro", "repro.sim", "repro.bitstream", "repro.compress",
+            "repro.fpga", "repro.power", "repro.controllers",
+            "repro.core", "repro.analysis"]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    assert exported, f"{package_name} should declare __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_version_present():
+    major, minor, patch = repro.__version__.split(".")
+    assert all(part.isdigit() for part in (major, minor, patch))
+
+
+def test_every_library_error_is_repro_error():
+    exception_types = [
+        obj for obj in vars(errors).values()
+        if isinstance(obj, type) and issubclass(obj, Exception)
+    ]
+    assert len(exception_types) >= 15
+    for exception_type in exception_types:
+        assert issubclass(exception_type, errors.ReproError), \
+            exception_type
+
+
+def test_error_hierarchy_specifics():
+    assert issubclass(errors.FrequencyError, errors.HardwareModelError)
+    assert issubclass(errors.CorruptStreamError, errors.CompressionError)
+    assert issubclass(errors.BitstreamFormatError, errors.BitstreamError)
+    assert issubclass(errors.ReconfigurationFailed, errors.ControllerError)
+    assert issubclass(errors.ClockError, errors.SimulationError)
+
+
+def test_one_base_class_catches_everything(small_bitstream):
+    """The docstring promise: catch ReproError to handle any failure."""
+    from repro.core.system import UPaRCSystem
+    from repro.units import Frequency
+    system = UPaRCSystem(decompressor=None)
+    with pytest.raises(errors.ReproError):
+        system.set_frequency(Frequency.from_mhz(1000))
+    with pytest.raises(errors.ReproError):
+        system.reconfigure()  # nothing preloaded
+
+
+def test_docs_exist_and_reference_real_symbols():
+    from pathlib import Path
+    docs = Path(__file__).resolve().parent.parent / "docs"
+    api_text = (docs / "api_overview.md").read_text()
+    for symbol in ("UPaRCSystem", "generate_bitstream", "DagScheduler",
+                   "PowerModel", "validate", "VcdWriter"):
+        assert symbol in api_text
+    assert (docs / "calibration.md").exists()
+    assert (docs / "architecture.md").exists()

@@ -1,0 +1,41 @@
+"""Every example script must run clean and print its key results.
+
+Examples are the adoption surface; a broken example is a broken
+release.  Each runs in-process (runpy) with stdout captured.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["362.5 MHz", "verified:        True", "MB/s"],
+    "adaptive_sdr_pipeline.py": ["handover", "thermal emergency",
+                                 "infeasible request correctly rejected"],
+    "fault_tolerant_recovery.py": ["UPaRC_i", "availability",
+                                   "optimal scrub ms"],
+    "compression_tradeoffs.py": ["X-MatchPRO", "eff. capacity KB"],
+    "prefetch_pipeline.py": ["saved by prefetching", "frames/s"],
+    "multi_region_system.py": ["wrong-region load rejected",
+                               "Module swaps"],
+    "scrub_and_verify.py": ["scrub cycle 3", "post-repair readback"],
+    "task_graph_application.py": ["makespan", "module reuses"],
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert on_disk == set(EXPECTED_OUTPUT), (
+        "examples changed; update EXPECTED_OUTPUT"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    for expected in EXPECTED_OUTPUT[script]:
+        assert expected in out, f"{script}: missing {expected!r}"

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Maintainer tool: re-fit the bitstream generator to Table I.
+
+The content-mixture defaults in ``BitstreamSpec`` were produced by
+this search (see DESIGN.md §1).  Re-run it after changing a codec or
+adding Table I rows; paste the winning parameters into
+``repro/bitstream/generator.py`` and update EXPERIMENTS.md.
+
+Usage::
+
+    python tools/recalibrate_generator.py [trials] [size_kb]
+
+Prints the best parameter set found and its per-codec deltas.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.bitstream.generator import generate_bitstream
+from repro.compress import PAPER_TABLE1_RATIOS, all_codecs
+from repro.units import DataSize
+
+
+def evaluate(params: dict, size_kb: float, seeds=(2012, 77)) -> tuple:
+    """(squared error vs Table I, per-codec mean ratios)."""
+    ratios = {name: 0.0 for name in PAPER_TABLE1_RATIOS}
+    for seed in seeds:
+        bitstream = generate_bitstream(
+            size=DataSize.from_kb(size_kb), seed=seed, **params)
+        for codec in all_codecs():
+            ratios[codec.name] += (
+                codec.measure(bitstream.raw_bytes).ratio_percent
+                / len(seeds))
+    error = sum((ratios[name] - paper) ** 2
+                for name, paper in PAPER_TABLE1_RATIOS.items())
+    return error, ratios
+
+
+def random_candidate(rng: random.Random) -> dict:
+    zero = rng.uniform(0.15, 0.40)
+    motif = rng.uniform(0.05, 0.30)
+    copy = rng.uniform(0.02, 0.20)
+    sparse = rng.uniform(0.20, 0.50)
+    dense = rng.uniform(0.02, 0.15)
+    total = zero + motif + copy + sparse + dense
+    return dict(
+        zero_run_weight=zero / total,
+        motif_run_weight=motif / total,
+        copy_weight=copy / total,
+        sparse_weight=sparse / total,
+        dense_weight=dense / total,
+        zero_run_mean=rng.uniform(3.0, 10.0),
+        motif_run_mean=rng.uniform(1.1, 5.0),
+        copy_run_mean=rng.uniform(2.0, 8.0),
+        motif_pool=rng.choice([8, 16, 24, 48]),
+    )
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    size_kb = float(sys.argv[2]) if len(sys.argv) > 2 else 48.0
+    rng = random.Random(7)
+
+    # Start from the shipped defaults.
+    best_params: dict = {}
+    best_error, best_ratios = evaluate(best_params, size_kb)
+    print(f"shipped defaults: error {best_error:.1f}")
+
+    for trial in range(trials):
+        params = random_candidate(rng)
+        error, ratios = evaluate(params, size_kb)
+        if error < best_error:
+            best_error, best_params, best_ratios = error, params, ratios
+            print(f"trial {trial}: error {error:.1f}")
+
+    print(f"\nbest error: {best_error:.1f}")
+    if best_params:
+        print("parameters:")
+        for key, value in best_params.items():
+            print(f"  {key} = {value}")
+    else:
+        print("the shipped defaults remain the best found")
+    print("\nper-codec deltas vs Table I:")
+    for name, paper in PAPER_TABLE1_RATIOS.items():
+        delta = best_ratios[name] - paper
+        print(f"  {name:12s} {best_ratios[name]:5.1f}  ({delta:+.1f})")
+
+
+if __name__ == "__main__":
+    main()

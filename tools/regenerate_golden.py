@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Maintainer tool: regenerate the golden bitstream fixture.
+
+Run ONLY after an intentional change to the bitstream format or the
+generator; update the SHA-256 constant in
+``tests/bitstream/test_golden.py`` with the printed value and note the
+format change in EXPERIMENTS.md.
+
+Usage::
+
+    python tools/regenerate_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.bitstream.generator import generate_bitstream
+from repro.units import DataSize
+
+TARGET = Path(__file__).resolve().parent.parent / "tests" / "data" \
+    / "golden_4kb_seed2012.bit"
+
+
+def main() -> None:
+    bitstream = generate_bitstream(size=DataSize.from_kb(4), seed=2012)
+    TARGET.parent.mkdir(parents=True, exist_ok=True)
+    TARGET.write_bytes(bitstream.file_bytes)
+    digest = hashlib.sha256(bitstream.file_bytes).hexdigest()
+    print(f"wrote {TARGET} ({len(bitstream.file_bytes)} bytes)")
+    print(f"GOLDEN_SHA256 = \"{digest}\"")
+
+
+if __name__ == "__main__":
+    main()
