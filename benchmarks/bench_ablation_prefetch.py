@@ -19,7 +19,7 @@ from repro.core.scheduler import PrefetchScheduler, Task
 from repro.units import DataSize, Frequency, ms, us
 
 
-def _build_tasks(compute_ps):
+def _build_tasks(compute_ps: int):
     bitstreams = [generate_bitstream(size=DataSize.from_kb(kb), seed=kb)
                   for kb in (30, 49, 81, 49)]
     names = ["fft", "fir", "viterbi", "crc"]

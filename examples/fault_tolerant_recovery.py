@@ -67,7 +67,7 @@ def main() -> None:
         repair_s = result.duration_ps / 1e12
         report = controller_reliability(
             result.controller, repair_s,
-            upset_rate_hz=UPSETS_PER_HOUR / 3600.0)
+            upset_rate_per_s=UPSETS_PER_HOUR / 3600.0)
         scrub_rows.append([
             report.controller,
             report.policy.period_s * 1000.0,

@@ -38,12 +38,12 @@ class ScrubPolicy:
     period_s: float
     scrub_s: float      # readback + compare time per scrub
     repair_s: float     # region rewrite time when an upset is found
-    upset_rate_hz: float
+    upset_rate_per_s: float
 
     def __post_init__(self) -> None:
         if self.period_s <= 0 or self.scrub_s < 0 or self.repair_s < 0:
             raise PolicyError("scrub times must be positive")
-        if self.upset_rate_hz < 0:
+        if self.upset_rate_per_s < 0:
             raise PolicyError("upset rate must be non-negative")
         if self.scrub_s >= self.period_s:
             raise PolicyError(
@@ -54,7 +54,7 @@ class ScrubPolicy:
     @property
     def upset_probability_per_period(self) -> float:
         """P(at least one upset within a scrub period)."""
-        return 1.0 - math.exp(-self.upset_rate_hz * self.period_s)
+        return 1.0 - math.exp(-self.upset_rate_per_s * self.period_s)
 
     @property
     def expected_downtime_per_period_s(self) -> float:
@@ -64,9 +64,9 @@ class ScrubPolicy:
         the repairing scrub: E[T − min(tau, T)] = T − (1 − e^(−λT))/λ,
         plus the repair itself when an upset occurred.
         """
-        if self.upset_rate_hz == 0.0:
+        if self.upset_rate_per_s <= 0.0:
             return self.scrub_s
-        rate = self.upset_rate_hz
+        rate = self.upset_rate_per_s
         exposure = self.period_s \
             - (1.0 - math.exp(-rate * self.period_s)) / rate
         repair = self.upset_probability_per_period * self.repair_s
@@ -79,7 +79,7 @@ class ScrubPolicy:
 
 
 def optimal_scrub_period(scrub_s: float, repair_s: float,
-                         upset_rate_hz: float,
+                         upset_rate_per_s: float,
                          low_s: float = 1e-4,
                          high_s: float = 3600.0) -> ScrubPolicy:
     """Scrub period maximizing availability (golden-section search).
@@ -88,16 +88,16 @@ def optimal_scrub_period(scrub_s: float, repair_s: float,
     leave upsets unrepaired.  Availability is unimodal in the period,
     so golden-section search converges.
     """
-    if upset_rate_hz <= 0:
+    if upset_rate_per_s <= 0:
         # No upsets: scrub as rarely as allowed.
-        return ScrubPolicy(high_s, scrub_s, repair_s, upset_rate_hz)
+        return ScrubPolicy(high_s, scrub_s, repair_s, upset_rate_per_s)
     low = max(low_s, scrub_s * 1.01)
     high = high_s
     inverse_phi = (math.sqrt(5.0) - 1.0) / 2.0
 
     def availability(period: float) -> float:
         return ScrubPolicy(period, scrub_s, repair_s,
-                           upset_rate_hz).availability
+                           upset_rate_per_s).availability
 
     left = high - (high - low) * inverse_phi
     right = low + (high - low) * inverse_phi
@@ -113,7 +113,7 @@ def optimal_scrub_period(scrub_s: float, repair_s: float,
         if high - low < 1e-9 * high:
             break
     best = (low + high) / 2.0
-    return ScrubPolicy(best, scrub_s, repair_s, upset_rate_hz)
+    return ScrubPolicy(best, scrub_s, repair_s, upset_rate_per_s)
 
 
 @dataclass(frozen=True)
@@ -136,7 +136,7 @@ class ControllerReliability:
 
 def controller_reliability(controller_name: str,
                            repair_s: float,
-                           upset_rate_hz: float,
+                           upset_rate_per_s: float,
                            readback_s: float = 0.0,
                            ) -> ControllerReliability:
     """Optimal-scrub availability for a controller's repair time.
@@ -145,7 +145,7 @@ def controller_reliability(controller_name: str,
     a region back costs about as long as rewriting it).
     """
     scrub_s = readback_s if readback_s > 0 else repair_s
-    policy = optimal_scrub_period(scrub_s, repair_s, upset_rate_hz)
+    policy = optimal_scrub_period(scrub_s, repair_s, upset_rate_per_s)
     return ControllerReliability(
         controller=controller_name,
         scrub_s=scrub_s,

@@ -179,6 +179,11 @@ def _cmd_selftest(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+    return run_lint(args)
+
+
 def _cmd_energy(args: argparse.Namespace) -> None:
     comparison = energy_comparison()
     rows = [
@@ -203,6 +208,7 @@ _COMMANDS = {
     "selftest": _cmd_selftest,
     "report": _cmd_report,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
 }
 
 
@@ -213,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name in _COMMANDS:
+        if name == "lint":
+            sub = subparsers.add_parser(
+                name, help="run the simulation-safety static analyzer "
+                           "(exit 0 clean, 1 violations, 2 usage error)")
+            from repro.lint.cli import add_lint_arguments
+            add_lint_arguments(sub)
+            continue
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
         if name == "table3":
             sub.add_argument("--size-kb", type=float, default=216.5,
@@ -235,13 +248,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
             if name == "table3":
                 command(argparse.Namespace(size_kb=216.5))
-            elif name in ("report", "validate"):
+            elif name in ("report", "validate", "lint"):
                 continue  # 'all' already prints every table
             else:
                 command(args)
         return 0
-    _COMMANDS[args.command](args)
-    return 0
+    result = _COMMANDS[args.command](args)
+    return int(result) if result is not None else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,42 @@
+"""``repro.lint`` — AST-based simulation-safety analyzer.
+
+The Python type system cannot see the invariants this reproduction
+rests on: integer-picosecond time, :class:`repro.units.Frequency` for
+all clock math, bit-exact determinism, and kernel-owned event dispatch.
+This package checks them statically, with project-specific rules, and
+backs the ``python -m repro lint`` CLI plus the CI gate.
+
+Typical use::
+
+    from repro.lint import lint_paths
+    violations = lint_paths(["src"])
+
+Suppress a rule on one line with a trailing ``# repro-lint:
+disable=RULE`` comment, or for a whole file with the same comment on a
+line of its own.  See ``docs/static_analysis.md`` for the rule catalog.
+"""
+
+from repro.lint.analyzer import (
+    collect_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.registry import Checker, all_rules, get_rule, register
+from repro.lint.reporters import format_json, format_rule_listing, format_text
+from repro.lint.violations import Violation
+
+__all__ = [
+    "Checker",
+    "Violation",
+    "all_rules",
+    "collect_files",
+    "format_json",
+    "format_rule_listing",
+    "format_text",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

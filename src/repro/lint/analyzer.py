@@ -1,0 +1,94 @@
+"""Analyzer driver: file collection, parsing, checker dispatch.
+
+One parse per file; every registered checker walks the same tree.
+Violations are filtered through the file's suppression index and
+returned sorted, so output is byte-identical across runs and
+platforms — the analyzer practices the determinism it preaches.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.registry import all_rules, get_rule
+from repro.lint.suppressions import SuppressionIndex
+from repro.lint.violations import Violation
+
+#: Directory names skipped while walking a directory argument.  Files
+#: named explicitly on the command line are always linted — that is how
+#: the test fixtures (which contain planted violations) are exercised
+#: without failing the repository-wide gate.
+EXCLUDED_DIR_NAMES = ("fixtures", "__pycache__", ".git")
+
+SYNTAX_ERROR_RULE = "E999"
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated file list."""
+    seen = set()
+    collected: List[Path] = []
+
+    def add(path: Path) -> None:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            collected.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if any(part in EXCLUDED_DIR_NAMES
+                       for part in candidate.parts):
+                    continue
+                add(candidate)
+        else:
+            add(path)
+    return collected
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Lint one source string; ``select`` limits to the given rule ids."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path=path, line=exc.lineno or 1,
+                          col=(exc.offset or 1) - 1,
+                          rule_id=SYNTAX_ERROR_RULE,
+                          message=f"syntax error: {exc.msg}")]
+
+    if select is None:
+        checkers = list(all_rules().values())
+    else:
+        checkers = [get_rule(rule_id) for rule_id in select]
+
+    suppressions = SuppressionIndex.from_source(source)
+    violations: List[Violation] = []
+    for checker_cls in checkers:
+        if not checker_cls.applies_to(path):
+            continue
+        checker = checker_cls(path)
+        checker.visit(tree)
+        violations.extend(
+            v for v in checker.violations
+            if not suppressions.suppresses(v.rule_id, v.line)
+        )
+    return sorted(violations)
+
+
+def lint_file(path: Path,
+              select: Optional[Iterable[str]] = None) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), select=select)
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Iterable[str]] = None) -> List[Violation]:
+    """Lint every Python file reachable from ``paths``, sorted."""
+    violations: List[Violation] = []
+    for path in collect_files(paths):
+        violations.extend(lint_file(path, select=select))
+    return sorted(violations)

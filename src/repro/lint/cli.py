@@ -1,0 +1,81 @@
+"""``python -m repro lint`` subcommand.
+
+Exit codes follow the usual linter convention:
+
+* ``0`` — all checked files are clean.
+* ``1`` — at least one violation was reported.
+* ``2`` — usage error (missing path, unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.lint.analyzer import collect_files, lint_file
+from repro.lint.registry import all_rules
+from repro.lint.reporters import format_json, format_rule_listing, format_text
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(format_rule_listing())
+        return EXIT_CLEAN
+
+    select = None
+    if args.select:
+        select = [rule.strip() for rule in args.select.split(",")
+                  if rule.strip()]
+        known = all_rules()
+        unknown = [rule for rule in select if rule not in known]
+        if unknown:
+            print(f"repro lint: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+
+    for raw in args.paths:
+        if not Path(raw).exists():
+            print(f"repro lint: no such file or directory: {raw}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+
+    files = collect_files(args.paths)
+    violations = []
+    for path in files:
+        violations.extend(lint_file(path, select=select))
+    violations.sort()
+
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(violations, files_checked=len(files)))
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Run the simulation-safety static analyzer.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.registry import all_rules
+from repro.lint.violations import Violation
+
+#: Version of the JSON report schema; bump on breaking shape changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def format_text(violations: Sequence[Violation], files_checked: int) -> str:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines: List[str] = [violation.format() for violation in violations]
+    noun = "file" if files_checked == 1 else "files"
+    if violations:
+        count = len(violations)
+        noun_v = "violation" if count == 1 else "violations"
+        lines.append(f"{count} {noun_v} in {files_checked} {noun} checked")
+    else:
+        lines.append(f"clean: 0 violations in {files_checked} {noun} checked")
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation], files_checked: int) -> str:
+    """Machine-readable report (stable key order, sorted violations)."""
+    by_rule: dict = {}
+    for violation in violations:
+        by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "violations": [violation.to_dict() for violation in violations],
+        "summary": {
+            "total": len(violations),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def format_rule_listing() -> str:
+    """Human-readable table of every registered rule."""
+    lines: List[str] = []
+    for rule_id, checker in all_rules().items():
+        lines.append(f"{rule_id}  {checker.rule_name}")
+        lines.append(f"      {checker.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Built-in rule modules; importing this package registers them all.
+
+Rule families:
+
+* ``U0xx`` (:mod:`repro.lint.rules.units`) — unit discipline.
+* ``D1xx`` (:mod:`repro.lint.rules.determinism`) — reproducibility.
+* ``E2xx`` (:mod:`repro.lint.rules.events`) — event-kernel safety.
+* ``F3xx`` (:mod:`repro.lint.rules.floats`) — float comparisons.
+"""
+
+from repro.lint.rules import determinism, events, floats, units  # noqa: F401

@@ -1,0 +1,225 @@
+"""Event-safety rules (E2xx).
+
+The event kernel owns dispatch: callbacks are scheduled, fired once in
+(time, sequence) order, and cancelled through their handle.  These
+rules catch the three classic ways user code subverts that contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.registry import Checker, register
+from repro.lint.rules._ast_utils import terminal_name
+
+#: Methods that register a callback with the kernel or a signal.
+CALLBACK_METHODS = ("at", "after", "observe", "on_value", "add_waiter")
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+@register
+class LoopCaptureRule(Checker):
+    """E201 — scheduled lambdas must not capture loop variables.
+
+    A lambda closed over a ``for`` target sees the *final* value of the
+    variable when the kernel fires it, not the value at scheduling
+    time — every callback in the loop acts on the same (last) item.
+    Bind the current value with a default: ``lambda item=item: ...``.
+    """
+
+    rule_id = "E201"
+    rule_name = "loop-capture-callback"
+    rationale = ("callbacks fire after the loop finishes, seeing only the "
+                 "final loop value; bind with lambda x=x: ...")
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._loop_targets: List[Set[str]] = []
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_targets.append(_target_names(node.target))
+        self.generic_visit(node)
+        self._loop_targets.pop()
+
+    visit_AsyncFor = visit_For
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A def inside the loop creates a fresh scope per call — only
+        # track captures within the same function body.
+        saved, self._loop_targets = self._loop_targets, []
+        self.generic_visit(node)
+        self._loop_targets = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (self._loop_targets
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in CALLBACK_METHODS):
+            in_scope: Set[str] = set()
+            for targets in self._loop_targets:
+                in_scope |= targets
+            for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                if isinstance(arg, ast.Lambda):
+                    captured = self._captured_loop_names(arg, in_scope)
+                    for name in sorted(captured):
+                        self.report(arg, f"lambda passed to "
+                                         f".{node.func.attr}() captures "
+                                         f"loop variable {name!r}; bind it "
+                                         f"with {name}={name} in the "
+                                         f"lambda parameters")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _captured_loop_names(lam: ast.Lambda, loop_names: Set[str]) -> Set[str]:
+        args = lam.args
+        bound = {a.arg for a in (*args.posonlyargs, *args.args,
+                                 *args.kwonlyargs)}
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+        captured: Set[str] = set()
+        for node in ast.walk(lam.body):
+            if (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+                    and node.id in loop_names and node.id not in bound):
+                captured.add(node.id)
+        return captured
+
+
+@register
+class ManualFireRule(Checker):
+    """E202 — only the kernel fires event handles.
+
+    Calling ``handle.fire()`` from model code runs the callback at the
+    *caller's* position in the event loop, outside the (time, sequence)
+    total order — the callback observes a simulation state it was never
+    scheduled against.  Schedule through ``Simulator.at/after`` instead.
+    """
+
+    rule_id = "E202"
+    rule_name = "manual-event-fire"
+    rationale = ("firing a handle bypasses (time, sequence) dispatch "
+                 "order; only the kernel may call fire()")
+    exempt_paths = ("*/repro/sim/kernel.py",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "fire" and not node.args
+                and not node.keywords):
+            self.report(node, "manual .fire() on an event handle; "
+                              "schedule the callback via Simulator.at/"
+                              "after and let the kernel dispatch it")
+        self.generic_visit(node)
+
+
+@register
+class UseAfterCancelRule(Checker):
+    """E203 — a cancelled handle is dead; do not re-arm or reuse it.
+
+    ``ScheduledEvent.cancel()`` is one-way: the kernel skips the entry
+    but the handle stays in the heap, so re-scheduling or firing the
+    same handle object fires stale state (or nothing).  Create a fresh
+    handle with ``Simulator.at/after``.
+    """
+
+    rule_id = "E203"
+    rule_name = "use-after-cancel"
+    rationale = ("cancel() is one-way; reusing the handle fires stale "
+                 "state — schedule a fresh one")
+
+    #: Attribute reads that are legitimate on a cancelled handle.
+    _ALLOWED_ATTRS = ("cancelled", "fired", "time_ps")
+
+    def _scan_body(self, body: List[ast.stmt]) -> None:
+        cancelled: Dict[str, int] = {}
+        for stmt in body:
+            self._scan_statement(stmt, cancelled)
+
+    def _scan_statement(self, stmt: ast.stmt,
+                        cancelled: Dict[str, int]) -> None:
+        # Rebinding the name points it at a fresh handle; clear its
+        # state.  Attribute/subscript stores mutate the old object and
+        # must NOT clear (``dead.payload = 1`` is still a reuse).
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            for target in targets:
+                for name in self._rebound_names(target):
+                    cancelled.pop(name, None)
+        for node in self._walk_same_scope(stmt):
+            if isinstance(node, ast.Call):
+                receiver = self._cancel_receiver(node)
+                if receiver is not None:
+                    cancelled[receiver] = node.lineno
+                    continue
+            if isinstance(node, ast.Attribute) and isinstance(node.value,
+                                                              ast.Name):
+                name = node.value.id
+                if (name in cancelled and node.lineno > cancelled[name]
+                        and node.attr not in self._ALLOWED_ATTRS
+                        and node.attr != "cancel"):
+                    self.report(node, f"{name}.{node.attr} after "
+                                      f"{name}.cancel(); cancelled handles "
+                                      f"are dead — create a new one with "
+                                      f"Simulator.at/after")
+
+    @classmethod
+    def _rebound_names(cls, target: ast.AST) -> Set[str]:
+        if isinstance(target, ast.Name):
+            return {target.id}
+        if isinstance(target, (ast.Tuple, ast.List)):
+            names: Set[str] = set()
+            for elt in target.elts:
+                names |= cls._rebound_names(elt)
+            return names
+        if isinstance(target, ast.Starred):
+            return cls._rebound_names(target.value)
+        return set()
+
+    @classmethod
+    def _walk_same_scope(cls, stmt: ast.stmt):
+        """Pre-order walk of ``stmt`` that stops at nested scopes.
+
+        Nested defs/lambdas get their own cancel-tracking pass (via
+        ``visit_FunctionDef``); walking into them here would mix their
+        handle names into the enclosing scope and double-report.
+        """
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            yield from cls._walk_same_scope(child)
+
+    def _scan_top_level(self, body: List[ast.stmt]) -> None:
+        self._scan_body([stmt for stmt in body
+                         if not isinstance(stmt, (ast.FunctionDef,
+                                                  ast.AsyncFunctionDef,
+                                                  ast.ClassDef))])
+
+    @staticmethod
+    def _cancel_receiver(node: ast.Call) -> Optional[str]:
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "cancel"
+                and isinstance(node.func.value, ast.Name)):
+            return node.func.value.id
+        return None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scan_top_level(node.body)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._scan_top_level(node.body)
+        self.generic_visit(node)

@@ -1,0 +1,57 @@
+"""Float-equality rule (F3xx).
+
+Timestamps are exact integers and energies are accumulated floats;
+``==`` against a float literal is wrong for both — always-false noise
+for integer picoseconds, representation-dependent for energies.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import Checker, register
+from repro.lint.rules._ast_utils import is_float_literal, terminal_name
+
+#: Identifier suffixes of physical quantities that must never be
+#: compared to a float literal with ==/!=: integer time values (a float
+#: comparand means a unit bug) and accumulated float measures (equality
+#: is representation-dependent; use a tolerance).
+QUANTITY_SUFFIXES = (
+    "_ps", "_ns", "_us", "_ms", "_hz",            # exact integer units
+    "_uj", "_mj", "_mw", "_mbps",                 # accumulated measures
+    "energy", "power",
+)
+
+
+@register
+class FloatEqualityRule(Checker):
+    """F301 — no ``==``/``!=`` between unit quantities and float literals.
+
+    ``duration_ps == 1.5`` can never be true (timestamps are ints);
+    ``energy_uj == 0.66`` depends on summation order and platform
+    rounding.  Compare against integers, or use
+    ``repro.units.isclose_rel`` / ``math.isclose`` with a tolerance.
+    """
+
+    rule_id = "F301"
+    rule_name = "float-equality"
+    rationale = ("float-literal equality on timestamps/energies is either "
+                 "always false or rounding-dependent; use a tolerance")
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            for quantity, literal in ((left, right), (right, left)):
+                name = terminal_name(quantity)
+                if (name is not None
+                        and name.lower().endswith(QUANTITY_SUFFIXES)
+                        and is_float_literal(literal)):
+                    self.report(node, f"==/!= between unit quantity "
+                                      f"{name!r} and float literal "
+                                      f"{literal.value!r}; compare ints or "
+                                      f"use repro.units.isclose_rel")
+                    break
+        self.generic_visit(node)

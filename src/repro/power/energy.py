@@ -25,7 +25,7 @@ def energy_from_trace(trace: ValueTrace, start_ps: int, end_ps: int,
     """
     if end_ps <= start_ps:
         raise ValueError("empty window")
-    total_mw_ps = 0.0
+    mw_ps_area = 0.0  # area under the power curve, in mW*ps
     samples = trace.samples
     for index, sample in enumerate(samples):
         seg_start = sample.time_ps
@@ -34,9 +34,9 @@ def energy_from_trace(trace: ValueTrace, start_ps: int, end_ps: int,
         lo = max(seg_start, start_ps)
         hi = min(seg_end, end_ps)
         if lo < hi:
-            total_mw_ps += max(0.0, sample.value - baseline_mw) * (hi - lo)
+            mw_ps_area += max(0.0, sample.value - baseline_mw) * (hi - lo)
     # mW * ps = 1e-3 W * 1e-12 s = 1e-15 J = 1e-9 uJ.
-    return total_mw_ps * 1e-9
+    return mw_ps_area * 1e-9
 
 
 def uj_per_kb(energy_uj: float, size: DataSize) -> float:

@@ -14,53 +14,53 @@ from repro.errors import PolicyError
 class TestScrubPolicy:
     def test_no_upsets_only_scrub_overhead(self):
         policy = ScrubPolicy(period_s=1.0, scrub_s=0.001,
-                             repair_s=0.001, upset_rate_hz=0.0)
+                             repair_s=0.001, upset_rate_per_s=0.0)
         assert policy.upset_probability_per_period == 0.0
         assert policy.availability == pytest.approx(0.999)
 
     def test_upset_probability_saturates(self):
         policy = ScrubPolicy(period_s=100.0, scrub_s=0.001,
-                             repair_s=0.001, upset_rate_hz=1.0)
+                             repair_s=0.001, upset_rate_per_s=1.0)
         assert policy.upset_probability_per_period > 0.999
 
     def test_availability_in_unit_interval(self):
         policy = ScrubPolicy(period_s=10.0, scrub_s=0.01,
-                             repair_s=0.02, upset_rate_hz=0.05)
+                             repair_s=0.02, upset_rate_per_s=0.05)
         assert 0.0 <= policy.availability <= 1.0
 
     def test_validation(self):
         with pytest.raises(PolicyError):
             ScrubPolicy(period_s=0.0, scrub_s=0.1, repair_s=0.1,
-                        upset_rate_hz=1.0)
+                        upset_rate_per_s=1.0)
         with pytest.raises(PolicyError):
             ScrubPolicy(period_s=1.0, scrub_s=2.0, repair_s=0.1,
-                        upset_rate_hz=1.0)
+                        upset_rate_per_s=1.0)
         with pytest.raises(PolicyError):
             ScrubPolicy(period_s=1.0, scrub_s=0.1, repair_s=0.1,
-                        upset_rate_hz=-1.0)
+                        upset_rate_per_s=-1.0)
 
 
 class TestOptimalPeriod:
     def test_optimum_beats_neighbours(self):
         best = optimal_scrub_period(scrub_s=200e-6, repair_s=200e-6,
-                                    upset_rate_hz=1 / 30.0)
+                                    upset_rate_per_s=1 / 30.0)
         for factor in (0.5, 0.8, 1.25, 2.0):
             alternative = ScrubPolicy(best.period_s * factor,
                                       best.scrub_s, best.repair_s,
-                                      best.upset_rate_hz)
+                                      best.upset_rate_per_s)
             assert best.availability >= alternative.availability - 1e-9
 
     def test_faster_scrub_means_shorter_optimal_period(self):
         slow = optimal_scrub_period(scrub_s=0.05, repair_s=0.05,
-                                    upset_rate_hz=1 / 60.0)
+                                    upset_rate_per_s=1 / 60.0)
         fast = optimal_scrub_period(scrub_s=0.0002, repair_s=0.0002,
-                                    upset_rate_hz=1 / 60.0)
+                                    upset_rate_per_s=1 / 60.0)
         assert fast.period_s < slow.period_s
         assert fast.availability > slow.availability
 
     def test_zero_rate_scrubs_rarely(self):
         policy = optimal_scrub_period(scrub_s=0.001, repair_s=0.001,
-                                      upset_rate_hz=0.0)
+                                      upset_rate_per_s=0.0)
         assert policy.period_s == 3600.0
 
 
@@ -70,21 +70,44 @@ class TestControllerReliability:
         # bandwidths (seconds).
         size_mb = 216.5 / 1000
         uparc = controller_reliability("UPaRC_i", size_mb / 1433,
-                                       upset_rate_hz=1 / 30.0)
+                                       upset_rate_per_s=1 / 30.0)
         xps = controller_reliability("xps_hwicap", size_mb / 14.5,
-                                     upset_rate_hz=1 / 30.0)
+                                     upset_rate_per_s=1 / 30.0)
         assert uparc.availability > xps.availability
         assert uparc.downtime_s_per_day < xps.downtime_s_per_day / 5
 
     def test_downtime_consistent_with_availability(self):
         report = controller_reliability("x", 0.001,
-                                        upset_rate_hz=1 / 10.0)
+                                        upset_rate_per_s=1 / 10.0)
         assert report.downtime_s_per_day == pytest.approx(
             (1 - report.availability) * 86400.0)
 
     def test_explicit_readback_time(self):
         report = controller_reliability("x", 0.002,
-                                        upset_rate_hz=0.1,
+                                        upset_rate_per_s=0.1,
                                         readback_s=0.001)
         assert report.scrub_s == 0.001
         assert report.repair_s == 0.002
+
+
+class TestZeroRateBranch:
+    """Regression tests for the repro.lint F301/U001 cleanup.
+
+    ``upset_rate_per_s`` (ne ``upset_rate_hz``) is a continuous Poisson
+    rate, and the zero-rate fast path now uses an ordered comparison
+    instead of float-literal equality.
+    """
+
+    def test_zero_rate_downtime_is_exactly_scrub_overhead(self):
+        policy = ScrubPolicy(period_s=2.0, scrub_s=0.25,
+                             repair_s=0.5, upset_rate_per_s=0.0)
+        assert policy.expected_downtime_per_period_s == pytest.approx(0.25)
+
+    def test_downtime_continuous_near_zero_rate(self):
+        # The closed form has a removable singularity at rate 0; the
+        # guarded branch must agree with the limit of tiny rates.
+        base = dict(period_s=2.0, scrub_s=0.25, repair_s=0.5)
+        at_zero = ScrubPolicy(upset_rate_per_s=0.0, **base)
+        near_zero = ScrubPolicy(upset_rate_per_s=1e-9, **base)
+        assert near_zero.expected_downtime_per_period_s == pytest.approx(
+            at_zero.expected_downtime_per_period_s, abs=1e-6)

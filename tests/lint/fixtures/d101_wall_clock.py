@@ -1,0 +1,12 @@
+"""Fixture: D101 wall-clock violations."""
+
+import time
+from time import perf_counter
+
+
+def measure(sim):
+    start = time.time()  # wall-clock read
+    tick = perf_counter()  # bare from-import clock read
+    stamp = time.time()  # repro-lint: disable=D101
+    now_ps = sim.now  # ok: simulated time
+    return start, tick, stamp, now_ps

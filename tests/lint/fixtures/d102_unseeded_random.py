@@ -1,0 +1,14 @@
+"""Fixture: D102 unseeded-random violations."""
+
+import os
+import random
+
+
+def draw():
+    a = random.random()  # global RNG
+    b = random.Random()  # seedless instance
+    c = os.urandom(4)  # OS entropy
+    d = random.randint(0, 7)  # repro-lint: disable=D102
+    rng = random.Random(2012)  # ok: explicit seed
+    e = rng.random()  # ok: local seeded instance
+    return a, b, c, d, e

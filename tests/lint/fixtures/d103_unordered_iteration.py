@@ -1,0 +1,13 @@
+"""Fixture: D103 unordered-iteration violations."""
+
+
+def iterate(items, lanes):
+    for lane in set(lanes):  # hash-order loop
+        print(lane)
+    names = [item.name for item in {1, 2, 3}]  # hash-order comprehension
+    ordered = list(set(items))  # hash-order materialization
+    for lane in set(lanes):  # repro-lint: disable=D103
+        print(lane)
+    for lane in sorted(set(lanes)):  # ok: sorted
+        print(lane)
+    return names, ordered

@@ -1,0 +1,10 @@
+"""Fixture: E201 loop-capture-callback violations."""
+
+
+def schedule_all(sim, tasks):
+    for task in tasks:
+        sim.after(task.delay_ps, lambda: task.start())  # captures 'task'
+        sim.after(task.delay_ps, lambda task=task: task.start())  # ok: bound
+    for index, item in enumerate(tasks):
+        sim.at(index, lambda: item.run())  # repro-lint: disable=E201
+    sim.after(10, lambda: tasks[0].start())  # ok: outside any loop

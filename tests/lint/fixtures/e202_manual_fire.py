@@ -1,0 +1,8 @@
+"""Fixture: E202 manual-event-fire violations."""
+
+
+def hurry(sim, handle, cb):
+    handle.fire()  # manual dispatch bypasses event order
+    other = sim.after(5, cb)
+    other.fire()  # repro-lint: disable=E202
+    sim.after(0, cb)  # ok: let the kernel dispatch

@@ -1,0 +1,14 @@
+"""Fixture: E203 use-after-cancel violations."""
+
+
+def rearm(sim, cb):
+    handle = sim.after(100, cb)
+    handle.cancel()
+    handle.reschedule(200)  # dead handle reused
+    checked = handle.cancelled  # ok: inspecting state is allowed
+    handle = sim.after(200, cb)  # reassignment clears the taint
+    handle.time_ps  # ok: fresh handle
+    victim = sim.after(300, cb)
+    victim.cancel()
+    victim.payload = 1  # repro-lint: disable=E203
+    return checked

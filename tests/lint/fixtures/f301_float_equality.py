@@ -1,0 +1,14 @@
+"""Fixture: F301 float-equality violations."""
+
+
+def check(result, trace):
+    if result.duration_ps == 1.5:  # int picoseconds vs float literal
+        pass
+    if 0.66 != result.energy_uj:  # reversed operand order
+        pass
+    if result.energy_uj == 0.66:  # repro-lint: disable=F301
+        pass
+    if result.duration_ps == 1_500:  # ok: integer comparison
+        pass
+    if trace.peak() == 50.0:  # ok: call result, not a unit-named value
+        pass

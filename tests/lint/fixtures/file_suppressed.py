@@ -1,0 +1,11 @@
+"""Fixture: a file-level directive silences the whole file."""
+
+# repro-lint: disable=all
+
+import time
+
+
+def noisy(sim, cb):
+    start = time.time()
+    sim.after(1.5, cb)
+    return start

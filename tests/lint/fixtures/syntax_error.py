@@ -1,0 +1,3 @@
+"""Fixture: unparseable file reported as E999."""
+
+def broken(:

@@ -1,0 +1,19 @@
+"""Fixture: U001 unit-suffix-int violations."""
+
+
+def schedule(delay_ps: float, size_bytes):  # two violations on this line
+    return delay_ps, size_bytes
+
+
+def suppressed(delay_ps: float):  # repro-lint: disable=U001
+    return delay_ps
+
+
+class Config:
+    timeout_ps: float = 0.0  # annotation violation (assigned float is U001 too)
+    rate_bytes_per_ps: float = 0.5  # rate: exempt from U001
+
+
+def assign_leak(duration):
+    window_ps = duration * 1.5  # float expression into *_ps assignment
+    return window_ps

@@ -1,0 +1,10 @@
+"""Fixture: U002 float-time-arg violations."""
+
+
+def run(sim, controller, cb):
+    sim.after(1.5, cb)  # float literal delay
+    sim.after(total / 2, cb)  # true division stays float
+    controller.start(timeout_ps=2.5)  # float into *_ps keyword
+    sim.after(round(total / 2), cb)  # ok: explicit coercion
+    sim.at(sim.now + 1_000, cb)  # ok: integer arithmetic
+    sim.after(0.5, cb)  # repro-lint: disable=U002

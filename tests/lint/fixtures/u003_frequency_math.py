@@ -1,0 +1,9 @@
+"""Fixture: U003 raw-frequency-math violations."""
+
+
+def conversions(clk_mhz, freq_hz):
+    hertz = clk_mhz * 1e6  # hand-rolled MHz -> Hz
+    back_mhz = freq_hz / 1_000_000  # hand-rolled Hz -> MHz
+    suppressed = clk_mhz * 1e6  # repro-lint: disable=U003
+    scaled = clk_mhz * 2  # ok: not a unit-conversion constant
+    return hertz, back_mhz, suppressed, scaled

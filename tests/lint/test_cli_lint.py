@@ -1,0 +1,74 @@
+"""``python -m repro lint`` CLI: dispatch, exit codes, formats."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import all_rules
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert main(["lint", SRC]) == 0
+    assert "clean: 0 violations" in capsys.readouterr().out
+
+
+def test_each_rule_fixture_exits_one(capsys):
+    # Acceptance criterion: pointing the CLI at a fixture with a
+    # planted violation exits 1, for every rule.
+    fixture_by_rule = {
+        "U001": "u001_unit_suffix.py",
+        "U002": "u002_float_time.py",
+        "U003": "u003_frequency_math.py",
+        "D101": "d101_wall_clock.py",
+        "D102": "d102_unseeded_random.py",
+        "D103": "d103_unordered_iteration.py",
+        "E201": "e201_loop_capture.py",
+        "E202": "e202_manual_fire.py",
+        "E203": "e203_use_after_cancel.py",
+        "F301": "f301_float_equality.py",
+    }
+    assert set(fixture_by_rule) == set(all_rules())
+    for rule_id, fixture in fixture_by_rule.items():
+        assert main(["lint", str(FIXTURES / fixture)]) == 1
+        assert rule_id in capsys.readouterr().out
+
+
+def test_missing_path_exits_two(capsys):
+    assert main(["lint", "no/such/path.py"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_unknown_rule_exits_two(capsys):
+    assert main(["lint", SRC, "--select", "Z999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_select_limits_rules(capsys):
+    fixture = str(FIXTURES / "d101_wall_clock.py")
+    assert main(["lint", fixture, "--select", "U001"]) == 0
+    assert main(["lint", fixture, "--select", "D101,U001"]) == 1
+    out = capsys.readouterr().out
+    assert "D101" in out
+
+
+def test_json_format(capsys):
+    fixture = str(FIXTURES / "f301_float_equality.py")
+    assert main(["lint", fixture, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["by_rule"]["F301"] == 2
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in all_rules():
+        assert rule_id in out
+
+
+def test_directory_walk_skips_fixtures(capsys):
+    # Linting the tests tree must not trip over the planted fixtures.
+    tests_dir = str(Path(__file__).resolve().parent.parent)
+    assert main(["lint", tests_dir]) == 0

@@ -112,3 +112,21 @@ def test_idle_corrected_uj_per_kb():
         duration_ps=10**9, power_mw=130.0, idle_mw=30.0)
     assert report.uj_per_kb_idle_corrected \
         == pytest.approx(report.uj_per_kb * 100.0 / 130.0, rel=0.001)
+
+
+class TestEnergyIntegration:
+    """Focused check of the mW*ps area accumulator in energy_from_trace
+    (renamed from a ``*_ps``-suffixed float during the repro.lint
+    cleanup — the behavior must be unchanged)."""
+
+    def test_constant_power_integrates_exactly(self):
+        trace = ValueTrace("power_mw")
+        trace.record(0, 100.0)
+        # 100 mW over 1e9 ps = 0.1 W * 1e-3 s = 1e-4 J = 100 uJ.
+        assert energy_from_trace(trace, 0, 10**9) == pytest.approx(100.0)
+
+    def test_baseline_subtraction_clamps_at_zero(self):
+        trace = ValueTrace("power_mw")
+        trace.record(0, 20.0)
+        # Baseline above the sample must clamp to zero, not go negative.
+        assert energy_from_trace(trace, 0, 10**9, baseline_mw=30.0) == 0.0

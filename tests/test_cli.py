@@ -46,8 +46,22 @@ def test_parser_lists_all_commands():
     parser = build_parser()
     help_text = parser.format_help()
     for name in ("table1", "table2", "table3", "fig5", "fig7",
-                 "energy", "all"):
+                 "energy", "lint", "all"):
         assert name in help_text
+
+
+def test_lint_subcommand_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(delay_ps: int) -> int:\n    return delay_ps\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nstart = time.time()\n")
+    assert main(["lint", str(dirty)]) == 1
+    assert "D101" in capsys.readouterr().out
+
+    assert main(["lint", str(tmp_path / "missing.py")]) == 2
 
 
 def test_selftest(capsys):

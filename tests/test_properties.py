@@ -109,7 +109,7 @@ def test_datasize_addition_commutes(first, second):
 
 
 @given(st.integers(0, 10**8))
-def test_words_round_up(size_bytes):
+def test_words_round_up(size_bytes: int):
     size = DataSize(size_bytes)
     assert size.words * 4 >= size_bytes
     assert (size.words - 1) * 4 < size_bytes or size.words == 0
