@@ -6,8 +6,13 @@ Paper anchors (UPaRC_i, preloading without compression, Virtex-5):
   theoretical plane;
 * at 362.5 MHz / 247 KB: 1.44 GB/s = 99 % of theoretical.
 
-Regenerates the full size x frequency surface and prints it as the
-series of rows the figure plots.
+The surface runs through the sweep engine (``repro.sweep``): the
+``fig5`` grid expands to 49 independent cells, each a fresh-system
+UPaRC_i run — cell for cell identical to
+``repro.analysis.bandwidth.bandwidth_surface``.  The benchmark times
+the cold serial sweep; the second (cached) engine run at ``-j 2``
+must reproduce the cold results byte-identically, which pins the
+engine's determinism contract in CI.
 """
 
 from __future__ import annotations
@@ -16,13 +21,20 @@ from repro.analysis.bandwidth import (
     FIG5_FREQUENCIES_MHZ,
     FIG5_SIZES_KB,
     anchor_points,
-    bandwidth_surface,
 )
 from repro.analysis.report import render_table
+from repro.sweep import FIG5_GRID, SweepEngine, to_bandwidth_points
 
 
-def test_fig5_bandwidth_surface(benchmark):
-    points = benchmark.pedantic(bandwidth_surface, rounds=1, iterations=1)
+def test_fig5_bandwidth_surface(benchmark, tmp_path):
+    cache_dir = str(tmp_path / "fig5-cache")
+
+    def cold_sweep():
+        return SweepEngine(FIG5_GRID, jobs=1,
+                           cache_dir=cache_dir).run()
+
+    results = benchmark.pedantic(cold_sweep, rounds=1, iterations=1)
+    points = to_bandwidth_points(results)
 
     # Print the surface as one row per size, one column per frequency.
     by_cell = {(p.size.kb, p.frequency.mhz): p for p in points}
@@ -55,3 +67,8 @@ def test_fig5_bandwidth_surface(benchmark):
 
     # Every cell sits below the theoretical plane.
     assert all(p.effective_mbps < p.theoretical_mbps for p in points)
+
+    # Determinism contract: a cached parallel sweep is byte-identical.
+    cached = SweepEngine(FIG5_GRID, jobs=2, cache_dir=cache_dir)
+    assert cached.run() == results
+    assert cached.stats.misses == 0

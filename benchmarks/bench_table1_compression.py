@@ -6,9 +6,11 @@ bitstreams):
     RLE 63.0 | LZ77 71.4 | Huffman 72.3 | X-MatchPRO 74.2 |
     LZ78 75.6 | Zip 81.2 | 7-zip 81.9
 
-Regenerates the table over a corpus of synthetic bitstreams of
-different sizes/complexities and checks the ranking and per-codec
-agreement.
+Regenerates the table through the sweep engine's ``table1`` grid
+(7 codecs x the paired 49/81/156 KB corpus) and checks the ranking
+and per-codec agreement.  Compressed payloads land in the run's
+artifact cache, so the per-codec throughput benches below measure
+pure codec speed on a corpus the sweep already generated once.
 """
 
 from __future__ import annotations
@@ -16,21 +18,19 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.report import render_table
-from repro.compress import PAPER_TABLE1_RATIOS, all_codecs
+from repro.compress import PAPER_TABLE1_RATIOS
+from repro.sweep import SweepEngine, TABLE1_GRID, table1_ratios
 
 
-def _mean_ratios(corpus):
-    ratios = {}
-    for codec in all_codecs():
-        values = [codec.measure(bs.raw_bytes).ratio_percent
-                  for bs in corpus]
-        ratios[codec.name] = sum(values) / len(values)
-    return ratios
+def test_table1_compression_ratios(benchmark, tmp_path):
+    cache_dir = str(tmp_path / "table1-cache")
 
+    def cold_sweep():
+        return SweepEngine(TABLE1_GRID, jobs=1,
+                           cache_dir=cache_dir).run()
 
-def test_table1_compression_ratios(benchmark, table1_corpus):
-    ratios = benchmark.pedantic(_mean_ratios, args=(table1_corpus,),
-                                rounds=1, iterations=1)
+    results = benchmark.pedantic(cold_sweep, rounds=1, iterations=1)
+    ratios = table1_ratios(results)
 
     rows = [[name, ratios[name], PAPER_TABLE1_RATIOS[name],
              ratios[name] - PAPER_TABLE1_RATIOS[name]]
@@ -45,6 +45,11 @@ def test_table1_compression_ratios(benchmark, table1_corpus):
     # ...and each ratio lands within 4 percentage points.
     for name, paper_value in PAPER_TABLE1_RATIOS.items():
         assert abs(ratios[name] - paper_value) < 4.0
+
+    # Determinism contract: a cached parallel sweep is byte-identical.
+    cached = SweepEngine(TABLE1_GRID, jobs=2, cache_dir=cache_dir)
+    assert cached.run() == results
+    assert cached.stats.misses == 0
 
 
 @pytest.mark.parametrize("name", list(PAPER_TABLE1_RATIOS))

@@ -15,6 +15,7 @@ output is structurally valid.
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -195,10 +196,15 @@ class PacketDecoder:
 
 def words_to_bytes(words: Sequence[int]) -> bytes:
     """Big-endian word serialization (configuration byte order)."""
-    out = bytearray()
-    for word in words:
-        out += word.to_bytes(4, "big")
-    return bytes(out)
+    try:
+        return struct.pack(">%dI" % len(words), *words)
+    except struct.error:
+        for word in words:
+            if not 0 <= word < (1 << 32):
+                raise OverflowError(
+                    f"word {word:#x} does not fit in 32 bits"
+                ) from None
+        raise
 
 
 def bytes_to_words(data: bytes) -> List[int]:
@@ -206,5 +212,4 @@ def bytes_to_words(data: bytes) -> List[int]:
         raise BitstreamFormatError(
             f"byte stream length {len(data)} is not word aligned"
         )
-    return [int.from_bytes(data[i:i + 4], "big")
-            for i in range(0, len(data), 4)]
+    return list(struct.unpack(">%dI" % (len(data) // 4), data))

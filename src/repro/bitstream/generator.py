@@ -375,8 +375,7 @@ def _finish_epilogue(spec: BitstreamSpec, frame_words: List[int],
     crc.update(int(ConfigRegister.IDCODE), spec.device.idcode)
     crc.update(int(ConfigRegister.CMD), int(Command.WCFG))
     crc.update(int(ConfigRegister.FAR), spec.origin.pack())
-    for word in frame_words:
-        crc.update(int(ConfigRegister.FDRI), word)
+    crc.update_block(int(ConfigRegister.FDRI), frame_words)
     crc.update(int(ConfigRegister.CMD), int(Command.LFRM))
     patched = list(epilogue)
     # The CRC payload word follows its type-1 header; locate it: the

@@ -184,6 +184,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep.cli import run_sweep
+    return run_sweep(args)
+
+
 def _cmd_energy(args: argparse.Namespace) -> None:
     comparison = energy_comparison()
     rows = [
@@ -209,6 +214,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "validate": _cmd_validate,
     "lint": _cmd_lint,
+    "sweep": _cmd_sweep,
 }
 
 
@@ -225,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "(exit 0 clean, 1 violations, 2 usage error)")
             from repro.lint.cli import add_lint_arguments
             add_lint_arguments(sub)
+            continue
+        if name == "sweep":
+            sub = subparsers.add_parser(
+                name, help="run an experiment grid (process-parallel, "
+                           "artifact-cached)")
+            from repro.sweep.cli import add_sweep_arguments
+            add_sweep_arguments(sub)
             continue
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
         if name == "table3":
@@ -248,7 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
             if name == "table3":
                 command(argparse.Namespace(size_kb=216.5))
-            elif name in ("report", "validate", "lint"):
+            elif name in ("report", "validate", "lint", "sweep"):
                 continue  # 'all' already prints every table
             else:
                 command(args)

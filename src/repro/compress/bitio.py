@@ -33,8 +33,16 @@ class BitWriter:
             raise ValueError("width must be non-negative")
         if value < 0 or (width < 64 and value >= (1 << width) and width > 0):
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for shift in range(width - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        # Bulk path: fold the whole value into the accumulator and
+        # flush complete bytes, instead of shifting one bit at a time.
+        accumulator = (self._accumulator << width) | value
+        count = self._bit_count + width
+        buffer = self._buffer
+        while count >= 8:
+            count -= 8
+            buffer.append((accumulator >> count) & 0xFF)
+        self._accumulator = accumulator & ((1 << count) - 1)
+        self._bit_count = count
 
     def write_unary(self, value: int) -> None:
         """``value`` one-bits then a terminating zero."""
@@ -43,6 +51,9 @@ class BitWriter:
         self.write_bit(0)
 
     def write_bytes(self, data: bytes) -> None:
+        if self._bit_count == 0:
+            self._buffer.extend(data)
+            return
         for byte in data:
             self.write_bits(byte, 8)
 
@@ -80,10 +91,21 @@ class BitReader:
     def read_bits(self, width: int) -> int:
         if width < 0:
             raise ValueError("width must be non-negative")
-        value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
-        return value
+        if width == 0:
+            return 0
+        position = self._position
+        end = position + width
+        data = self._data
+        if end > len(data) * 8:
+            raise CorruptStreamError("bit stream exhausted")
+        # Bulk path: pull every byte the span touches in one
+        # int.from_bytes, then shift/mask — no per-bit loop.
+        first = position >> 3
+        last = (end - 1) >> 3
+        chunk = int.from_bytes(data[first:last + 1], "big")
+        shift = ((last + 1) << 3) - end
+        self._position = end
+        return (chunk >> shift) & ((1 << width) - 1)
 
     def read_unary(self, limit: int = 1 << 20) -> int:
         """Count one-bits until the terminating zero."""
@@ -95,4 +117,11 @@ class BitReader:
         return count
 
     def read_bytes(self, count: int) -> bytes:
+        position = self._position
+        if position & 7 == 0:  # byte-aligned: slice directly
+            start = position >> 3
+            if start + count > len(self._data):
+                raise CorruptStreamError("bit stream exhausted")
+            self._position = position + (count << 3)
+            return bytes(self._data[start:start + count])
         return bytes(self.read_bits(8) for _ in range(count))

@@ -81,34 +81,49 @@ class XMatchProCodec(Codec):
         tail = data[tuple_count * 4:]
         header = struct.pack(">I", len(data)) + bytes([len(tail)]) + tail
 
+        # Batch the tuple view once; the coding loop then works on
+        # ready-made 4-byte words and emits each token with a single
+        # write_bits call (prefix, payload and literals packed into
+        # one integer) — the hot loop does no per-bit work.
+        words = [data[offset:offset + 4]
+                 for offset in range(0, tuple_count * 4, 4)]
         writer = BitWriter()
+        write_bits = writer.write_bits
         dictionary: List[bytes] = []
         index = 0
         while index < tuple_count:
-            word = data[index * 4:(index + 1) * 4]
+            word = words[index]
             if word == _ZERO_TUPLE:
                 run = 1
                 while (index + run < tuple_count
-                       and data[(index + run) * 4:(index + run + 1) * 4]
-                       == _ZERO_TUPLE):
+                       and words[index + run] == _ZERO_TUPLE):
                     run += 1
-                writer.write_bits(0b10, 2)
-                self._write_run(writer, run)
+                token = 0b10
+                width = 2
+                remaining = run
+                while remaining >= _RUN_CHUNK_MAX:
+                    token = (token << _RUN_CHUNK_BITS) | _RUN_CHUNK_MAX
+                    width += _RUN_CHUNK_BITS
+                    remaining -= _RUN_CHUNK_MAX
+                token = (token << _RUN_CHUNK_BITS) | remaining
+                width += _RUN_CHUNK_BITS
+                write_bits(token, width)
                 index += run
                 continue
             location, mask = self._best_match(dictionary, word)
             if location is not None and mask is not None:
-                writer.write_bit(0)
-                writer.write_bits(location, _index_bits(len(dictionary)))
                 code, length = _MASK_CODES[mask]
-                writer.write_bits(code, length)
+                # Leading 0 prefix bit is the extra width bit.
+                token = (location << length) | code
+                width = 1 + _index_bits(len(dictionary)) + length
                 for byte_index in range(4):
                     if not (mask >> byte_index) & 1:
-                        writer.write_bits(word[byte_index], 8)
+                        token = (token << 8) | word[byte_index]
+                        width += 8
+                write_bits(token, width)
                 self._update_hit(dictionary, location, word)
             else:
-                writer.write_bits(0b11, 2)
-                writer.write_bytes(word)
+                write_bits((0b11 << 32) | int.from_bytes(word, "big"), 34)
                 self._insert(dictionary, word)
             index += 1
         return header + writer.getvalue()
@@ -118,18 +133,24 @@ class XMatchProCodec(Codec):
         best_location: Optional[int] = None
         best_mask: Optional[int] = None
         best_score = -1
+        mask_codes = _MASK_CODES
         for location, entry in enumerate(dictionary):
+            if entry == word:
+                # Full match scores 31 bits saved — strictly above any
+                # partial match, and earlier locations win ties, so the
+                # first full match is always the answer.
+                return location, 0b1111
             mask = 0
             matched = 0
             for byte_index in range(4):
                 if entry[byte_index] == word[byte_index]:
                     mask |= 1 << byte_index
                     matched += 1
-            if matched < _MIN_MATCH_BYTES or mask not in _MASK_CODES:
+            if matched < _MIN_MATCH_BYTES or mask not in mask_codes:
                 continue
             # Score: coded bits saved; prefer more matched bytes, then
             # earlier (cheaper, more recently used) locations.
-            score = matched * 8 - _MASK_CODES[mask][1]
+            score = matched * 8 - mask_codes[mask][1]
             if score > best_score:
                 best_score = score
                 best_location = location

@@ -16,7 +16,7 @@ it.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.bitstream.crc import ConfigCrc
 from repro.bitstream.device import DeviceInfo
@@ -116,9 +116,38 @@ class ConfigurationLogic:
             return
         self._header_word(word)
 
-    def feed_words(self, words: List[int]) -> None:
-        for word in words:
-            self.feed_word(word)
+    def feed_words(self, words: Sequence[int]) -> None:
+        """Feed a chunk of the stream; semantically per-word.
+
+        FDRI frame payloads (which dominate every bitstream) and
+        skipped NOP payloads take a bulk path that consumes the
+        largest safe span per iteration instead of one word; the
+        state machine, frame writes, and CRC accumulation are
+        bit-identical to the word loop.
+        """
+        index = 0
+        total = len(words)
+        while index < total:
+            if (self._state is _State.PAYLOAD
+                    and self._register is ConfigRegister.FDRI
+                    and self._command is Command.WCFG
+                    and self._far is not None
+                    and self._idcode_checked):
+                take = min(self._remaining, total - index)
+                self._frame_data_block(words[index:index + take])
+                self._remaining -= take
+                if self._remaining == 0:
+                    self._state = _State.IDLE
+                index += take
+            elif self._state is _State.SKIP:
+                take = min(self._remaining, total - index)
+                self._remaining -= take
+                if self._remaining == 0:
+                    self._state = _State.IDLE
+                index += take
+            else:
+                self.feed_word(words[index])
+                index += 1
 
     @property
     def synced(self) -> bool:
@@ -255,6 +284,38 @@ class ConfigurationLogic:
             self.desync_count += 1
         elif command is Command.WCFG:
             self._frame_buffer.clear()
+
+    def _frame_data_block(self, block: Sequence[int]) -> None:
+        """Bulk FDRI data: one CRC fold, frame-sized memory writes.
+
+        Only entered once the per-word path's preconditions (WCFG
+        command, FAR set, IDCODE checked) are established; violations
+        still surface through :meth:`_frame_data_word`.
+        """
+        self._crc.update_block(int(ConfigRegister.FDRI), block)
+        device = self.memory.device
+        frame_words = device.frame_words
+        buffer = self._frame_buffer
+        far = self._far
+        position = 0
+        count = len(block)
+        if buffer:
+            take = min(frame_words - len(buffer), count)
+            buffer.extend(block[:take])
+            position = take
+            if len(buffer) == frame_words:
+                self.memory.write_frame(far, buffer)
+                buffer.clear()
+                far = far.next_in(device)
+                self.frames_written += 1
+        while count - position >= frame_words:
+            self.memory.write_frame(
+                far, block[position:position + frame_words])
+            far = far.next_in(device)
+            self.frames_written += 1
+            position += frame_words
+        buffer.extend(block[position:])
+        self._far = far
 
     def _frame_data_word(self, word: int) -> None:
         if self._command is not Command.WCFG:

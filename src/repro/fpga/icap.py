@@ -18,7 +18,8 @@ reliability boundary the paper reports.
 from __future__ import annotations
 
 import zlib
-from typing import List, Optional
+from fractions import Fraction
+from typing import Optional, Sequence
 
 from repro.bitstream.device import DeviceInfo
 from repro.bitstream.format import words_to_bytes
@@ -93,8 +94,14 @@ class Icap:
             raise HardwareModelError(
                 f"invalid issue rate {words_per_cycle} words/cycle"
             )
-        return -(-words // words_per_cycle) if words_per_cycle >= 1 else \
-            round(words / words_per_cycle)
+        if words_per_cycle >= 1:
+            # Exact ceiling division: Fraction(float) is the float's
+            # exact binary value, so no float floor-division rounding
+            # can leak into the cycle count (the annotation says int,
+            # and float `//` returns float).
+            rate = Fraction(words_per_cycle)
+            return -(-words * rate.denominator // rate.numerator)
+        return round(words / words_per_cycle)
 
     def accept_burst(self, words: int, words_per_cycle: float = 1.0) -> int:
         """Account a burst; returns its duration in picoseconds.
@@ -105,11 +112,12 @@ class Icap:
         if not self._enabled:
             raise HardwareModelError("burst into disabled ICAP")
         cycles = self.burst_cycles(words, words_per_cycle)
-        duration = self.clock.cycles_duration(int(cycles))
+        duration = self.clock.cycles_duration(cycles)
         self.words_accepted += words
         return duration
 
-    def absorb(self, words: List[int], words_per_cycle: float = 1.0) -> int:
+    def absorb(self, words: Sequence[int],
+               words_per_cycle: float = 1.0) -> int:
         """Accept actual configuration words: timing + integrity.
 
         Returns the burst duration like :meth:`accept_burst` and folds

@@ -1,20 +1,43 @@
 """Event queue and simulator core.
 
 The kernel is a classic calendar loop: a binary heap of
-``(time, sequence, callback)`` entries.  The monotonically increasing
-sequence number makes event ordering total and deterministic — two
-events scheduled for the same picosecond fire in scheduling order,
-which keeps every experiment in the repository exactly reproducible.
+``(time, sequence, handle, callback)`` entries.  The monotonically
+increasing sequence number makes event ordering total and
+deterministic — two events scheduled for the same picosecond fire in
+scheduling order, which keeps every experiment in the repository
+exactly reproducible.  Because the ``(time, sequence)`` prefix is
+unique, ``heapq`` never compares the trailing elements.
+
+Two scheduling surfaces share the queue:
+
+* :meth:`Simulator.at` / :meth:`Simulator.after` return a
+  :class:`ScheduledEvent` handle that supports cancellation.
+* :meth:`Simulator.call_at` / :meth:`Simulator.call_after` /
+  :meth:`Simulator.schedule_batch` are the slot-free fast path: no
+  handle is allocated, the callback goes straight onto the heap.
+  Hot paths that never cancel (process delays, clock ticks, event
+  storms) use these to skip one object allocation per event.
+
+Cancelled handles stay in the heap until their timestamp is reached,
+but the kernel counts them and lazily compacts the heap when more
+than half of it is dead, so missions that schedule-and-cancel in a
+loop do not grow the queue without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 Callback = Callable[[], None]
+
+#: Queue entry: (time_ps, sequence, handle-or-None, callback).
+_Entry = Tuple[int, int, Optional["ScheduledEvent"], Callback]
+
+#: Below this queue size compaction is pointless (the heap is tiny).
+_COMPACT_MIN_EVENTS = 64
 
 
 class Simulator:
@@ -23,8 +46,14 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0
         self._sequence = 0
-        self._queue: List[Tuple[int, int, Callback]] = []
+        self._queue: List[_Entry] = []
+        #: Descending-sorted stack :meth:`run` drains from the end
+        #: (O(1) ``pop()`` instead of a heap sift per event).  Always
+        #: empty outside :meth:`run`; new events scheduled while
+        #: running land on the heap and interleave by (time, seq).
+        self._drain: List[_Entry] = []
         self._running = False
+        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> int:
@@ -33,8 +62,9 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (cancelled ones included)."""
-        return len(self._queue)
+        """Number of live (not cancelled) events still queued."""
+        return (len(self._queue) + len(self._drain)
+                - self._cancelled_in_queue)
 
     def at(self, time_ps: int, callback: Callback) -> "ScheduledEvent":
         """Schedule ``callback`` at absolute time ``time_ps``."""
@@ -43,8 +73,9 @@ class Simulator:
                 f"cannot schedule at t={time_ps} ps: simulation time is "
                 f"already {self._now} ps"
             )
-        handle = ScheduledEvent(time_ps, callback)
-        heapq.heappush(self._queue, (time_ps, self._sequence, handle))
+        handle = ScheduledEvent(time_ps, callback, self)
+        heapq.heappush(self._queue,
+                       (time_ps, self._sequence, handle, callback))
         self._sequence += 1
         return handle
 
@@ -53,6 +84,62 @@ class Simulator:
         if delay_ps < 0:
             raise SimulationError(f"negative delay: {delay_ps} ps")
         return self.at(self._now + delay_ps, callback)
+
+    def call_at(self, time_ps: int, callback: Callback) -> None:
+        """Slot-free fast path of :meth:`at`: no cancellation handle.
+
+        Use for waits that are never cancelled (the overwhelming
+        majority — process delays, clock ticks); skips the
+        per-event :class:`ScheduledEvent` allocation.
+        """
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ps} ps: simulation time is "
+                f"already {self._now} ps"
+            )
+        heapq.heappush(self._queue,
+                       (time_ps, self._sequence, None, callback))
+        self._sequence += 1
+
+    def call_after(self, delay_ps: int, callback: Callback) -> None:
+        """Slot-free fast path of :meth:`after`."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps} ps")
+        self.call_at(self._now + delay_ps, callback)
+
+    def schedule_batch(self,
+                       events: Iterable[Tuple[int, Callback]]) -> int:
+        """Bulk slot-free scheduling of ``(time_ps, callback)`` pairs.
+
+        Pairs are enqueued in iteration order (ties fire in that
+        order); returns the number of events scheduled.  The batch is
+        materialised in one pass and the heap rebuilt with a single
+        O(n) ``heapify`` — no per-event push, handle allocation, or
+        method dispatch — the cheapest way to pre-seed a large event
+        storm.
+        """
+        entries: List[_Entry] = [
+            (time_ps, sequence, None, callback)
+            for sequence, (time_ps, callback)
+            in enumerate(events, self._sequence)
+        ]
+        if not entries:
+            return 0
+        earliest = min(entries)[0]
+        if earliest < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={earliest} ps: simulation time "
+                f"is already {self._now} ps"
+            )
+        self._sequence += len(entries)
+        queue = self._queue
+        if queue:
+            queue.extend(entries)
+            heapq.heapify(queue)
+        else:
+            self._queue = entries
+            heapq.heapify(self._queue)
+        return len(entries)
 
     def run(self, until_ps: Optional[int] = None) -> int:
         """Run events until the queue drains or ``until_ps`` is reached.
@@ -64,19 +151,49 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
+        queue = self._queue
+        drain = self._drain
+        pop = heapq.heappop
         try:
-            while self._queue:
-                time_ps, _seq, handle = self._queue[0]
-                if until_ps is not None and time_ps > until_ps:
-                    break
-                heapq.heappop(self._queue)
-                if handle.cancelled:
+            while True:
+                if drain:
+                    entry = drain[-1]
+                    if queue and queue[0] < entry:
+                        # A callback scheduled something earlier than
+                        # the next drained entry; (time, seq) tuple
+                        # comparison keeps the total order exact.
+                        entry = queue[0]
+                        if until_ps is not None and entry[0] > until_ps:
+                            break
+                        pop(queue)
+                    else:
+                        if until_ps is not None and entry[0] > until_ps:
+                            break
+                        drain.pop()
+                elif queue:
+                    # Refill the drain stack: one timsort replaces a
+                    # heap sift per event for everything queued so far.
+                    queue.sort()
+                    drain.extend(reversed(queue))
+                    queue.clear()
                     continue
-                self._now = time_ps
-                handle.fire()
+                else:
+                    break
+                handle = entry[2]
+                if handle is not None:
+                    if handle.cancelled:
+                        self._cancelled_in_queue -= 1
+                        continue
+                    handle.fired = True
+                self._now = entry[0]
+                entry[3]()
             if until_ps is not None and until_ps > self._now:
                 self._now = until_ps
         finally:
+            if drain:
+                queue.extend(drain)
+                drain.clear()
+                heapq.heapify(queue)
             self._running = False
         return self._now
 
@@ -86,30 +203,65 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the single next event.  Returns ``False`` when idle."""
-        while self._queue:
-            time_ps, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
+        while self._queue or self._drain:
+            if self._drain and not (self._queue
+                                    and self._queue[0] < self._drain[-1]):
+                time_ps, _seq, handle, callback = self._drain.pop()
+            else:
+                time_ps, _seq, handle, callback = heapq.heappop(self._queue)
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                handle.fired = True
             self._now = time_ps
-            handle.fire()
+            callback()
             return True
         return False
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`ScheduledEvent.cancel`.
+
+        When more than half of a non-trivial queue is dead weight, the
+        heap is rebuilt without the cancelled entries (lazy
+        compaction), bounding memory for schedule-and-cancel loops.
+        """
+        self._cancelled_in_queue += 1
+        queue = self._queue
+        drain = self._drain
+        total = len(queue) + len(drain)
+        if (total >= _COMPACT_MIN_EVENTS
+                and self._cancelled_in_queue * 2 >= total):
+            # In-place so a run() loop holding aliases stays valid.
+            queue[:] = [entry for entry in queue
+                        if entry[2] is None or not entry[2].cancelled]
+            heapq.heapify(queue)
+            if drain:
+                drain[:] = [entry for entry in drain
+                            if entry[2] is None or not entry[2].cancelled]
+            self._cancelled_in_queue = 0
 
 
 class ScheduledEvent:
     """Handle returned by :meth:`Simulator.at`; supports cancellation."""
 
-    __slots__ = ("time_ps", "_callback", "cancelled", "fired")
+    __slots__ = ("time_ps", "_callback", "cancelled", "fired", "_sim")
 
-    def __init__(self, time_ps: int, callback: Callback) -> None:
+    def __init__(self, time_ps: int, callback: Callback,
+                 sim: Optional[Simulator] = None) -> None:
         self.time_ps = time_ps
         self._callback = callback
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def fire(self) -> None:
         if self.cancelled or self.fired:
@@ -120,5 +272,5 @@ class ScheduledEvent:
     def __lt__(self, other: "ScheduledEvent") -> bool:
         # heapq compares tuples element-wise; the sequence number always
         # breaks ties before reaching the handle, but heapq still
-        # requires the final element to be orderable on some platforms.
+        # requires the entries to be orderable on some platforms.
         return self.time_ps < other.time_ps

@@ -106,11 +106,14 @@ class Process:
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
+        # Delay/cycle waits are never cancelled, so they take the
+        # kernel's slot-free path (no ScheduledEvent allocation).
         if isinstance(command, Delay):
-            self._sim.after(command.duration_ps, lambda: self._resume(None))
+            self._sim.call_after(command.duration_ps,
+                                 lambda: self._resume(None))
         elif isinstance(command, WaitCycles):
             duration = command.clock.cycles_duration(command.cycles)
-            self._sim.after(duration, lambda: self._resume(None))
+            self._sim.call_after(duration, lambda: self._resume(None))
         elif isinstance(command, WaitEvent):
             command.event.add_waiter(
                 lambda event: self._resume(event.payload)

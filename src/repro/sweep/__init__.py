@@ -1,0 +1,55 @@
+"""Experiment sweep engine: grids, artifact cache, process fan-out.
+
+The paper's evaluation is a set of parameter sweeps (controller x
+frequency x payload x seed); this package turns them into declarative
+grids executed by a process-parallel engine with a content-addressed
+artifact cache:
+
+* :mod:`repro.sweep.spec`   — :class:`RunSpec`, :class:`SweepGrid`
+  and the named grids (``fig5``, ``table1``, ``smoke``);
+* :mod:`repro.sweep.cache`  — SHA-256 content-addressed store for
+  bitstreams, compressed payloads and finished run records;
+* :mod:`repro.sweep.engine` — :class:`SweepEngine` and the
+  module-level :func:`execute_spec` worker;
+* :mod:`repro.sweep.cli`    — ``python -m repro sweep``.
+
+Results are deterministic by construction: cells are sorted by
+canonical key before dispatch and re-sorted after collection, so a
+``-j 8`` run is byte-identical to a serial one.
+"""
+
+from repro.sweep.cache import ArtifactCache, CacheStats, artifact_key
+from repro.sweep.engine import (
+    SweepEngine,
+    SweepResult,
+    execute_spec,
+    table1_ratios,
+    to_bandwidth_points,
+)
+from repro.sweep.spec import (
+    FIG5_GRID,
+    GRIDS,
+    SMOKE_GRID,
+    TABLE1_GRID,
+    PayloadSpec,
+    RunSpec,
+    SweepGrid,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "artifact_key",
+    "SweepEngine",
+    "SweepResult",
+    "execute_spec",
+    "table1_ratios",
+    "to_bandwidth_points",
+    "FIG5_GRID",
+    "GRIDS",
+    "SMOKE_GRID",
+    "TABLE1_GRID",
+    "PayloadSpec",
+    "RunSpec",
+    "SweepGrid",
+]

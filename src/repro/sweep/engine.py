@@ -1,0 +1,256 @@
+"""Process-parallel sweep execution with deterministic results.
+
+The engine maps a list of independent :class:`RunSpec` cells onto
+worker processes (``jobs > 1``) or runs them inline (``jobs <= 1``).
+Determinism is structural, not accidental:
+
+* specs are expanded and sorted by canonical key *before* dispatch,
+* ``ProcessPoolExecutor.map`` preserves input order, and
+* every cell builds its own fresh simulator, so no state leaks
+  between cells regardless of which worker ran them.
+
+A parallel sweep therefore returns the byte-identical result list of
+a serial one — same values, same order.  (Verified empirically: a
+fresh-system-per-cell run of the Fig. 5 grid reproduces
+``repro.analysis.bandwidth.bandwidth_surface`` exactly, cell for
+cell, because the simulation kernel is integer-picosecond and every
+result is a Start-to-Finish difference.)
+
+When a cache directory is given, three artifact kinds are reused
+across runs (see :mod:`repro.sweep.cache`): generated bitstreams,
+compressed payloads, and finished run records.  Records are safe to
+cache because the simulation is fully deterministic — a record key
+hashes everything that determines the outcome (generator parameters,
+controller, frequency, codec, format version).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from functools import partial
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.bandwidth import BandwidthPoint
+from repro.errors import ReproError
+from repro.sweep.cache import (
+    ArtifactCache,
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    bitstream_params,
+)
+from repro.sweep.spec import COMPRESS_CODECS, RunSpec, SweepGrid
+from repro.units import DataSize, Frequency
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one sweep cell (picklable, JSON-round-trippable).
+
+    Reconfigure cells fill the bandwidth block; compress cells fill
+    the size block.  Unused fields stay ``None``.  Floats survive the
+    cache's JSON round trip exactly (shortest-roundtrip ``repr``), so
+    a cached record compares equal to a freshly computed one.
+    """
+
+    key: str
+    workload: str
+    size_kb: float
+    seed: int
+    controller: Optional[str] = None
+    frequency_mhz: Optional[float] = None
+    codec: Optional[str] = None
+    effective_mbps: Optional[float] = None
+    theoretical_mbps: Optional[float] = None
+    duration_ps: Optional[int] = None
+    payload_crc: Optional[int] = None
+    frames_written: Optional[int] = None
+    verified: Optional[bool] = None
+    original_size: Optional[int] = None
+    compressed_size: Optional[int] = None
+    ratio_percent: Optional[float] = None
+
+    def to_record(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_record(record: Dict[str, Any]) -> "SweepResult":
+        return SweepResult(**record)
+
+
+def _payload_spec(spec: RunSpec):
+    """The generator spec a sweep payload denotes (defaults + size/seed)."""
+    from repro.bitstream.generator import BitstreamSpec
+    return BitstreamSpec(size=DataSize.from_kb(spec.payload.size_kb),
+                         seed=spec.payload.seed)
+
+
+def _record_params(spec: RunSpec) -> Dict[str, Any]:
+    """Cache identity of a finished run record."""
+    params = bitstream_params(_payload_spec(spec))
+    params["kind"] = "run-record"
+    params["version"] = CACHE_FORMAT_VERSION
+    params["workload"] = spec.workload
+    params["controller"] = spec.controller
+    params["frequency_mhz"] = spec.frequency_mhz
+    params["codec"] = spec.codec
+    return params
+
+
+def _build_controller(name: str):
+    from repro.controllers import (
+        BramHwicap,
+        Farm,
+        FlashCap,
+        MstIcap,
+        UparcController,
+        XpsHwicap,
+    )
+    factories = {
+        "UPaRC_i": lambda: UparcController("i"),
+        "UPaRC_ii": lambda: UparcController("ii"),
+        "xps_hwicap[cached]": lambda: XpsHwicap(profile="cached"),
+        "MST_ICAP": MstIcap,
+        "FlashCAP_i": FlashCap,
+        "BRAM_HWICAP": BramHwicap,
+        "FaRM": Farm,
+    }
+    return factories[name]()
+
+
+def execute_spec(spec: RunSpec, cache_root: Optional[str] = None,
+                 ) -> Tuple[SweepResult, CacheStats]:
+    """Run one cell; module-level so worker processes can pickle it."""
+    stats = CacheStats()
+    cache = ArtifactCache(cache_root) if cache_root else None
+    params = _record_params(spec) if cache else None
+    if cache is not None:
+        record = cache.load_record(params)
+        if record is not None:
+            stats.hits += 1
+            return SweepResult.from_record(record), stats
+        stats.misses += 1
+
+    generator_spec = _payload_spec(spec)
+    if spec.workload == "reconfigure":
+        if cache is not None:
+            bitstream = cache.load_bitstream(generator_spec, stats)
+        else:
+            from repro.bitstream.generator import generate_bitstream
+            bitstream = generate_bitstream(generator_spec)
+        controller = _build_controller(spec.controller)
+        outcome = controller.reconfigure(
+            bitstream, Frequency.from_mhz(spec.frequency_mhz))
+        theoretical = Frequency.from_mhz(
+            spec.frequency_mhz).hertz * 4 / 1e6
+        result = SweepResult(
+            key=spec.key,
+            workload=spec.workload,
+            size_kb=spec.payload.size_kb,
+            seed=spec.payload.seed,
+            controller=spec.controller,
+            frequency_mhz=spec.frequency_mhz,
+            effective_mbps=outcome.bandwidth_decimal_mbps,
+            theoretical_mbps=theoretical,
+            duration_ps=outcome.duration_ps,
+            payload_crc=outcome.payload_crc,
+            frames_written=outcome.frames_written,
+            verified=outcome.verified,
+        )
+    else:
+        if cache is not None:
+            measure = cache.load_compressed(generator_spec, spec.codec,
+                                            stats)
+        else:
+            from repro.bitstream.generator import generate_bitstream
+            from repro.compress.registry import codec_by_name
+            raw = generate_bitstream(generator_spec).raw_bytes
+            measure = codec_by_name(spec.codec).measure(raw)
+        result = SweepResult(
+            key=spec.key,
+            workload=spec.workload,
+            size_kb=spec.payload.size_kb,
+            seed=spec.payload.seed,
+            codec=spec.codec,
+            original_size=measure.original_size,
+            compressed_size=measure.compressed_size,
+            ratio_percent=measure.ratio_percent,
+        )
+
+    if cache is not None:
+        cache.store_record(params, result.to_record())
+    return result, stats
+
+
+class SweepEngine:
+    """Expand a grid (or spec list) and execute it, optionally cached.
+
+    ``jobs <= 1`` runs inline; ``jobs > 1`` fans out across that many
+    worker processes.  Results come back sorted by spec key either
+    way, so callers never observe scheduling order.
+    """
+
+    def __init__(self, grid: Union[SweepGrid, Iterable[RunSpec]],
+                 jobs: int = 1,
+                 cache_dir: Optional[str] = None) -> None:
+        if isinstance(grid, SweepGrid):
+            self._specs = grid.expand()
+        else:
+            self._specs = sorted(grid, key=lambda spec: spec.key)
+        keys = [spec.key for spec in self._specs]
+        duplicates = {key for key in keys if keys.count(key) > 1}
+        if duplicates:
+            raise ReproError(
+                f"duplicate sweep cells: {', '.join(sorted(duplicates))}")
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = cache_dir
+        self.stats = CacheStats()
+
+    @property
+    def specs(self) -> List[RunSpec]:
+        return list(self._specs)
+
+    def run(self) -> List[SweepResult]:
+        """Execute every cell; deterministic result order by key."""
+        worker = partial(execute_spec, cache_root=self.cache_dir)
+        self.stats = CacheStats()
+        if self.jobs == 1 or len(self._specs) <= 1:
+            outcomes = [worker(spec) for spec in self._specs]
+        else:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                outcomes = list(pool.map(worker, self._specs))
+        results = []
+        for result, stats in outcomes:
+            results.append(result)
+            self.stats.merge(stats)
+        results.sort(key=lambda result: result.key)
+        return results
+
+
+def to_bandwidth_points(results: Iterable[SweepResult],
+                        ) -> List[BandwidthPoint]:
+    """Reconfigure results as Fig. 5 surface points."""
+    points = []
+    for result in results:
+        if result.workload != "reconfigure":
+            continue
+        points.append(BandwidthPoint(
+            size=DataSize.from_kb(result.size_kb),
+            frequency=Frequency.from_mhz(result.frequency_mhz),
+            effective_mbps=result.effective_mbps,
+            theoretical_mbps=result.theoretical_mbps,
+            duration_ps=result.duration_ps,
+        ))
+    return points
+
+
+def table1_ratios(results: Iterable[SweepResult]) -> Dict[str, float]:
+    """Mean compression ratio per codec, in Table I row order."""
+    by_codec: Dict[str, List[float]] = {}
+    for result in results:
+        if result.workload != "compress":
+            continue
+        by_codec.setdefault(result.codec, []).append(
+            result.ratio_percent)
+    return {name: sum(by_codec[name]) / len(by_codec[name])
+            for name in COMPRESS_CODECS if name in by_codec}

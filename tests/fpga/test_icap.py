@@ -133,3 +133,38 @@ def test_theoretical_bandwidth(sim):
     icap = make_icap(sim, 362.5)
     assert icap.theoretical_bandwidth_mbps() == pytest.approx(1382.8,
                                                               rel=1e-3)
+
+
+def test_burst_cycles_exact_integers_across_rates(sim):
+    """Regression: fractional issue rates must yield exact int cycles.
+
+    ``-(-words // rate)`` on a float rate returns a float; the cycle
+    count feeds ``Clock.cycles_duration`` and must be an exact int at
+    every supported rate (0.5 bus-fed, 1.0 UReC, 1.25 overfeed).
+    """
+    icap = make_icap(sim)
+    cases = [
+        (1000, 0.5, 2000),   # half rate: twice the cycles
+        (1000, 1.0, 1000),   # UReC feeds one word per cycle
+        (1000, 1.25, 800),   # 5 words per 4 cycles, exact
+        (7, 1.25, 6),        # ceil(7 / 1.25) = ceil(5.6)
+        (1, 1.25, 1),        # single word still costs a cycle
+        (0, 1.25, 0),        # empty burst is free
+        (999, 2.0, 500),     # ceil(999 / 2)
+    ]
+    for words, rate, expected in cases:
+        cycles = icap.burst_cycles(words, words_per_cycle=rate)
+        assert type(cycles) is int, (words, rate, cycles)
+        assert cycles == expected, (words, rate, cycles)
+
+
+def test_burst_cycles_ceiling_never_undercounts(sim):
+    """At rates > 1 the port can't finish mid-cycle: always round up."""
+    icap = make_icap(sim)
+    for words in range(1, 64):
+        for numerator, denominator in ((5, 4), (3, 2), (2, 1)):
+            rate = numerator / denominator
+            cycles = icap.burst_cycles(words, words_per_cycle=rate)
+            # cycles is the smallest int with cycles * rate >= words.
+            assert cycles * numerator >= words * denominator
+            assert (cycles - 1) * numerator < words * denominator

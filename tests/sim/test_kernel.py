@@ -131,3 +131,127 @@ def test_run_until_idle_alias(sim):
     sim.at(10, lambda: seen.append(1))
     assert sim.run_until_idle() == 10
     assert seen == [1]
+
+
+def test_pending_events_excludes_cancelled(sim):
+    """Regression: cancelled handles used to count as pending."""
+    keep = sim.at(10, lambda: None)
+    cancelled = [sim.at(20, lambda: None) for _ in range(5)]
+    for handle in cancelled:
+        handle.cancel()
+    assert sim.pending_events == 1
+    assert keep.cancelled is False
+
+
+def test_heap_compacts_when_mostly_cancelled(sim):
+    """Schedule-and-cancel loops must not grow the queue unbounded."""
+    survivors = []
+    keepers = [sim.at(1000 + index, lambda: survivors.append(1))
+               for index in range(10)]
+    doomed = [sim.at(2000 + index, lambda: survivors.append("no"))
+              for index in range(200)]
+    for handle in doomed:
+        handle.cancel()
+    # Lazy compaction has rebuilt the heap without most dead entries;
+    # below _COMPACT_MIN_EVENTS (64) compaction stops by design.
+    assert len(sim._queue) < 64
+    assert sim.pending_events == len(keepers)
+    sim.run()
+    assert survivors == [1] * 10
+
+
+def test_compaction_preserves_order_and_semantics(sim):
+    order = []
+    for index in range(100):
+        handle = sim.at(10 * index, lambda i=index: order.append(i))
+        if index % 2:
+            handle.cancel()
+    sim.run()
+    assert order == list(range(0, 100, 2))
+    assert sim.pending_events == 0
+
+
+def test_call_at_and_call_after_fire_in_order(sim):
+    order = []
+    sim.call_at(30, lambda: order.append("c"))
+    sim.call_at(10, lambda: order.append("a"))
+    sim.call_after(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_call_at_past_raises(sim):
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(50, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_after(-1, lambda: None)
+
+
+def test_schedule_batch_matches_serial_scheduling(sim):
+    order = []
+    count = sim.schedule_batch(
+        (100 - index, lambda i=index: order.append(i))
+        for index in range(100))
+    assert count == 100
+    assert sim.pending_events == 100
+    sim.run()
+    assert order == list(reversed(range(100)))
+
+
+def test_schedule_batch_ties_fire_in_batch_order(sim):
+    order = []
+    sim.schedule_batch((50, lambda label=label: order.append(label))
+                       for label in "abcde")
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_schedule_batch_interleaves_with_handles(sim):
+    order = []
+    sim.at(15, lambda: order.append("handle"))
+    sim.schedule_batch([(10, lambda: order.append("early")),
+                        (20, lambda: order.append("late"))])
+    sim.run()
+    assert order == ["early", "handle", "late"]
+
+
+def test_schedule_batch_rejects_past_times(sim):
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([(100, lambda: None), (50, lambda: None)])
+    # A failed batch must not corrupt the queue.
+    assert sim.pending_events == 0
+
+
+def test_schedule_batch_empty_is_noop(sim):
+    assert sim.schedule_batch([]) == 0
+    assert sim.pending_events == 0
+
+
+def test_events_scheduled_mid_run_interleave_with_drain(sim):
+    """New events land on the heap while run() drains its stack; the
+    (time, seq) order must stay exact across the two tiers."""
+    order = []
+    sim.schedule_batch((10 * index, lambda i=index: order.append(i))
+                       for i in [0] for index in range(1, 6))
+
+    def wedge():
+        order.append("wedge-now")
+        sim.call_at(25, lambda: order.append("wedged"))
+
+    sim.at(5, wedge)
+    sim.run()
+    assert order == ["wedge-now", 1, 2, "wedged", 3, 4, 5]
+
+
+def test_cancel_during_run_skips_event(sim):
+    fired = []
+    victim = sim.at(20, lambda: fired.append("victim"))
+    sim.at(10, victim.cancel)
+    sim.at(30, lambda: fired.append("after"))
+    sim.run()
+    assert fired == ["after"]

@@ -1,0 +1,136 @@
+"""Sweep engine: determinism, caching, parallel equivalence.
+
+The load-bearing property is that result lists are *equal* — same
+values, same order — across serial, parallel, cold and cached runs.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sweep import (
+    SMOKE_GRID,
+    PayloadSpec,
+    RunSpec,
+    SweepEngine,
+    execute_spec,
+    table1_ratios,
+    to_bandwidth_points,
+)
+
+SMALL_PAYLOAD = PayloadSpec(size_kb=6.5, seed=2012)
+
+
+@pytest.fixture(scope="module")
+def smoke_serial():
+    """One uncached serial run of the smoke grid (shared reference)."""
+    return SweepEngine(SMOKE_GRID, jobs=1, cache_dir=None).run()
+
+
+def test_results_sorted_by_key(smoke_serial):
+    keys = [result.key for result in smoke_serial]
+    assert keys == sorted(keys)
+    assert len(keys) == 4
+
+
+def test_every_cell_crc_verified(smoke_serial):
+    assert all(result.verified for result in smoke_serial)
+    assert all(result.payload_crc for result in smoke_serial)
+
+
+def test_parallel_equals_serial_uncached(smoke_serial):
+    parallel = SweepEngine(SMOKE_GRID, jobs=2, cache_dir=None).run()
+    assert parallel == smoke_serial
+
+
+def test_cached_run_is_byte_identical(tmp_path, smoke_serial):
+    cache_dir = str(tmp_path / "cache")
+    cold = SweepEngine(SMOKE_GRID, jobs=1, cache_dir=cache_dir)
+    cold_results = cold.run()
+    assert cold_results == smoke_serial
+    assert cold.stats.misses > 0
+
+    warm = SweepEngine(SMOKE_GRID, jobs=2, cache_dir=cache_dir)
+    warm_results = warm.run()
+    assert warm_results == smoke_serial
+    assert warm.stats.misses == 0
+    assert warm.stats.hits == len(SMOKE_GRID)
+
+
+def test_matches_bandwidth_surface(smoke_serial):
+    """The engine's cells equal the analysis-module measurement."""
+    from repro.analysis.bandwidth import bandwidth_surface
+    reference = bandwidth_surface(sizes_kb=[6.5],
+                                  frequencies_mhz=[100.0, 362.5])
+    by_cell = {(p.size.kb, p.frequency.mhz): p for p in reference}
+    for result in smoke_serial:
+        point = by_cell.get((result.size_kb, result.frequency_mhz))
+        if point is None or result.seed != 2012:
+            continue
+        assert result.effective_mbps == point.effective_mbps
+        assert result.theoretical_mbps == point.theoretical_mbps
+        assert result.duration_ps == point.duration_ps
+
+
+def test_execute_spec_compress_matches_direct_codec():
+    from repro.bitstream.generator import generate_bitstream
+    from repro.compress import codec_by_name
+    from repro.units import DataSize
+    spec = RunSpec(workload="compress", codec="RLE",
+                   payload=SMALL_PAYLOAD)
+    result, _stats = execute_spec(spec)
+    raw = generate_bitstream(size=DataSize.from_kb(6.5),
+                             seed=2012).raw_bytes
+    direct = codec_by_name("RLE").measure(raw)
+    assert result.original_size == direct.original_size
+    assert result.compressed_size == direct.compressed_size
+    assert result.ratio_percent == direct.ratio_percent
+
+
+def test_record_cache_round_trips_results(tmp_path):
+    spec = RunSpec(workload="reconfigure", controller="UPaRC_i",
+                   frequency_mhz=100.0, payload=SMALL_PAYLOAD)
+    cache_root = str(tmp_path / "cache")
+    cold, cold_stats = execute_spec(spec, cache_root)
+    warm, warm_stats = execute_spec(spec, cache_root)
+    assert warm == cold
+    assert cold_stats.misses > 0
+    assert (warm_stats.hits, warm_stats.misses) == (1, 0)
+
+
+def test_duplicate_cells_rejected():
+    spec = RunSpec(workload="compress", codec="RLE",
+                   payload=SMALL_PAYLOAD)
+    with pytest.raises(ReproError, match="duplicate"):
+        SweepEngine([spec, spec])
+
+
+def test_to_bandwidth_points(smoke_serial):
+    points = to_bandwidth_points(smoke_serial)
+    assert len(points) == len(smoke_serial)
+    for point, result in zip(points, smoke_serial):
+        assert point.size.kb == result.size_kb
+        assert point.frequency.mhz == result.frequency_mhz
+        assert point.effective_mbps == result.effective_mbps
+        assert point.efficiency_percent < 100.0
+
+
+def test_table1_ratios_orders_like_the_paper():
+    from repro.compress import PAPER_TABLE1_RATIOS
+    specs = [RunSpec(workload="compress", codec=name,
+                     payload=SMALL_PAYLOAD)
+             for name in ("X-MatchPRO", "RLE")]
+    results = SweepEngine(specs).run()
+    ratios = table1_ratios(results)
+    # Table I row order, not result-key order.
+    assert list(ratios) == [name for name in PAPER_TABLE1_RATIOS
+                            if name in ("RLE", "X-MatchPRO")]
+    assert ratios["X-MatchPRO"] > ratios["RLE"]
+
+
+def test_baseline_controller_cell_runs(tmp_path):
+    """The controller axis covers the Table III baselines too."""
+    spec = RunSpec(workload="reconfigure", controller="FaRM",
+                   frequency_mhz=100.0, payload=SMALL_PAYLOAD)
+    result, _stats = execute_spec(spec, str(tmp_path / "cache"))
+    assert result.verified
+    assert 0 < result.effective_mbps < result.theoretical_mbps

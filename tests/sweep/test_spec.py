@@ -1,0 +1,94 @@
+"""Grid expansion and run-spec identity."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sweep import (
+    FIG5_GRID,
+    GRIDS,
+    SMOKE_GRID,
+    TABLE1_GRID,
+    PayloadSpec,
+    RunSpec,
+    SweepGrid,
+)
+
+
+def test_fig5_grid_is_the_full_surface():
+    specs = FIG5_GRID.expand()
+    assert len(specs) == 49 == len(FIG5_GRID)
+    assert {spec.workload for spec in specs} == {"reconfigure"}
+    assert {spec.controller for spec in specs} == {"UPaRC_i"}
+    assert len({spec.key for spec in specs}) == 49
+
+
+def test_table1_grid_pairs_sizes_with_seeds():
+    specs = TABLE1_GRID.expand()
+    assert len(specs) == 21 == len(TABLE1_GRID)
+    # Paired corpus, not a cross product: each size keeps its seed.
+    pairs = {(spec.payload.size_kb, spec.payload.seed) for spec in specs}
+    assert pairs == {(49.0, 101), (81.0, 202), (156.0, 303)}
+
+
+def test_expansion_is_sorted_by_key():
+    for grid in GRIDS.values():
+        keys = [spec.key for spec in grid.expand()]
+        assert keys == sorted(keys)
+
+
+def test_key_is_stable_and_readable():
+    spec = RunSpec(workload="reconfigure", controller="UPaRC_i",
+                   frequency_mhz=362.5,
+                   payload=PayloadSpec(size_kb=6.5, seed=2012))
+    assert spec.key == "reconfigure/UPaRC_i/362.5mhz/6.5kb-s2012"
+    # Equal specs render equal keys.
+    twin = RunSpec(workload="reconfigure", controller="UPaRC_i",
+                   frequency_mhz=362.5,
+                   payload=PayloadSpec(size_kb=6.5, seed=2012))
+    assert spec == twin and spec.key == twin.key
+
+
+def test_compress_key_names_the_codec():
+    spec = RunSpec(workload="compress", codec="X-MatchPRO",
+                   payload=PayloadSpec(size_kb=49.0, seed=101))
+    assert spec.key == "compress/X-MatchPRO/49kb-s101"
+
+
+def test_unknown_controller_rejected_at_build_time():
+    with pytest.raises(ReproError, match="unknown controller"):
+        RunSpec(workload="reconfigure", controller="HWICAP_TURBO",
+                frequency_mhz=100.0,
+                payload=PayloadSpec(size_kb=6.5, seed=1))
+
+
+def test_unknown_codec_rejected():
+    with pytest.raises(ReproError, match="unknown codec"):
+        RunSpec(workload="compress", codec="bzip2",
+                payload=PayloadSpec(size_kb=6.5, seed=1))
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ReproError, match="unknown workload"):
+        RunSpec(workload="power", payload=PayloadSpec(size_kb=1, seed=1))
+
+
+def test_reconfigure_needs_frequency():
+    with pytest.raises(ReproError, match="positive frequency"):
+        RunSpec(workload="reconfigure", controller="UPaRC_i",
+                payload=PayloadSpec(size_kb=6.5, seed=1))
+
+
+def test_payload_size_must_be_positive():
+    with pytest.raises(ReproError, match="positive"):
+        PayloadSpec(size_kb=0.0, seed=1)
+
+
+def test_incomplete_grid_fails_on_expand():
+    grid = SweepGrid(name="broken", workload="reconfigure",
+                     payloads=(PayloadSpec(size_kb=6.5, seed=1),))
+    with pytest.raises(ReproError, match="controllers and frequencies"):
+        grid.expand()
+
+
+def test_smoke_grid_is_small():
+    assert len(SMOKE_GRID.expand()) == 4
