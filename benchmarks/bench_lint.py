@@ -1,0 +1,52 @@
+"""Cold vs warm lint of the full source tree.
+
+The incremental cache is the v2 analyzer's performance story: a warm
+re-lint of an unchanged tree must come back near-instant (the ISSUE
+acceptance bar is >=5x faster than cold), because CI and editor hooks
+re-run it on every save.  ``BENCH_lint.json`` pins both numbers.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_lint.py --benchmark-only
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintCache, collect_files, lint_files
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FILES = collect_files([str(REPO_ROOT / "src")])
+
+
+@pytest.fixture()
+def cache_root(tmp_path):
+    return str(tmp_path / "lint-cache")
+
+
+def test_cold_full_tree(benchmark, cache_root):
+    def cold():
+        cache = LintCache(cache_root)
+        cache.clear()
+        return lint_files(FILES, cache=cache)
+
+    violations = benchmark.pedantic(cold, rounds=3, iterations=1)
+    assert isinstance(violations, list)
+
+
+def test_warm_full_tree(benchmark, cache_root):
+    warmup = LintCache(cache_root)
+    expected = lint_files(FILES, cache=warmup)
+
+    def warm():
+        return lint_files(FILES, cache=LintCache(cache_root))
+
+    violations = benchmark.pedantic(warm, rounds=5, iterations=1)
+    assert violations == expected
+
+
+def test_no_cache_full_tree(benchmark):
+    violations = benchmark.pedantic(
+        lambda: lint_files(FILES, cache=None), rounds=3, iterations=1)
+    assert isinstance(violations, list)

@@ -1,10 +1,18 @@
-"""``repro.lint`` — AST-based simulation-safety analyzer.
+"""``repro.lint`` — project-wide simulation-safety static analysis.
 
 The Python type system cannot see the invariants this reproduction
 rests on: integer-picosecond time, :class:`repro.units.Frequency` for
 all clock math, bit-exact determinism, and kernel-owned event dispatch.
 This package checks them statically, with project-specific rules, and
 backs the ``python -m repro lint`` CLI plus the CI gate.
+
+v2 is a two-pass whole-program analyzer: pass 1 builds a
+:class:`~repro.lint.project.ProjectIndex` (imports, call graph,
+per-function unit summaries), pass 2 runs local rules plus
+flow-sensitive project rules (cross-function unit propagation, sweep
+process-safety, cache-key purity) against it.  An incremental cache
+makes warm re-lints near-instant, and a checked-in baseline lets new
+rules land without blocking the tree.
 
 Typical use::
 
@@ -17,26 +25,59 @@ line of its own.  See ``docs/static_analysis.md`` for the rule catalog.
 """
 
 from repro.lint.analyzer import (
+    build_project_index,
     collect_files,
     lint_file,
+    lint_files,
     lint_paths,
     lint_source,
 )
-from repro.lint.registry import Checker, all_rules, get_rule, register
-from repro.lint.reporters import format_json, format_rule_listing, format_text
+from repro.lint.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cache import LintCache
+from repro.lint.project import ProjectIndex
+from repro.lint.registry import (
+    Checker,
+    ProjectChecker,
+    all_rules,
+    get_rule,
+    register,
+)
+from repro.lint.reporters import (
+    format_json,
+    format_rule_listing,
+    format_sarif,
+    format_text,
+)
 from repro.lint.violations import Violation
 
 __all__ = [
+    "BaselineEntry",
+    "BaselineError",
     "Checker",
+    "LintCache",
+    "ProjectChecker",
+    "ProjectIndex",
     "Violation",
     "all_rules",
+    "apply_baseline",
+    "build_project_index",
     "collect_files",
     "format_json",
     "format_rule_listing",
+    "format_sarif",
     "format_text",
     "get_rule",
     "lint_file",
+    "lint_files",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "register",
+    "write_baseline",
 ]

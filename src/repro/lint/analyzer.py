@@ -1,20 +1,40 @@
-"""Analyzer driver: file collection, parsing, checker dispatch.
+"""Analyzer driver: file collection, two-pass analysis, dispatch.
 
-One parse per file; every registered checker walks the same tree.
-Violations are filtered through the file's suppression index and
-returned sorted, so output is byte-identical across runs and
-platforms — the analyzer practices the determinism it preaches.
+v2 runs whole-program analysis in two passes:
+
+* **Pass 1** reduces every file to a :class:`ModuleSummary` (imports,
+  function parameter/return units, mutable globals) and stitches them
+  into a :class:`ProjectIndex` — the call graph the flow rules query.
+* **Pass 2** walks each file once more, running the local rules
+  (U0xx/D1xx/E2xx/F3xx) and the project rules (U1xx/P4xx/C5xx), the
+  latter with the index in hand.
+
+Both passes are incremental when a :class:`LintCache` is supplied:
+summaries are keyed by file content, findings by file content plus
+the project signature, so a warm re-lint of an unchanged tree parses
+nothing at all.
+
+Violations are filtered through each file's suppression index; a
+line-level directive that matches no violation is itself reported
+(``W001 unused-suppression``), so stale escapes cannot accumulate.
+Results are returned sorted — the analyzer practices the determinism
+it preaches.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.lint.project import ProjectIndex, module_name_for
 from repro.lint.registry import all_rules, get_rule
-from repro.lint.suppressions import SuppressionIndex
+from repro.lint.summaries import ModuleSummary, summarize_module
+from repro.lint.suppressions import ALL, SuppressionIndex
 from repro.lint.violations import Violation
+
+#: Bump on any behavior change that should invalidate cached results.
+ANALYZER_VERSION = "2.0"
 
 #: Directory names skipped while walking a directory argument.  Files
 #: named explicitly on the command line are always linted — that is how
@@ -23,6 +43,7 @@ from repro.lint.violations import Violation
 EXCLUDED_DIR_NAMES = ("fixtures", "__pycache__", ".git")
 
 SYNTAX_ERROR_RULE = "E999"
+UNUSED_SUPPRESSION_RULE = "W001"
 
 
 def collect_files(paths: Sequence[str]) -> List[Path]:
@@ -49,46 +70,188 @@ def collect_files(paths: Sequence[str]) -> List[Path]:
     return collected
 
 
-def lint_source(source: str, path: str = "<string>",
-                select: Optional[Iterable[str]] = None) -> List[Violation]:
-    """Lint one source string; ``select`` limits to the given rule ids."""
+def _parse(source: str, path: str):
+    """(tree, None) on success, (None, E999 violation) on failure."""
     try:
-        tree = ast.parse(source, filename=path)
+        return ast.parse(source, filename=path), None
     except SyntaxError as exc:
-        return [Violation(path=path, line=exc.lineno or 1,
-                          col=(exc.offset or 1) - 1,
-                          rule_id=SYNTAX_ERROR_RULE,
-                          message=f"syntax error: {exc.msg}")]
+        return None, Violation(path=path, line=exc.lineno or 1,
+                               col=(exc.offset or 1) - 1,
+                               rule_id=SYNTAX_ERROR_RULE,
+                               message=f"syntax error: {exc.msg}")
 
+
+def _select_checkers(select: Optional[Iterable[str]]):
     if select is None:
-        checkers = list(all_rules().values())
-    else:
-        checkers = [get_rule(rule_id) for rule_id in select]
+        return list(all_rules().values())
+    return [get_rule(rule_id) for rule_id in select]
 
-    suppressions = SuppressionIndex.from_source(source)
-    violations: List[Violation] = []
+
+def _run_checkers(tree: ast.Module, source: str, path: str,
+                  checkers, index: Optional[ProjectIndex],
+                  module: Optional[ModuleSummary]) -> List[Violation]:
+    """Run pass 2 on one parsed file: rules + suppression filtering."""
+    raw: List[Violation] = []
+    checked_rules = set()
     for checker_cls in checkers:
         if not checker_cls.applies_to(path):
             continue
-        checker = checker_cls(path)
+        checked_rules.add(checker_cls.rule_id)
+        if getattr(checker_cls, "requires_index", False):
+            checker = checker_cls(path, index=index, module=module)
+        else:
+            checker = checker_cls(path)
         checker.visit(tree)
-        violations.extend(
-            v for v in checker.violations
-            if not suppressions.suppresses(v.rule_id, v.line)
-        )
-    return sorted(violations)
+        raw.extend(checker.violations)
+
+    suppressions = SuppressionIndex.from_source(source)
+    kept: List[Violation] = []
+    used_lines = set()
+    for violation in raw:
+        line_rules = suppressions.line_rules.get(violation.line,
+                                                frozenset())
+        if ALL in line_rules or violation.rule_id in line_rules:
+            used_lines.add(violation.line)
+            continue
+        if ALL in suppressions.file_rules \
+                or violation.rule_id in suppressions.file_rules:
+            continue
+        kept.append(violation)
+
+    for line, rules in suppressions.line_rules.items():
+        if line in used_lines or UNUSED_SUPPRESSION_RULE in rules:
+            continue
+        # Judge a directive only when a rule it names actually ran
+        # (under --select, suppressions for unselected rules are
+        # outside this run's evidence).
+        if ALL not in rules and not (rules & checked_rules):
+            continue
+        if ALL in suppressions.file_rules \
+                or UNUSED_SUPPRESSION_RULE in suppressions.file_rules:
+            continue
+        listed = ",".join(sorted(rules))
+        kept.append(Violation(
+            path=path, line=line, col=0,
+            rule_id=UNUSED_SUPPRESSION_RULE,
+            message=f"unused suppression: disable={listed} matches "
+                    f"no violation on this line; delete it"))
+    return sorted(kept)
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Iterable[str]] = None,
+                index: Optional[ProjectIndex] = None,
+                ) -> List[Violation]:
+    """Lint one source string; ``select`` limits to the given rule ids.
+
+    Without an ``index`` the project context is just this one file —
+    cross-module rules then see only what the file itself defines.
+    """
+    tree, error = _parse(source, path)
+    if error is not None:
+        return [error]
+    checkers = _select_checkers(select)
+    module = summarize_module(tree, module_name_for(path), path)
+    if index is None:
+        index = ProjectIndex([module])
+    return _run_checkers(tree, source, path, checkers, index, module)
 
 
 def lint_file(path: Path,
-              select: Optional[Iterable[str]] = None) -> List[Violation]:
+              select: Optional[Iterable[str]] = None,
+              index: Optional[ProjectIndex] = None) -> List[Violation]:
     source = path.read_text(encoding="utf-8")
-    return lint_source(source, path=str(path), select=select)
+    return lint_source(source, path=str(path), select=select, index=index)
 
 
 def lint_paths(paths: Sequence[str],
-               select: Optional[Iterable[str]] = None) -> List[Violation]:
+               select: Optional[Iterable[str]] = None,
+               cache=None) -> List[Violation]:
     """Lint every Python file reachable from ``paths``, sorted."""
+    return lint_files(collect_files(paths), select=select, cache=cache)
+
+
+def lint_files(files: Sequence[Path],
+               select: Optional[Iterable[str]] = None,
+               cache=None) -> List[Violation]:
+    """Two-pass lint of an explicit file list.
+
+    ``cache`` is a :class:`repro.lint.cache.LintCache` (or ``None``);
+    with one, unchanged files are neither parsed nor re-checked.
+    """
+    checkers = _select_checkers(select)
+    select_key = ",".join(sorted(select)) if select is not None else "*"
+
+    # Pass 1 — summaries (cached by file content).
+    sources: Dict[str, str] = {}
+    trees: Dict[str, ast.Module] = {}
+    errors: Dict[str, Violation] = {}
+    file_keys: Dict[str, str] = {}
+    summaries: List[ModuleSummary] = []
+    for file_path in files:
+        path = str(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        sources[path] = source
+        if cache is not None:
+            key = cache.file_key(path, source)
+            file_keys[path] = key
+            summary = cache.get_summary(key)
+            if summary is not None:
+                summaries.append(summary)
+                continue
+        tree, error = _parse(source, path)
+        if error is not None:
+            errors[path] = error
+            summary = ModuleSummary(module=module_name_for(path),
+                                    path=path)
+        else:
+            trees[path] = tree
+            summary = summarize_module(tree, module_name_for(path), path)
+        summaries.append(summary)
+        if cache is not None:
+            cache.put_summary(file_keys[path], summary)
+
+    index = ProjectIndex(summaries)
+    signature = f"{ANALYZER_VERSION}:{index.signature()}:{select_key}"
+
+    # Pass 2 — rules (cached by file content + project signature).
     violations: List[Violation] = []
-    for path in collect_files(paths):
-        violations.extend(lint_file(path, select=select))
+    for file_path in files:
+        path = str(file_path)
+        if cache is not None:
+            cached = cache.get_results(file_keys[path], signature)
+            if cached is not None:
+                violations.extend(cached)
+                continue
+        if path in errors:
+            found: List[Violation] = [errors[path]]
+        else:
+            tree = trees.get(path)
+            if tree is None:  # summary came from cache; parse now
+                tree, error = _parse(sources[path], path)
+                if error is not None:
+                    tree = None
+                    found = [error]
+            if tree is not None:
+                found = _run_checkers(tree, sources[path], path,
+                                      checkers, index,
+                                      index.by_path.get(path))
+        if cache is not None:
+            cache.put_results(file_keys[path], signature, found)
+        violations.extend(found)
     return sorted(violations)
+
+
+def build_project_index(paths: Sequence[str]) -> ProjectIndex:
+    """Pass 1 only: the project index for ``paths`` (for tooling)."""
+    summaries: List[ModuleSummary] = []
+    for file_path in collect_files(paths):
+        path = str(file_path)
+        tree, error = _parse(file_path.read_text(encoding="utf-8"), path)
+        if error is not None:
+            summaries.append(ModuleSummary(module=module_name_for(path),
+                                           path=path))
+        else:
+            summaries.append(summarize_module(tree, module_name_for(path),
+                                              path))
+    return ProjectIndex(summaries)

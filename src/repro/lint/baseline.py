@@ -1,0 +1,165 @@
+"""Checked-in baseline: known-legacy findings, explicitly suppressed.
+
+New rules land with their pre-existing findings recorded here instead
+of blocking the tree — but every entry must carry a one-line
+justification, and entries *expire*: a baseline line that no longer
+matches any finding is itself reported (``W002 stale-baseline-entry``)
+so the file can only shrink.
+
+Matching is line-number-free on purpose — ``(path, rule, message)``
+with an occurrence ``count`` — so unrelated edits moving code around
+do not churn the baseline.  Paths are normalized to posix relative
+form before comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.violations import Violation
+
+BASELINE_VERSION = 1
+STALE_BASELINE_RULE = "W002"
+
+#: Default baseline file name, looked up in the working directory.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (a usage error, exit code 2)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding with its reason for existing."""
+
+    path: str
+    rule: str
+    message: str
+    count: int
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (normalize_path(self.path), self.rule, self.message)
+
+
+def normalize_path(path: str) -> str:
+    """Posix form relative to the working directory.
+
+    Lint may be invoked with absolute or relative paths; the baseline
+    always stores repo-relative posix paths, so both spellings of the
+    same file must normalize identically.
+    """
+    if os.path.isabs(path):
+        path = os.path.relpath(path)
+    return PurePosixPath(os.path.normpath(path)).as_posix()
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: "
+                            f"{exc}") from None
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(f"baseline {path}: expected an object with "
+                            f"version {BASELINE_VERSION}")
+    entries: List[BaselineEntry] = []
+    for raw in payload.get("entries", []):
+        try:
+            entry = BaselineEntry(
+                path=raw["path"], rule=raw["rule"],
+                message=raw["message"],
+                count=int(raw.get("count", 1)),
+                justification=raw["justification"])
+        except (KeyError, TypeError) as exc:
+            raise BaselineError(f"baseline {path}: malformed entry "
+                                f"{raw!r} ({exc})") from None
+        if not entry.justification.strip():
+            raise BaselineError(f"baseline {path}: entry for "
+                                f"{entry.path} / {entry.rule} has an "
+                                f"empty justification")
+        if entry.count < 1:
+            raise BaselineError(f"baseline {path}: entry for "
+                                f"{entry.path} / {entry.rule} has "
+                                f"count < 1")
+        entries.append(entry)
+    return entries
+
+
+def write_baseline(path: str, violations: Sequence[Violation],
+                   justification: str = "FIXME: justify or fix",
+                   ) -> int:
+    """Serialize current findings as a fresh baseline; returns count."""
+    grouped: Dict[Tuple[str, str, str], int] = {}
+    for violation in violations:
+        key = (normalize_path(violation.path), violation.rule_id,
+               violation.message)
+        grouped[key] = grouped.get(key, 0) + 1
+    entries = [
+        {"path": vpath, "rule": rule, "message": message,
+         "count": count, "justification": justification}
+        for (vpath, rule, message), count in sorted(grouped.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(violations: Sequence[Violation],
+                   entries: Sequence[BaselineEntry],
+                   baseline_path: str,
+                   checked_paths: Optional[Set[str]] = None,
+                   checked_rules: Optional[Set[str]] = None,
+                   ) -> List[Violation]:
+    """Filter baselined findings; report entries that matched nothing.
+
+    Returns the violations that survive: findings not in the baseline
+    (or beyond an entry's ``count``), plus one ``W002`` per stale
+    entry — the expiry mechanism that keeps the baseline shrinking.
+
+    Staleness is only judged on this run's evidence: an entry whose
+    file is outside ``checked_paths`` (normalized) or whose rule is
+    outside ``checked_rules`` was not re-examined, so it is left
+    alone.  Pass ``None`` (the default) for "everything was checked".
+    """
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for entry in entries:
+        budget[entry.key()] = budget.get(entry.key(), 0) + entry.count
+
+    remaining: List[Violation] = []
+    for violation in violations:
+        key = (normalize_path(violation.path), violation.rule_id,
+               violation.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            remaining.append(violation)
+
+    for entry in entries:
+        if checked_paths is not None \
+                and normalize_path(entry.path) not in checked_paths:
+            continue
+        if checked_rules is not None \
+                and entry.rule not in checked_rules:
+            continue
+        if budget.get(entry.key(), 0) > 0:
+            budget[entry.key()] = 0
+            remaining.append(Violation(
+                path=baseline_path, line=1, col=0,
+                rule_id=STALE_BASELINE_RULE,
+                message=f"stale baseline entry: {entry.rule} at "
+                        f"{entry.path} ({entry.message!r}) matches "
+                        f"fewer findings than its count; shrink or "
+                        f"remove it"))
+    return sorted(remaining)

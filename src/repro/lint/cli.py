@@ -2,9 +2,15 @@
 
 Exit codes follow the usual linter convention:
 
-* ``0`` — all checked files are clean.
+* ``0`` — all checked files are clean (modulo the baseline).
 * ``1`` — at least one violation was reported.
-* ``2`` — usage error (missing path, unknown rule id).
+* ``2`` — usage error (missing path, no Python files found, unknown
+  rule id, malformed baseline).
+
+The incremental cache is on by default (``.repro-lint-cache/``;
+disable with ``--no-cache``).  If ``.repro-lint-baseline.json``
+exists in the working directory it is applied automatically —
+``--baseline`` names a different file, ``--no-baseline`` ignores it.
 """
 
 from __future__ import annotations
@@ -14,25 +20,58 @@ import sys
 from pathlib import Path
 from typing import List
 
-from repro.lint.analyzer import collect_files, lint_file
+from repro.lint.analyzer import collect_files, lint_files
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    normalize_path,
+    write_baseline,
+)
+from repro.lint.cache import LintCache
 from repro.lint.registry import all_rules
-from repro.lint.reporters import format_json, format_rule_listing, format_text
+from repro.lint.reporters import (
+    format_json,
+    format_rule_listing,
+    format_sarif,
+    format_text,
+)
 
 EXIT_CLEAN = 0
 EXIT_VIOLATIONS = 1
 EXIT_USAGE = 2
 
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run "
                              "(default: all)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--sarif", default=None, metavar="FILE",
+                        help="additionally write a SARIF 2.1.0 report "
+                             "to FILE")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline of known findings (default: "
+                             f"{DEFAULT_BASELINE_NAME} if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help=f"incremental cache directory (default: "
+                             f"{DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental analysis cache")
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -58,13 +97,53 @@ def run_lint(args: argparse.Namespace) -> int:
             return EXIT_USAGE
 
     files = collect_files(args.paths)
-    violations = []
-    for path in files:
-        violations.extend(lint_file(path, select=select))
-    violations.sort()
+    if not files:
+        print(f"repro lint: no Python files found under: "
+              f"{', '.join(args.paths)}", file=sys.stderr)
+        return EXIT_USAGE
 
-    formatter = format_json if args.format == "json" else format_text
+    cache = None if args.no_cache else LintCache(args.cache_dir)
+    violations = lint_files(files, select=select, cache=cache)
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline \
+            and Path(DEFAULT_BASELINE_NAME).is_file():
+        baseline_path = DEFAULT_BASELINE_NAME
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        count = write_baseline(target, violations)
+        print(f"baseline written to {target}: {count} entries "
+              f"({len(violations)} findings); add a justification "
+              f"to each entry")
+        return EXIT_CLEAN
+
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            entries = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        violations = apply_baseline(
+            violations, entries, baseline_path,
+            checked_paths={normalize_path(str(f)) for f in files},
+            checked_rules=set(select) if select is not None else None)
+
+    if args.format == "json":
+        formatter = format_json
+    elif args.format == "sarif":
+        formatter = format_sarif
+    else:
+        formatter = format_text
     print(formatter(violations, files_checked=len(files)))
+
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(format_sarif(violations,
+                                      files_checked=len(files)))
+            handle.write("\n")
+        print(f"SARIF report written to {args.sarif}", file=sys.stderr)
+
     return EXIT_VIOLATIONS if violations else EXIT_CLEAN
 
 

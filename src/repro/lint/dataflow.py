@@ -1,0 +1,194 @@
+"""Flow-sensitive unit inference inside one function body.
+
+:class:`FlowChecker` is the base the U1xx rules share: it walks a
+module, maintains the lexical context (enclosing class, enclosing
+function) and a per-function *unit environment* — variable name ->
+unit token — updated at every assignment in statement order.  A rule
+subclasses it and overrides the ``check_*`` hooks; :meth:`infer`
+answers "what unit does this expression carry?" using, in order:
+
+1. the environment (assignments seen so far in this function),
+2. naming conventions (``_ps`` suffixes, ``hertz`` attributes),
+3. the project index (calls resolve to their callee's propagated
+   return unit; ``repro.units`` intrinsics are built in).
+
+Inference is deliberately conservative: any construction it cannot
+prove a unit for is ``None``, and rules only fire when *both* sides
+of a conflict are known.  Branches are not merged — later assignments
+simply overwrite — which trades a little precision for a linear,
+allocation-light walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.lint.registry import ProjectChecker
+from repro.lint.astutils import dotted_name, terminal_name
+from repro.lint.summaries import (
+    INTRINSIC_RETURN_UNITS,
+    PASSTHROUGH_CALLS,
+    FunctionSummary,
+)
+from repro.lint.unitlex import unit_of_attr, unit_of_name, unit_of_param
+
+
+class FlowChecker(ProjectChecker):
+    """Scope-tracking walker with a per-function unit environment."""
+
+    def __init__(self, path: str, index=None, module=None) -> None:
+        super().__init__(path, index=index, module=module)
+        self._class_stack: List[str] = []
+        self._env_stack: List[Dict[str, Optional[str]]] = []
+
+    # -- lexical scope ------------------------------------------------
+
+    @property
+    def enclosing_class(self) -> Optional[str]:
+        return self._class_stack[-1] if self._class_stack else None
+
+    @property
+    def env(self) -> Dict[str, Optional[str]]:
+        return self._env_stack[-1] if self._env_stack else {}
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        env: Dict[str, Optional[str]] = {}
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            env[arg.arg] = unit_of_param(arg.arg)
+        self._env_stack.append(env)
+        self.enter_function(node)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.leave_function(node)
+        self._env_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- environment updates ------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if not self._env_stack:
+            return
+        unit = self.infer(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.env[target.id] = unit
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if self._env_stack and isinstance(node.target, ast.Name):
+            if node.value is not None:
+                self.env[node.target.id] = self.infer(node.value)
+            else:
+                self.env[node.target.id] = unit_of_name(node.target.id)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.check_augassign(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.check_call(node)
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self.check_binop(node)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self.check_compare(node)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self.check_return(node)
+        self.generic_visit(node)
+
+    # -- hooks for rules ----------------------------------------------
+
+    def enter_function(self, node: ast.AST) -> None:
+        pass
+
+    def leave_function(self, node: ast.AST) -> None:
+        pass
+
+    def check_call(self, node: ast.Call) -> None:
+        pass
+
+    def check_binop(self, node: ast.BinOp) -> None:
+        pass
+
+    def check_compare(self, node: ast.Compare) -> None:
+        pass
+
+    def check_augassign(self, node: ast.AugAssign) -> None:
+        pass
+
+    def check_return(self, node: ast.Return) -> None:
+        pass
+
+    # -- resolution and inference -------------------------------------
+
+    def resolve_call(self, node: ast.Call) -> Optional[FunctionSummary]:
+        if self.index is None:
+            return None
+        return self.index.resolve(self.module, dotted_name(node.func),
+                                  self.enclosing_class)
+
+    def infer(self, node: ast.AST) -> Optional[str]:
+        """Unit token of an expression, or ``None`` if unprovable."""
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return unit_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_of_attr(node.attr)
+        if isinstance(node, (ast.Subscript, ast.Starred)):
+            # ``sizes_kb[i]`` carries the element unit of the
+            # container name.
+            return self.infer(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.IfExp):
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            return body if body == orelse else None
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        return None
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[str]:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None:
+                return left if left == right else None
+            return left if left is not None else right
+        # Mult/FloorDiv/Div are conversion boundaries: multiplying a
+        # unit-carrying value by a literal is how this codebase changes
+        # scale (``frame_words * 4`` -> bytes, ``ms * 1000`` -> us), so
+        # inference must not carry the old unit across it.
+        return None
+
+    def _infer_call(self, node: ast.Call) -> Optional[str]:
+        callee = terminal_name(node.func)
+        if callee in INTRINSIC_RETURN_UNITS:
+            return INTRINSIC_RETURN_UNITS[callee]
+        if callee in PASSTHROUGH_CALLS and node.args:
+            units = {self.infer(arg) for arg in node.args}
+            units.discard(None)
+            if len(units) == 1:
+                return units.pop()
+            return None
+        summary = self.resolve_call(node)
+        if summary is not None and self.index is not None:
+            return self.index.return_unit_of(summary)
+        return None

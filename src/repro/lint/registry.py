@@ -31,6 +31,7 @@ class Checker(ast.NodeVisitor):
     rule_name: str = ""
     rationale: str = ""
     exempt_paths: Tuple[str, ...] = ()
+    requires_index = False
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -49,6 +50,22 @@ class Checker(ast.NodeVisitor):
     def applies_to(cls, path: str) -> bool:
         posix = PurePosixPath(path).as_posix()
         return not any(fnmatch(posix, pattern) for pattern in cls.exempt_paths)
+
+
+class ProjectChecker(Checker):
+    """Base class for flow rules that need the whole-program index.
+
+    The analyzer instantiates these with the :class:`ProjectIndex`
+    built in pass 1 plus this file's own :class:`ModuleSummary`, so a
+    ``visit_Call`` can resolve the callee defined two modules away.
+    """
+
+    requires_index = True
+
+    def __init__(self, path: str, index=None, module=None) -> None:
+        super().__init__(path)
+        self.index = index
+        self.module = module
 
 
 _REGISTRY: Dict[str, Type[Checker]] = {}

@@ -1,15 +1,29 @@
-"""Text and JSON reporters for lint results."""
+"""Text, JSON and SARIF reporters for lint results."""
 
 from __future__ import annotations
 
 import json
-from typing import List, Sequence
+from pathlib import PurePosixPath
+from typing import Dict, List, Sequence
 
 from repro.lint.registry import all_rules
 from repro.lint.violations import Violation
 
 #: Version of the JSON report schema; bump on breaking shape changes.
 JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Rules emitted by the driver rather than a registered checker.
+_DRIVER_RULES: Dict[str, tuple] = {
+    "E999": ("syntax-error", "file does not parse"),
+    "W001": ("unused-suppression",
+             "line-level disable directive matches no violation"),
+    "W002": ("stale-baseline-entry",
+             "baseline entry matches no current finding"),
+}
 
 
 def format_text(violations: Sequence[Violation], files_checked: int) -> str:
@@ -40,6 +54,67 @@ def format_json(violations: Sequence[Violation], files_checked: int) -> str:
         },
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def format_sarif(violations: Sequence[Violation],
+                 files_checked: int) -> str:
+    """SARIF 2.1.0 report — what CI uploads for inline PR annotation.
+
+    Deterministic: rules sorted by id, results in violation order,
+    keys sorted, paths posix-normalized.
+    """
+    from repro.lint.analyzer import ANALYZER_VERSION
+
+    rule_ids = sorted({violation.rule_id for violation in violations})
+    rules = []
+    registry = all_rules()
+    for rule_id in rule_ids:
+        if rule_id in registry:
+            checker = registry[rule_id]
+            name, text = checker.rule_name, checker.rationale
+        else:
+            name, text = _DRIVER_RULES.get(rule_id, (rule_id, rule_id))
+        rules.append({
+            "id": rule_id,
+            "name": name,
+            "shortDescription": {"text": text},
+        })
+
+    results = []
+    for violation in violations:
+        results.append({
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": PurePosixPath(violation.path).as_posix(),
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+        })
+
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "version": ANALYZER_VERSION,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "properties": {"filesChecked": files_checked},
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def format_rule_listing() -> str:

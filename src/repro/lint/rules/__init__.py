@@ -3,9 +3,22 @@
 Rule families:
 
 * ``U0xx`` (:mod:`repro.lint.rules.units`) — unit discipline.
+* ``U1xx`` (:mod:`repro.lint.rules.xunits`) — cross-function unit
+  propagation over the project index.
 * ``D1xx`` (:mod:`repro.lint.rules.determinism`) — reproducibility.
 * ``E2xx`` (:mod:`repro.lint.rules.events`) — event-kernel safety.
 * ``F3xx`` (:mod:`repro.lint.rules.floats`) — float comparisons.
+* ``P4xx`` (:mod:`repro.lint.rules.sweepsafety`) — process-safety of
+  sweep workers, grids, and digest inputs.
+* ``C5xx`` (:mod:`repro.lint.rules.cachekeys`) — cache-key purity.
 """
 
-from repro.lint.rules import determinism, events, floats, units  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    cachekeys,
+    determinism,
+    events,
+    floats,
+    sweepsafety,
+    units,
+    xunits,
+)

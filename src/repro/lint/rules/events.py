@@ -11,7 +11,7 @@ import ast
 from typing import Dict, List, Optional, Set
 
 from repro.lint.registry import Checker, register
-from repro.lint.rules._ast_utils import terminal_name
+from repro.lint.astutils import terminal_name
 
 #: Methods that register a callback with the kernel or a signal.
 CALLBACK_METHODS = ("at", "after", "observe", "on_value", "add_waiter")

@@ -10,7 +10,7 @@ from __future__ import annotations
 import ast
 
 from repro.lint.registry import Checker, register
-from repro.lint.rules._ast_utils import is_float_literal, terminal_name
+from repro.lint.astutils import is_float_literal, terminal_name
 
 #: Identifier suffixes of physical quantities that must never be
 #: compared to a float literal with ==/!=: integer time values (a float

@@ -10,7 +10,7 @@ from __future__ import annotations
 import ast
 
 from repro.lint.registry import Checker, register
-from repro.lint.rules._ast_utils import (
+from repro.lint.astutils import (
     is_int_annotation,
     iter_float_leaks,
     name_has_suffix,

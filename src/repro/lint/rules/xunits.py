@@ -1,0 +1,186 @@
+"""Cross-function unit-propagation rules (U1xx).
+
+Where the local U0xx rules check one expression against one naming
+convention, these follow values *across call boundaries* using the
+project index: a hertz value flowing into a ``period_s`` parameter
+two modules away, arithmetic mixing picoseconds with nanoseconds, a
+function whose name promises one unit but whose returns carry
+another, and bare-constant returns feeding unit-annotated sinks.
+
+All four rules fire only when both sides of a conflict are *proven*
+(see :mod:`repro.lint.dataflow`); unknown units stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.dataflow import FlowChecker
+from repro.lint.registry import register
+from repro.lint.astutils import terminal_name
+from repro.lint.summaries import FunctionSummary
+from repro.lint.unitlex import describe_mismatch, unit_of_name
+
+
+def _iter_bound_args(node: ast.Call, summary: FunctionSummary):
+    """Pair call arguments with the parameters they bind to."""
+    params = summary.explicit_params
+    for position, arg in enumerate(node.args):
+        if isinstance(arg, ast.Starred):
+            return  # positions beyond a *splat are unknowable
+        if position < len(params):
+            yield params[position], arg
+    by_name = {param.name: param for param in params}
+    for keyword in node.keywords:
+        if keyword.arg is not None and keyword.arg in by_name:
+            yield by_name[keyword.arg], keyword.value
+
+
+@register
+class CrossUnitArgumentRule(FlowChecker):
+    """U101 — argument unit must match the parameter's unit.
+
+    ``f(period_s=...)`` called with a value inferred as hertz is the
+    project-wide version of the bug U001 catches locally; the index
+    makes the parameter's contract visible from any call site.
+    """
+
+    rule_id = "U101"
+    rule_name = "cross-unit-argument"
+    rationale = ("a value inferred as one unit bound to a parameter "
+                 "named for another corrupts every quantity computed "
+                 "downstream of the call")
+
+    def check_call(self, node: ast.Call) -> None:
+        summary = self.resolve_call(node)
+        if summary is None:
+            return
+        for param, arg in _iter_bound_args(node, summary):
+            if param.unit is None:
+                continue
+            have = self.infer(arg)
+            if have is None or have == param.unit:
+                continue
+            self.report(arg, f"argument for {summary.name}"
+                             f"(... {param.name} ...) is {have!r} but "
+                             f"the parameter expects {param.unit!r}; "
+                             + describe_mismatch(have, param.unit))
+
+
+@register
+class MixedUnitArithmeticRule(FlowChecker):
+    """U102 — no +/-/comparison between values of different units.
+
+    Adding picoseconds to nanoseconds, or comparing a byte count to a
+    KB count, is meaningless whatever the dimension bookkeeping says;
+    with call returns resolved project-wide the conflict shows up
+    even when one side came from a function in another module.
+    """
+
+    rule_id = "U102"
+    rule_name = "mixed-unit-arithmetic"
+    rationale = ("adding or comparing values of different units is a "
+                 "silent scale error; convert through repro.units "
+                 "first")
+
+    def check_binop(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node, node.left, node.right, "arithmetic")
+
+    def check_augassign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node, node.target, node.value,
+                             "augmented assignment")
+
+    def check_compare(self, node: ast.Compare) -> None:
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                               ast.Eq, ast.NotEq)):
+                self._check_pair(node, left, right, "comparison")
+            left = right
+
+    def _check_pair(self, node: ast.AST, left: ast.AST,
+                    right: ast.AST, what: str) -> None:
+        left_unit = self.infer(left)
+        right_unit = self.infer(right)
+        if left_unit is None or right_unit is None \
+                or left_unit == right_unit:
+            return
+        self.report(node, f"{what} mixes {left_unit!r} with "
+                          f"{right_unit!r}; "
+                          + describe_mismatch(left_unit, right_unit))
+
+
+@register
+class ReturnUnitMismatchRule(FlowChecker):
+    """U103 — a unit-suffixed function must return that unit.
+
+    ``def settle_time_ps(...): return delay_ns`` lies to every caller
+    that trusts the name — which is exactly what U101 and the rest of
+    the inference do.
+    """
+
+    rule_id = "U103"
+    rule_name = "return-unit-mismatch"
+    rationale = ("a function named for one unit returning another "
+                 "poisons call-graph inference and every caller that "
+                 "trusts the name")
+
+    def __init__(self, path: str, index=None, module=None) -> None:
+        super().__init__(path, index=index, module=module)
+        self._expected_stack: list = []
+
+    def enter_function(self, node: ast.AST) -> None:
+        self._expected_stack.append(unit_of_name(node.name))
+
+    def leave_function(self, node: ast.AST) -> None:
+        self._expected_stack.pop()
+
+    def check_return(self, node: ast.Return) -> None:
+        expected = (self._expected_stack[-1]
+                    if self._expected_stack else None)
+        if expected is None or node.value is None:
+            return
+        actual = self.infer(node.value)
+        if actual is None or actual == expected:
+            return
+        self.report(node, f"function promises {expected!r} by name "
+                          f"but this return is {actual!r}; "
+                          + describe_mismatch(actual, expected))
+
+
+@register
+class UnitlessReturnToSinkRule(FlowChecker):
+    """U104 — bare-constant returns must not feed unit parameters.
+
+    A helper that returns a naked literal carries no unit provenance;
+    binding its result to a ``*_ps``/``*_hz`` parameter hides a
+    magic number where the unit types cannot check it.  Name the
+    constant with a unit suffix (or route it through ``repro.units``)
+    so inference — and the next reader — can see what it is.
+    """
+
+    rule_id = "U104"
+    rule_name = "unitless-return-to-sink"
+    rationale = ("a function returning bare numeric literals feeding "
+                 "a unit-suffixed parameter is an unchecked magic "
+                 "number crossing an API boundary")
+
+    def check_call(self, node: ast.Call) -> None:
+        summary = self.resolve_call(node)
+        if summary is None:
+            return
+        for param, arg in _iter_bound_args(node, summary):
+            if param.unit is None or not isinstance(arg, ast.Call):
+                continue
+            inner = self.resolve_call(arg)
+            if inner is None or not inner.returns_only_constants():
+                continue
+            if terminal_name(arg.func) in ("int", "round", "len"):
+                continue
+            self.report(arg, f"{inner.name}() returns bare numeric "
+                             f"literals with no unit, but its result "
+                             f"binds to parameter {param.name!r} "
+                             f"({param.unit}); give the constant a "
+                             f"unit-suffixed name")

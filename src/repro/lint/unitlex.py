@@ -1,0 +1,135 @@
+"""Unit vocabulary shared by the project-wide (flow) rules.
+
+A *unit token* is a short lowercase string (``"ps"``, ``"hz"``,
+``"bytes"``...) inferred from identifier naming conventions — the same
+conventions the local U0xx rules enforce.  Tokens group into
+*dimensions* (time, frequency, size, ...), so the flow rules can
+distinguish a same-dimension conversion bug (milliseconds into a
+picosecond parameter) from a cross-dimension confusion (hertz into a
+seconds parameter).
+
+Names containing ``_per_`` are rates (``bytes_per_ps``,
+``PS_PER_US``) — ratios, not unit-carrying quantities — and never
+receive a token.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: Marker exempting a name from unit inference (ratios are unitless).
+RATE_MARKER = "_per_"
+
+#: Suffix -> unit token, checked longest-first so ``_mhz`` wins
+#: over ``_hz`` and ``_ps`` does not swallow ``_mbps``.
+SUFFIX_UNITS: Tuple[Tuple[str, str], ...] = (
+    ("_mbps", "mbps"),
+    ("_cycles", "cycles"),
+    ("_bytes", "bytes"),
+    ("_words", "words"),
+    ("_ghz", "ghz"),
+    ("_mhz", "mhz"),
+    ("_khz", "khz"),
+    ("_hz", "hz"),
+    ("_ps", "ps"),
+    ("_ns", "ns"),
+    ("_us", "us"),
+    ("_ms", "ms"),
+    ("_kb", "kb"),
+    ("_mb", "mb"),
+    ("_mw", "mw"),
+    ("_uj", "uj"),
+    ("_mj", "mj"),
+    ("_s", "s"),
+)
+
+#: Bare names that *are* a unit (conversion-helper parameters like
+#: ``from_mhz(mhz)``, and value-type fields like ``Frequency.hertz``).
+EXACT_UNITS: Dict[str, str] = {
+    "mhz": "mhz",
+    "khz": "khz",
+    "ghz": "ghz",
+    "hz": "hz",
+    "hertz": "hz",
+    "kb": "kb",
+    "mb": "mb",
+    "cycles": "cycles",
+    "words": "words",
+    "seconds": "s",
+}
+
+#: Unit token -> dimension name.
+DIMENSIONS: Dict[str, str] = {
+    "ps": "time", "ns": "time", "us": "time", "ms": "time", "s": "time",
+    "hz": "frequency", "khz": "frequency", "mhz": "frequency",
+    "ghz": "frequency",
+    "bytes": "size", "words": "size", "kb": "size", "mb": "size",
+    "cycles": "cycles",
+    "mw": "power",
+    "uj": "energy", "mj": "energy",
+    "mbps": "bandwidth",
+}
+
+
+def unit_of_name(name: Optional[str]) -> Optional[str]:
+    """The unit token a bare identifier carries, or ``None``.
+
+    Exact-token names (``mhz``) are *not* matched here — a local
+    variable named ``ms`` is far more likely to shadow the
+    ``repro.units.ms`` helper than to hold milliseconds.  Use
+    :func:`unit_of_param` / :func:`unit_of_attr` where exact names
+    are trustworthy.
+    """
+    if not name:
+        return None
+    lowered = name.lower()
+    if RATE_MARKER in lowered:
+        return None
+    for suffix, unit in SUFFIX_UNITS:
+        if lowered.endswith(suffix):
+            return unit
+    return None
+
+
+def unit_of_param(name: Optional[str]) -> Optional[str]:
+    """Unit of a *parameter* name; exact tokens count (``from_mhz(mhz)``)."""
+    if not name:
+        return None
+    lowered = name.lower()
+    if RATE_MARKER in lowered:
+        return None
+    exact = EXACT_UNITS.get(lowered)
+    if exact is not None:
+        return exact
+    return unit_of_name(name)
+
+
+def unit_of_attr(name: Optional[str]) -> Optional[str]:
+    """Unit of an *attribute* name (``freq.hertz``, ``size.bytes``).
+
+    Attributes are declared fields/properties, so exact tokens are
+    reliable — plus ``bytes``/``mb`` style property names.
+    """
+    if not name:
+        return None
+    lowered = name.lower()
+    if lowered in ("bytes", "words", "kb", "mb", "hertz", "mhz"):
+        return EXACT_UNITS.get(lowered, lowered)
+    return unit_of_param(name)
+
+
+def dimension_of(unit: Optional[str]) -> Optional[str]:
+    if unit is None:
+        return None
+    return DIMENSIONS.get(unit)
+
+
+def describe_mismatch(have: str, want: str) -> str:
+    """Human phrasing for a unit conflict, dimension-aware."""
+    have_dim = dimension_of(have)
+    want_dim = dimension_of(want)
+    if have_dim == want_dim:
+        return (f"same dimension ({have_dim}) but different scale: "
+                f"{have} vs {want}; convert explicitly")
+    return (f"incompatible dimensions: {have} ({have_dim}) vs "
+            f"{want} ({want_dim})")

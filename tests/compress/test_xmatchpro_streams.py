@@ -197,7 +197,7 @@ def _golden_samples():
 
 def test_compressed_stream_format_is_pinned(codec):
     samples = _golden_samples()
-    for name, digest in GOLDEN_DIGESTS.items():
+    for name, digest in sorted(GOLDEN_DIGESTS.items()):
         compressed = codec.compress(samples[name])
         assert codec.decompress(compressed) == samples[name]
         assert hashlib.sha256(compressed).hexdigest() == digest, name

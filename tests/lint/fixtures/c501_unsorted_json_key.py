@@ -1,0 +1,14 @@
+"""Fixture: C501 insertion-ordered JSON hashed into a key."""
+
+import hashlib
+import json
+
+
+def key_of(params):
+    blob = json.dumps(params)
+    direct = hashlib.sha256(json.dumps(params).encode())  # violation
+    tracked = hashlib.sha256(blob.encode())  # violation via the var
+    quiet = hashlib.sha256(json.dumps(params).encode())  # repro-lint: disable=C501
+    good = hashlib.sha256(
+        json.dumps(params, sort_keys=True).encode())  # ok: canonical
+    return direct, tracked, quiet, good

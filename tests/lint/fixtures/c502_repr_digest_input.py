@@ -1,0 +1,11 @@
+"""Fixture: C502 repr/str/f-string output hashed into a digest."""
+
+import hashlib
+
+
+def key_of(spec, nonce):
+    a = hashlib.sha256(repr(spec).encode())  # violation: repr
+    b = hashlib.sha256(f"{spec}-{nonce}".encode())  # violation: f-string
+    c = hashlib.sha256(str(spec).encode())  # repro-lint: disable=C502
+    d = hashlib.sha256(str("literal").encode())  # ok: constant input
+    return a, b, c, d

@@ -1,0 +1,13 @@
+"""Fixture: C503 params dict hashed without a version entry."""
+
+from repro.sweep import artifact_key
+
+
+def keys():
+    bad = artifact_key({"size_kb": 16, "seed": 7})  # violation
+    params = {"size_kb": 16}
+    params["seed"] = 7
+    tracked = artifact_key(params)  # violation via the tracked dict
+    quiet = artifact_key({"seed": 7})  # repro-lint: disable=C503
+    good = artifact_key({"cache_version": 2, "seed": 7})  # ok
+    return bad, tracked, quiet, good

@@ -1,0 +1,1 @@
+"""Fixture package: an order-unstable cache-key construction."""

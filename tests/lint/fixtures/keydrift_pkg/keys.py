@@ -1,0 +1,11 @@
+"""Key module: hashes dict views in iteration order."""
+
+import hashlib
+
+
+def fingerprint(params):
+    digest = hashlib.sha256()
+    for name, value in params.items():  # P403: hash-order bytes
+        digest.update(name.encode())
+        digest.update(repr(value).encode())  # C502: repr is not canonical
+    return digest.hexdigest()

@@ -1,0 +1,19 @@
+"""Fixture: P401 pool workers touching mutable module state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+RESULTS = []
+LIMITS = (1, 2)
+
+
+def worker(spec):
+    RESULTS.append(spec)  # a private copy in every worker process
+    return spec + LIMITS[0]
+
+
+def run(specs):
+    with ProcessPoolExecutor() as pool:
+        bad = list(pool.map(worker, specs))  # violation: RESULTS
+        dead = list(pool.map(lambda s: s, specs))  # violation: lambda
+        quiet = list(pool.map(worker, specs))  # repro-lint: disable=P401
+    return bad, dead, quiet

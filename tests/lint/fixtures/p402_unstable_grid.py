@@ -1,0 +1,9 @@
+"""Fixture: P402 order-unstable / unpicklable grid fields."""
+
+
+def run_spec_factory(RunSpec):
+    bad = RunSpec({4, 8})  # violation: set literal has no order
+    worse = RunSpec(sizes=(1, 2), hook=lambda s: s)  # violation: lambda
+    quiet = RunSpec({1, 2})  # repro-lint: disable=P402
+    good = RunSpec(sorted({4, 8}))  # ok: sorted(...) imposes order
+    return bad, worse, quiet, good

@@ -1,0 +1,19 @@
+"""Fixture: P403 unordered iteration feeding a digest."""
+
+import hashlib
+
+
+def key_of(params):
+    digest = hashlib.sha256()
+    for name in params.keys():  # violation: hash-order loop
+        digest.update(name.encode())
+    parts = [value for value in params.values()]  # violation
+    for name in params.keys():  # repro-lint: disable=P403
+        digest.update(name.encode())
+    for name, value in sorted(params.items()):  # ok: sorted
+        digest.update(name.encode())
+    return digest.hexdigest(), parts
+
+
+def no_digest_here(params):
+    return [name for name in params.keys()]  # ok: no digest in scope

@@ -1,0 +1,12 @@
+"""Fixture: U101 cross-unit argument violations."""
+
+
+def settle(delay_ps: int) -> int:
+    return delay_ps
+
+
+def drive(clock_hz: int, window_ps: int):
+    settle(clock_hz)  # violation: hz value into a ps parameter
+    settle(delay_ps=clock_hz)  # violation via keyword
+    settle(clock_hz)  # repro-lint: disable=U101
+    settle(window_ps)  # ok: units agree

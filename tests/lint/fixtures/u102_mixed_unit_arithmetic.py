@@ -1,0 +1,10 @@
+"""Fixture: U102 mixed-unit arithmetic violations."""
+
+
+def total(delay_ps: int, window_ns: int):
+    bad = delay_ps + window_ns  # violation: ps + ns
+    if delay_ps > window_ns:  # violation: ps compared to ns
+        delay_ps -= window_ns  # violation: augmented assignment
+    quiet = delay_ps + window_ns  # repro-lint: disable=U102
+    fine = delay_ps + 5  # ok: a bare literal carries no unit
+    return bad, quiet, fine

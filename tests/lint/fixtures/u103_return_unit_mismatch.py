@@ -1,0 +1,13 @@
+"""Fixture: U103 return-unit mismatch violations."""
+
+
+def window_ps(delay_ns: int):
+    return delay_ns  # violation: ns returned from a *_ps function
+
+
+def budget_ms(delay_us: int):
+    return delay_us  # repro-lint: disable=U103
+
+
+def settle_ps(delay_ps: int):
+    return delay_ps  # ok: name and return agree

@@ -1,0 +1,15 @@
+"""Fixture: U104 bare-constant return feeding a unit parameter."""
+
+
+def default_window():
+    return 4096
+
+
+def configure(timeout_ps: int):
+    return timeout_ps
+
+
+def run(timeout_ps: int):
+    configure(default_window())  # violation: unitless constant into ps
+    configure(default_window())  # repro-lint: disable=U104
+    configure(timeout_ps)  # ok: the argument carries a unit

@@ -1,0 +1,1 @@
+"""Fixture package: a process-pool worker with mutable module state."""

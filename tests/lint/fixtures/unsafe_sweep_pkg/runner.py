@@ -1,0 +1,10 @@
+"""Dispatch module: ships the unsafe worker to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from unsafe_sweep_pkg.state import tally
+
+
+def run(specs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(tally, specs))  # P401 across modules

@@ -1,0 +1,8 @@
+"""Worker module: reads a mutable module-level dict."""
+
+REGISTRY = {}
+
+
+def tally(spec):
+    REGISTRY[spec] = spec
+    return spec

@@ -1,0 +1,9 @@
+"""Fixture: W001 unused line-level suppression directives."""
+
+import time
+
+
+def run():
+    now = time.time()  # repro-lint: disable=D101
+    stale = 1  # repro-lint: disable=D102
+    return now, stale

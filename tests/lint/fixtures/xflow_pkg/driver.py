@@ -1,0 +1,10 @@
+"""Caller module: violations only visible with the project index."""
+
+from xflow_pkg.timing import clock_rate_hz, settle_window_ps
+
+
+def drive(clock_hz: int, delay_ps: int):
+    bad = settle_window_ps(clock_hz)  # U101: hz into a ps parameter
+    mixed = clock_rate_hz(clock_hz) + delay_ps  # U102 via return unit
+    good = settle_window_ps(delay_ps)  # ok
+    return bad, mixed, good

@@ -1,0 +1,9 @@
+"""Callee module: the unit contract lives in the signature."""
+
+
+def settle_window_ps(delay_ps: int):
+    return delay_ps + 2
+
+
+def clock_rate_hz(base_hz: int):
+    return base_hz

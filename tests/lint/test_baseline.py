@@ -1,0 +1,126 @@
+"""Baseline lifecycle: write, load, apply, expire."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    BaselineError,
+    Violation,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.baseline import STALE_BASELINE_RULE, normalize_path
+
+
+def _violation(path="src/mod.py", line=3, rule="U101", message="boom"):
+    return Violation(path=path, line=line, col=0, rule_id=rule,
+                     message=message)
+
+
+def test_write_then_load_round_trips(tmp_path):
+    target = tmp_path / "baseline.json"
+    count = write_baseline(str(target), [_violation(), _violation(line=9)],
+                           justification="known words-to-cycles site")
+    assert count == 1  # same (path, rule, message) groups into one entry
+    entries = load_baseline(str(target))
+    assert len(entries) == 1
+    assert entries[0].count == 2
+    assert entries[0].justification == "known words-to-cycles site"
+
+
+def test_apply_filters_baselined_findings(tmp_path):
+    target = tmp_path / "baseline.json"
+    write_baseline(str(target), [_violation()], justification="why")
+    entries = load_baseline(str(target))
+    remaining = apply_baseline([_violation(line=40)], entries, str(target))
+    assert remaining == []  # matching is line-number free
+
+
+def test_findings_beyond_count_survive(tmp_path):
+    target = tmp_path / "baseline.json"
+    write_baseline(str(target), [_violation()], justification="why")
+    entries = load_baseline(str(target))
+    remaining = apply_baseline([_violation(line=3), _violation(line=9)],
+                               entries, str(target))
+    assert len(remaining) == 1
+    assert remaining[0].rule_id == "U101"
+
+
+def test_stale_entry_expires_as_w002(tmp_path):
+    target = tmp_path / "baseline.json"
+    write_baseline(str(target), [_violation()], justification="why")
+    entries = load_baseline(str(target))
+    remaining = apply_baseline([], entries, str(target),
+                               checked_paths={"src/mod.py"})
+    assert [v.rule_id for v in remaining] == [STALE_BASELINE_RULE]
+    assert "stale baseline entry" in remaining[0].message
+
+
+def test_staleness_not_judged_outside_checked_paths(tmp_path):
+    # Linting only tests/ must not expire entries about src/ files.
+    target = tmp_path / "baseline.json"
+    write_baseline(str(target), [_violation()], justification="why")
+    entries = load_baseline(str(target))
+    assert apply_baseline([], entries, str(target),
+                          checked_paths={"tests/other.py"}) == []
+    assert apply_baseline([], entries, str(target),
+                          checked_paths={"src/mod.py"},
+                          checked_rules={"D101"}) == []
+
+
+def test_absolute_and_relative_paths_normalize_alike(tmp_path):
+    import os
+    absolute = os.path.join(os.getcwd(), "src", "mod.py")
+    assert normalize_path(absolute) == normalize_path("src/mod.py")
+
+
+def test_missing_justification_rejected(tmp_path):
+    target = tmp_path / "baseline.json"
+    payload = {"version": 1, "entries": [
+        {"path": "a.py", "rule": "U101", "message": "m", "count": 1,
+         "justification": "   "}]}
+    target.write_text(json.dumps(payload))
+    with pytest.raises(BaselineError, match="justification"):
+        load_baseline(str(target))
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text("{not json")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        load_baseline(str(target))
+    target.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(BaselineError, match="version"):
+        load_baseline(str(target))
+
+
+def test_cli_write_baseline_round_trip(tmp_path, capsys):
+    # --write-baseline on a dirty file, then a normal run against that
+    # baseline, must exit clean; deleting the baseline re-exposes the
+    # findings.
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(delay_ps: int, delay_ns: int):\n"
+                     "    return delay_ps + delay_ns\n")
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(dirty), "--no-cache",
+                 "--write-baseline", "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(dirty), "--no-cache",
+                 "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(dirty), "--no-cache",
+                 "--no-baseline"]) == 1
+    assert "U102" in capsys.readouterr().out
+
+
+def test_cli_malformed_baseline_exits_two(tmp_path, capsys):
+    dirty = tmp_path / "mod.py"
+    dirty.write_text("x = 1\n")
+    bad = tmp_path / "baseline.json"
+    bad.write_text("[]")
+    assert main(["lint", str(dirty), "--no-cache",
+                 "--baseline", str(bad)]) == 2
+    assert "baseline" in capsys.readouterr().err

@@ -7,11 +7,13 @@ from repro.cli import main
 from repro.lint import all_rules
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
-SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = str(REPO_ROOT / "src")
+BASELINE = str(REPO_ROOT / ".repro-lint-baseline.json")
 
 
 def test_clean_tree_exits_zero(capsys):
-    assert main(["lint", SRC]) == 0
+    assert main(["lint", SRC, "--baseline", BASELINE]) == 0
     assert "clean: 0 violations" in capsys.readouterr().out
 
 
@@ -29,6 +31,16 @@ def test_each_rule_fixture_exits_one(capsys):
         "E202": "e202_manual_fire.py",
         "E203": "e203_use_after_cancel.py",
         "F301": "f301_float_equality.py",
+        "U101": "u101_cross_unit_argument.py",
+        "U102": "u102_mixed_unit_arithmetic.py",
+        "U103": "u103_return_unit_mismatch.py",
+        "U104": "u104_unitless_return_to_sink.py",
+        "P401": "p401_worker_globals.py",
+        "P402": "p402_unstable_grid.py",
+        "P403": "p403_unordered_digest.py",
+        "C501": "c501_unsorted_json_key.py",
+        "C502": "c502_repr_digest_input.py",
+        "C503": "c503_unversioned_key.py",
     }
     assert set(fixture_by_rule) == set(all_rules())
     for rule_id, fixture in fixture_by_rule.items():
@@ -72,3 +84,41 @@ def test_directory_walk_skips_fixtures(capsys):
     # Linting the tests tree must not trip over the planted fixtures.
     tests_dir = str(Path(__file__).resolve().parent.parent)
     assert main(["lint", tests_dir]) == 0
+
+
+def test_empty_directory_exits_two(tmp_path, capsys):
+    # A path that yields no Python files is a usage error, not a
+    # silent success.
+    empty = tmp_path / "nothing_here"
+    empty.mkdir()
+    assert main(["lint", str(empty)]) == 2
+    assert "no Python files found" in capsys.readouterr().err
+
+
+def test_non_python_file_set_exits_two(tmp_path, capsys):
+    data = tmp_path / "notes.txt"
+    data.write_text("not python\n")
+    assert main(["lint", str(tmp_path)]) == 2
+    assert "no Python files found" in capsys.readouterr().err
+
+
+def test_sarif_format_and_file(tmp_path, capsys):
+    fixture = str(FIXTURES / "f301_float_equality.py")
+    report = tmp_path / "lint.sarif"
+    assert main(["lint", fixture, "--format", "sarif",
+                 "--sarif", str(report)]) == 1
+    stdout = capsys.readouterr().out
+    payload = json.loads(stdout)
+    assert payload["version"] == "2.1.0"
+    results = payload["runs"][0]["results"]
+    assert {r["ruleId"] for r in results} == {"F301"}
+    assert json.loads(report.read_text()) == payload
+
+
+def test_unused_suppression_reported(capsys):
+    fixture = str(FIXTURES / "w001_unused_suppression.py")
+    assert main(["lint", fixture]) == 1
+    out = capsys.readouterr().out
+    assert "W001" in out
+    assert "disable=D102" in out
+    assert "D101" not in out  # the used suppression stays silent

@@ -1,0 +1,107 @@
+"""Incremental analysis cache: warm hits, precise invalidation."""
+
+from pathlib import Path
+
+from repro.lint import LintCache, collect_files, lint_files
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _write_pkg(root: Path):
+    (root / "pkg").mkdir()
+    (root / "pkg" / "__init__.py").write_text("")
+    (root / "pkg" / "timing.py").write_text(
+        "def settle_ps(delay_ps: int):\n"
+        "    return delay_ps\n")
+    (root / "pkg" / "driver.py").write_text(
+        "from pkg.timing import settle_ps\n"
+        "\n"
+        "\n"
+        "def run(clock_hz: int):\n"
+        "    return settle_ps(clock_hz)\n")
+    return collect_files([str(root / "pkg")])
+
+
+def test_warm_run_is_all_hits_and_identical(tmp_path):
+    files = _write_pkg(tmp_path)
+    cache = LintCache(str(tmp_path / "cache"))
+    cold = lint_files(files, cache=cache)
+    assert cache.result_misses == len(files)
+    warm_cache = LintCache(str(tmp_path / "cache"))
+    warm = lint_files(files, cache=warm_cache)
+    assert warm == cold
+    assert warm_cache.summary_hits == len(files)
+    assert warm_cache.summary_misses == 0
+    assert warm_cache.result_hits == len(files)
+    assert warm_cache.result_misses == 0
+    assert any(v.rule_id == "U101" for v in warm)
+
+
+def test_body_edit_invalidates_only_that_file(tmp_path):
+    files = _write_pkg(tmp_path)
+    cache = LintCache(str(tmp_path / "cache"))
+    lint_files(files, cache=cache)
+
+    # A comment-only edit changes the file content but not its summary,
+    # so the project signature is unchanged: exactly one file re-runs.
+    driver = tmp_path / "pkg" / "driver.py"
+    driver.write_text(driver.read_text() + "# trailing comment\n")
+    warm = LintCache(str(tmp_path / "cache"))
+    after = lint_files(files, cache=warm)
+    assert warm.summary_misses == 1
+    assert warm.result_misses == 1
+    assert warm.result_hits == len(files) - 1
+    assert any(v.rule_id == "U101" for v in after)
+
+
+def test_api_edit_invalidates_every_result(tmp_path):
+    files = _write_pkg(tmp_path)
+    cache = LintCache(str(tmp_path / "cache"))
+    before = lint_files(files, cache=cache)
+    assert any(v.rule_id == "U101" for v in before)
+
+    # Renaming the parameter changes timing.py's summary, which shifts
+    # the project signature: every file's findings are recomputed, and
+    # the cross-module U101 disappears everywhere.
+    (tmp_path / "pkg" / "timing.py").write_text(
+        "def settle_ps(delay_hz: int):\n"
+        "    return delay_hz\n")
+    warm = LintCache(str(tmp_path / "cache"))
+    after = lint_files(files, cache=warm)
+    assert warm.result_hits == 0
+    assert warm.result_misses == len(files)
+    assert not any(v.rule_id == "U101" for v in after)
+
+
+def test_select_key_partitions_results(tmp_path):
+    files = _write_pkg(tmp_path)
+    cache = LintCache(str(tmp_path / "cache"))
+    full = lint_files(files, cache=cache)
+    narrowed = lint_files(files, select=["D101"], cache=cache)
+    assert narrowed == []
+    again = lint_files(files, cache=cache)
+    assert again == full
+
+
+def test_corrupt_entries_degrade_to_misses(tmp_path):
+    files = _write_pkg(tmp_path)
+    root = tmp_path / "cache"
+    cache = LintCache(str(root))
+    cold = lint_files(files, cache=cache)
+    for blob in root.rglob("*"):
+        if blob.is_file():
+            blob.write_text("{ truncated")
+    fresh = LintCache(str(root))
+    assert lint_files(files, cache=fresh) == cold
+    assert fresh.summary_hits == 0
+    assert fresh.result_hits == 0
+
+
+def test_clear_removes_the_store(tmp_path):
+    files = _write_pkg(tmp_path)
+    root = tmp_path / "cache"
+    cache = LintCache(str(root))
+    cold = lint_files(files, cache=cache)
+    cache.clear()
+    assert not root.exists()
+    assert lint_files(files, cache=LintCache(str(root))) == cold

@@ -1,0 +1,83 @@
+"""Whole-program rules against the fixture packages.
+
+The single-file fixtures prove each rule in isolation; these packages
+prove the *project index*: violations here are only visible when the
+analyzer resolves calls and globals across module boundaries.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_file, lint_files
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _pkg_files(name):
+    return sorted((FIXTURES / name).rglob("*.py"))
+
+
+def _by_rule(violations):
+    table = {}
+    for violation in violations:
+        table.setdefault(violation.rule_id, []).append(violation)
+    return table
+
+
+def test_cross_module_unit_flow():
+    found = _by_rule(lint_files(_pkg_files("xflow_pkg")))
+    [u101] = found["U101"]
+    assert u101.path.endswith("driver.py")
+    assert u101.line == 7
+    assert "settle_window_ps" in u101.message
+    [u102] = found["U102"]
+    assert u102.path.endswith("driver.py")
+    assert u102.line == 8
+    assert "'hz'" in u102.message and "'ps'" in u102.message
+
+
+def test_cross_module_finding_needs_the_index():
+    # The same caller linted alone resolves nothing: the violation
+    # only exists with the callee's summary in the index.
+    alone = lint_file(FIXTURES / "xflow_pkg" / "driver.py")
+    assert not any(v.rule_id in ("U101", "U102") for v in alone)
+
+
+def test_worker_safety_across_modules():
+    found = _by_rule(lint_files(_pkg_files("unsafe_sweep_pkg")))
+    [p401] = found["P401"]
+    assert p401.path.endswith("runner.py")
+    assert "REGISTRY" in p401.message
+
+
+def test_order_unstable_cache_key_package():
+    found = _by_rule(lint_files(_pkg_files("keydrift_pkg")))
+    assert [v.line for v in found["P403"]] == [8]
+    assert [v.line for v in found["C502"]] == [10]
+
+
+def test_project_index_resolution_and_signature():
+    import ast
+
+    from repro.lint.project import ProjectIndex, module_name_for
+    from repro.lint.summaries import summarize_module
+
+    summaries = []
+    for path in _pkg_files("xflow_pkg"):
+        tree = ast.parse(path.read_text())
+        summaries.append(
+            summarize_module(tree, module_name_for(str(path)), str(path)))
+    index = ProjectIndex(summaries)
+    driver = next(s for s in summaries if s.module == "xflow_pkg.driver")
+
+    summary = index.resolve(driver, "settle_window_ps")
+    assert summary is not None
+    assert summary.qualname.endswith("timing.settle_window_ps")
+    assert [p.unit for p in summary.explicit_params] == ["ps"]
+
+    rate = index.resolve(driver, "clock_rate_hz")
+    assert index.return_unit_of(rate) == "hz"
+
+    # The signature is a pure function of module *summaries*, not of
+    # file order.
+    shuffled = ProjectIndex(list(reversed(summaries)))
+    assert index.signature() == shuffled.signature()

@@ -1,5 +1,10 @@
 """Content-addressed artifact cache: keys, blobs, reconstruction."""
 
+# These tests exercise the raw artifact_key() helper with ad-hoc
+# params dicts; version pinning is the caller's job (bitstream_params)
+# and is covered by test_key_changes_with_any_parameter.
+# repro-lint: disable=C503
+
 import os
 
 from repro.bitstream.generator import BitstreamSpec, generate_bitstream
