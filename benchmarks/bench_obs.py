@@ -1,0 +1,89 @@
+"""Observability overhead — disabled instrumentation must be ~free.
+
+Not a paper figure: these benches track the cost the ``repro.obs``
+subsystem adds to the simulation.  The contract is asymmetric: the
+*disabled* path (the default for every figure regeneration) pays one
+no-op method call per instrumented site and must stay within noise of
+an uninstrumented kernel; the *enabled* paths (``--metrics``,
+``--trace``) may cost real time, but their cost is measured here so it
+cannot silently grow.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.bitstream.generator import generate_bitstream
+from repro.core.system import UPaRCSystem
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.units import DataSize, Frequency
+
+UPDATES = 100_000
+
+
+@pytest.fixture(scope="module")
+def obs_bitstream():
+    return generate_bitstream(size=DataSize.from_kb(64), seed=2012)
+
+
+def _full_run(bitstream):
+    system = UPaRCSystem(decompressor=None)
+    return system.run(bitstream, frequency=Frequency.from_mhz(362.5))
+
+
+def test_run_with_obs_disabled(benchmark, obs_bitstream):
+    """Baseline: the default path every figure regeneration takes."""
+    result = benchmark.pedantic(_full_run, args=(obs_bitstream,),
+                                rounds=3, iterations=1)
+    assert result.verified
+
+
+def test_run_with_metrics_enabled(benchmark, obs_bitstream):
+    def run():
+        with obs.observed(metrics=True) as observation:
+            result = _full_run(obs_bitstream)
+        return result, observation
+
+    result, observation = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.verified
+    counters = observation.registry.snapshot()["counters"]
+    assert counters["kernel.events_dispatched"] > 0
+
+
+def test_run_with_tracing_enabled(benchmark, obs_bitstream):
+    def run():
+        with obs.observed(trace=True) as observation:
+            result = _full_run(obs_bitstream)
+        return result, observation
+
+    result, observation = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.verified
+    assert len(observation.tracer.spans) > 0
+
+
+def _counter_updates(registry) -> int:
+    counter = registry.counter("bench.updates")
+    for _ in range(UPDATES):
+        counter.inc()
+    return UPDATES
+
+
+def test_null_registry_update_throughput(benchmark):
+    assert benchmark(_counter_updates, NULL_REGISTRY) == UPDATES
+
+
+def test_live_registry_update_throughput(benchmark):
+    assert benchmark(_counter_updates, MetricsRegistry()) == UPDATES
+
+
+def test_chrome_trace_export_throughput(benchmark, obs_bitstream):
+    with obs.observed(trace=True) as observation:
+        _full_run(obs_bitstream)
+
+    def export() -> int:
+        return obs.write_chrome_trace(observation.tracer, io.StringIO())
+
+    assert benchmark(export) > 0

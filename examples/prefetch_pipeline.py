@@ -9,10 +9,18 @@ critical path.
 The scenario: a vision pipeline that time-multiplexes one
 reconfigurable region across four accelerators per frame.
 
-Run:  python examples/prefetch_pipeline.py
+Run:  python examples/prefetch_pipeline.py [--trace trace.json]
+
+With ``--trace`` both computed schedules are exported as Chrome
+trace_event timelines — one trace "process" per strategy, one lane
+per task — so the preload/compute overlap is visible side by side in
+Perfetto (https://ui.perfetto.dev).  Summarise from the terminal with
+``python -m repro obs``.
 """
 
-from repro import PrefetchScheduler, Task, generate_bitstream
+import argparse
+
+from repro import PrefetchScheduler, Task, generate_bitstream, obs
 from repro.analysis.report import render_table
 from repro.units import DataSize, Frequency, ms
 
@@ -25,7 +33,37 @@ PIPELINE = [
 ]
 
 
+def schedules_to_trace(reports) -> obs.Tracer:
+    """Export schedule timelines as trace spans, one pid per strategy."""
+    tracer = obs.Tracer()
+    for strategy in sorted(reports):
+        report = reports[strategy]
+        pid = tracer.register(f"schedule:{strategy}")
+        for entry in sorted(report.timeline,
+                            key=lambda e: (e.start_ps, e.task)):
+            tracer.add_span(obs.SpanRecord(
+                name=f"{entry.task}.{entry.phase}", cat="schedule",
+                pid=pid, track=entry.task,
+                start_ps=entry.start_ps, end_ps=entry.end_ps))
+    return tracer
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace_event JSON of the "
+                             "computed schedules")
+    # parse_known_args: the example-smoke tests execute this file
+    # in-process under the test runner's argv.
+    args, _ = parser.parse_known_args()
+    reports = run()
+    if args.trace:
+        count = obs.write_chrome_trace(schedules_to_trace(reports),
+                                       args.trace)
+        print(f"\ntrace: {count} events -> {args.trace}")
+
+
+def run():
     tasks = [
         Task(name, generate_bitstream(size=DataSize.from_kb(kb), seed=kb),
              compute_ps=compute)
@@ -54,6 +92,7 @@ def main() -> None:
     fps_before = 1000.0 / sequential
     fps_after = 1000.0 / prefetch
     print(f"throughput: {fps_before:.1f} -> {fps_after:.1f} frames/s")
+    return reports
 
 
 if __name__ == "__main__":

@@ -6,14 +6,34 @@ the simulated Virtex-5, retunes the reconfiguration clock to the
 paper's headline 362.5 MHz, preloads a synthetic 216.5 KB partial
 bitstream and fires one reconfiguration.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace trace.json]
+
+With ``--trace`` the run executes under ``repro.obs`` tracing and
+writes a Chrome trace_event JSON you can open in Perfetto
+(https://ui.perfetto.dev) or summarise with ``python -m repro obs``.
 """
 
-from repro import UPaRCSystem, generate_bitstream
+import argparse
+
+from repro import UPaRCSystem, generate_bitstream, obs
 from repro.units import DataSize, Frequency
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace_event JSON of the run")
+    # parse_known_args: the example-smoke tests execute this file
+    # in-process under the test runner's argv.
+    args, _ = parser.parse_known_args()
+    with obs.observed(trace=bool(args.trace)) as observation:
+        run()
+    if args.trace:
+        count = obs.write_chrome_trace(observation.tracer, args.trace)
+        print(f"\ntrace: {count} events -> {args.trace}")
+
+
+def run() -> None:
     # A synthetic partial bitstream with realistic configuration-data
     # statistics (the substitution for a real Virtex-5 .bit file).
     bitstream = generate_bitstream(size=DataSize.from_kb(216.5))

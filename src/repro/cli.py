@@ -189,6 +189,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return run_sweep(args)
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.cli import run_obs
+    return run_obs(args)
+
+
 def _cmd_energy(args: argparse.Namespace) -> None:
     comparison = energy_comparison()
     rows = [
@@ -215,7 +220,14 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "lint": _cmd_lint,
     "sweep": _cmd_sweep,
+    "obs": _cmd_obs,
 }
+
+#: Commands that accept --trace/--metrics: the run executes inside
+#: ``repro.obs.observed(...)``, so every system it constructs picks up
+#: the collectors.  (``sweep`` handles --metrics itself — its cells
+#: run in worker processes with their own registries.)
+_OBSERVABLE = ("table1", "table2", "table3", "fig5", "fig7", "energy")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -239,7 +251,21 @@ def build_parser() -> argparse.ArgumentParser:
             from repro.sweep.cli import add_sweep_arguments
             add_sweep_arguments(sub)
             continue
+        if name == "obs":
+            sub = subparsers.add_parser(
+                name, help="summarise a Chrome-trace JSON written "
+                           "with --trace")
+            from repro.obs.cli import add_obs_arguments
+            add_obs_arguments(sub)
+            continue
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        if name in _OBSERVABLE:
+            sub.add_argument("--trace", default=None, metavar="FILE",
+                             help="write a Chrome trace_event JSON of "
+                                  "the run (view in Perfetto)")
+            sub.add_argument("--metrics", action="store_true",
+                             help="collect the metrics registry and "
+                                  "print it after the run")
         if name == "table3":
             sub.add_argument("--size-kb", type=float, default=216.5,
                              help="bitstream size (default 216.5)")
@@ -261,12 +287,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
             if name == "table3":
                 command(argparse.Namespace(size_kb=216.5))
-            elif name in ("report", "validate", "lint", "sweep"):
+            elif name in ("report", "validate", "lint", "sweep", "obs"):
                 continue  # 'all' already prints every table
             else:
                 command(args)
         return 0
-    result = _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    trace_file = getattr(args, "trace", None)
+    want_metrics = bool(getattr(args, "metrics", False)) \
+        and args.command in _OBSERVABLE
+    if trace_file or want_metrics:
+        from repro import obs
+        from repro.analysis.report import render_table
+        with obs.observed(trace=bool(trace_file),
+                          metrics=want_metrics) as observation:
+            result = command(args)
+        if want_metrics:
+            print()
+            print(render_table(
+                ["metric", "kind", "value"],
+                observation.registry.rows(),
+                title=f"metrics -- {args.command}"))
+        if trace_file:
+            count = obs.write_chrome_trace(observation.tracer,
+                                           trace_file)
+            print(f"\ntrace: {count} events -> {trace_file}")
+        return int(result) if result is not None else 0
+    result = command(args)
     return int(result) if result is not None else 0
 
 

@@ -23,9 +23,15 @@ from repro.bitstream.generator import PartialBitstream
 from repro.results import ReconfigurationResult, stream_crc
 from repro.fpga.config_memory import ConfigurationLogic, ConfigurationMemory
 from repro.fpga.icap import Icap
+from repro.obs import current_registry, current_tracer
+from repro.obs.tracing import KernelObserver, TraceScope
 from repro.power.energy import EnergyReport, energy_from_trace
 from repro.power.model import ManagerState, PowerModel
-from repro.power.trace import PowerTraceBuilder
+from repro.power.trace import (
+    CHAIN_TRACK,
+    MANAGER_TRACK,
+    PowerTraceBuilder,
+)
 from repro.sim import Clock, Delay, Process, Simulator
 from repro.units import DataSize, Frequency
 
@@ -59,18 +65,29 @@ def execute_plan(plan: TransferPlan, device: DeviceInfo,
     model = power_model if power_model is not None else PowerModel()
     builder = PowerTraceBuilder(sim, model,
                                 name=f"{plan.controller}.power")
+    # Phase tracks announce the run's state machine; the power builder
+    # subscribes and samples at every transition — the same instants
+    # it used to be called at directly, so traces are unchanged.
+    scope = TraceScope(sim, tracer=current_tracer(),
+                       label=plan.controller)
+    registry = current_registry()
+    if scope.recording or registry.enabled:
+        sim.observer = KernelObserver(scope, registry)
+    scope.subscribe(builder)
+    manager_track = scope.track(MANAGER_TRACK, cat="controller")
+    chain_track = scope.track(CHAIN_TRACK, cat="power")
 
     timings = {}
 
     def run():
         lead = plan.control_overhead_ps // 2
         tail = plan.control_overhead_ps - lead
-        builder.manager_state(ManagerState.CONTROL)
+        manager_track.enter(ManagerState.CONTROL)
         yield Delay(lead)
         timings["start"] = sim.now
-        builder.manager_state(plan.manager_state)
+        manager_track.enter(plan.manager_state)
         if plan.chain_active:
-            builder.chain_on(frequency.mhz)
+            chain_track.enter("active", clk2_mhz=frequency.mhz)
         icap.enable()
         icap.reset_payload()
         icap.absorb(plan.output_words,
@@ -78,11 +95,11 @@ def execute_plan(plan: TransferPlan, device: DeviceInfo,
         yield Delay(plan.transfer_ps)
         icap.disable()
         if plan.chain_active:
-            builder.chain_off()
+            chain_track.exit()
         timings["finish"] = sim.now
-        builder.manager_state(ManagerState.CONTROL)
+        manager_track.enter(ManagerState.CONTROL)
         yield Delay(tail)
-        builder.manager_state(ManagerState.IDLE)
+        manager_track.exit()
 
     Process(sim, run(), name=plan.controller)
     sim.run()

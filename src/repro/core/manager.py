@@ -29,8 +29,9 @@ from repro.errors import CapacityError
 from repro.fpga.bram import Bram
 from repro.fpga.decompressor import HardwareDecompressor
 from repro.fpga.microblaze import MicroBlaze
+from repro.obs.tracing import TraceScope
 from repro.power.model import ManagerState
-from repro.power.trace import PowerTraceBuilder
+from repro.power.trace import MANAGER_TRACK, PowerTraceBuilder
 from repro.sim import Delay, Event, Simulator, WaitEvent
 from repro.units import DataSize, Frequency
 
@@ -52,20 +53,34 @@ class Manager:
     def __init__(self, sim: Simulator, cpu: MicroBlaze, bram: Bram,
                  dyclogen: DyCloGen,
                  decompressor: Optional[HardwareDecompressor] = None,
-                 power: Optional[PowerTraceBuilder] = None) -> None:
+                 power: Optional[PowerTraceBuilder] = None,
+                 scope: Optional[TraceScope] = None) -> None:
         self._sim = sim
         self._cpu = cpu
         self._bram = bram
         self._dyclogen = dyclogen
         self._decompressor = decompressor
         self._power = power
+        self._scope = scope if scope is not None else TraceScope(sim)
+        self._track = self._scope.track(MANAGER_TRACK, cat="controller")
         self.last_preload: Optional[PreloadReport] = None
 
     # -- power-state helper ---------------------------------------------
 
     def _state(self, state: str) -> None:
+        """Announce a state-machine transition on the manager track.
+
+        Power sampling rides on the scope: a subscribed
+        :class:`PowerTraceBuilder` receives the transition via
+        ``on_phase``.  The legacy ``power=`` constructor wiring (a
+        builder called directly, no scope) is still honoured.
+        """
         if self._power is not None:
             self._power.manager_state(state)
+        if state == ManagerState.IDLE:
+            self._track.exit()
+        else:
+            self._track.enter(state)
 
     # -- preloading -------------------------------------------------------
 

@@ -40,9 +40,15 @@ from repro.fpga.dma import CustomBurstReader
 from repro.fpga.icap import Icap
 from repro.fpga.microblaze import MicroBlaze
 from repro.fpga.sequencer import HardwareSequencer
+from repro.obs import current_registry, current_tracer
+from repro.obs.tracing import KernelObserver, TraceScope
 from repro.power.energy import EnergyReport, energy_from_trace
 from repro.power.model import PowerModel
-from repro.power.trace import PowerTraceBuilder
+from repro.power.trace import (
+    CHAIN_TRACK,
+    DECOMPRESSOR_TRACK,
+    PowerTraceBuilder,
+)
 from repro.sim import Event, Process, Simulator
 from repro.units import DataSize, Frequency
 
@@ -66,6 +72,14 @@ class UPaRCSystem:
                 f"manager must be 'microblaze' or 'hardware', got "
                 f"{manager!r}")
         self.sim = Simulator()
+        # Observability: the scope picks up the process-wide collectors
+        # (both default to "off") at construction time; everything it
+        # records is sim-time and changes nothing about the simulation.
+        self.scope = TraceScope(self.sim, tracer=current_tracer(),
+                                label=f"uparc:{device.name}")
+        self.registry = current_registry()
+        if self.scope.recording or self.registry.enabled:
+            self.sim.observer = KernelObserver(self.scope, self.registry)
         self.device = device
         self.manager_kind = manager
         self.power_model = power_model if power_model is not None \
@@ -105,11 +119,13 @@ class UPaRCSystem:
                          self.dyclogen.clk2,
                          reader=CustomBurstReader(
                              max_frequency=device.icap_fmax_demonstrated),
-                         decompressor=self.decompressor)
+                         decompressor=self.decompressor,
+                         scope=self.scope)
         self._power_builder: Optional[PowerTraceBuilder] = None
         self.manager = Manager(self.sim, self.cpu, self.bram,
                                self.dyclogen,
-                               decompressor=self.decompressor)
+                               decompressor=self.decompressor,
+                               scope=self.scope)
         self._preloaded: Optional[PartialBitstream] = None
         self._preload_report: Optional[PreloadReport] = None
         self._run_index = 0
@@ -208,6 +224,10 @@ class UPaRCSystem:
         self._preloaded = bitstream
         self._preload_report = process.result
         report = process.result
+        if self.registry.enabled:
+            self.registry.counter("system.preloads").inc()
+            self.registry.histogram("system.preload_us").observe(
+                report.duration_ps / 1e6)
         logger.debug("preloaded %s as %s (%s stored, %.1f us)",
                      bitstream.size, report.mode.name.lower(),
                      report.stored_size, report.duration_ps / 1e6)
@@ -261,10 +281,14 @@ class UPaRCSystem:
 
         builder: Optional[PowerTraceBuilder] = None
         if collect_power:
+            # The builder subscribes to the system's trace scope and
+            # samples power on the phase transitions the manager and
+            # the chain/decompressor tracks announce — the exact
+            # instants the old direct wiring sampled at.
             builder = PowerTraceBuilder(
                 self.sim, self.power_model,
                 name=f"core_power.run{self._run_index}")
-            self.manager._power = builder
+            self.scope.subscribe(builder)
 
         start = Event(self.sim, "start")
         finish = Event(self.sim, "finish")
@@ -272,19 +296,22 @@ class UPaRCSystem:
         clk3_mhz = self.dyclogen.clk3.frequency.mhz
         compressed = report.mode is OperationMode.COMPRESSED
 
-        if builder is not None:
-            def on_start(event: Event) -> None:
-                builder.chain_on(clk2_mhz)
-                if compressed:
-                    builder.decompressor_on(clk3_mhz)
+        chain_track = self.scope.track(CHAIN_TRACK, cat="power")
+        decompressor_track = self.scope.track(DECOMPRESSOR_TRACK,
+                                              cat="power")
 
-            def on_finish(event: Event) -> None:
-                builder.chain_off()
-                if compressed:
-                    builder.decompressor_off()
+        def on_start(event: Event) -> None:
+            chain_track.enter("active", clk2_mhz=clk2_mhz)
+            if compressed:
+                decompressor_track.enter("active", clk3_mhz=clk3_mhz)
 
-            start.add_waiter(on_start)
-            finish.add_waiter(on_finish)
+        def on_finish(event: Event) -> None:
+            chain_track.exit()
+            if compressed:
+                decompressor_track.exit()
+
+        start.add_waiter(on_start)
+        finish.add_waiter(on_finish)
 
         Process(self.sim, self.urec.process(start, finish), name="urec")
         control = Process(
@@ -313,9 +340,18 @@ class UPaRCSystem:
             expected_crc=expected,
             frames_written=self.config_logic.frames_written - frames_before,
         )
+        registry = self.registry
+        if registry.enabled:
+            registry.counter("system.reconfigurations").inc()
+            registry.counter("icap.words_written").inc(
+                result.words_delivered)
+            registry.counter("icap.frames_written").inc(
+                result.frames_written)
+            registry.histogram("system.transfer_us").observe(
+                result.transfer_ps / 1e6)
         if builder is not None:
             trace = builder.finalize()
-            self.manager._power = None
+            self.scope.unsubscribe(builder)
             result.power_trace = trace
             energy = energy_from_trace(trace, start_ps, finish_ps)
             idle = self.power_model.idle_mw()

@@ -29,6 +29,7 @@ from repro.fpga.bram import Bram
 from repro.fpga.decompressor import HardwareDecompressor
 from repro.fpga.dma import CustomBurstReader
 from repro.fpga.icap import Icap
+from repro.obs.tracing import TraceScope
 from repro.sim import Clock, Delay, Event, Simulator, WaitCycles
 
 HEADER_MODE_BIT = 31
@@ -73,13 +74,14 @@ class UReC:
                  clock: Clock,
                  reader: Optional[CustomBurstReader] = None,
                  decompressor: Optional[HardwareDecompressor] = None,
-                 ) -> None:
+                 scope: Optional[TraceScope] = None) -> None:
         self._sim = sim
         self._bram = bram
         self._icap = icap
         self.clock = clock
         self._reader = reader if reader is not None else CustomBurstReader()
         self._decompressor = decompressor
+        self._scope = scope if scope is not None else TraceScope(sim)
         self.runs = 0
         self.last_stats: Optional[TransferStats] = None
 
@@ -95,13 +97,17 @@ class UReC:
         self._icap.enable()
         self._icap.reset_payload()
         try:
-            # Header read: one CLK_2 cycle.
-            yield WaitCycles(self.clock, 1)
-            mode, stored_words = unpack_header(self._bram.read_word(0))
-            if mode is OperationMode.RAW:
-                stats = yield from self._raw_transfer(stored_words)
-            else:
-                stats = yield from self._compressed_transfer(stored_words)
+            with self._scope.span("urec.run", cat="urec"):
+                with self._scope.span("urec.header", cat="urec"):
+                    # Header read: one CLK_2 cycle.
+                    yield WaitCycles(self.clock, 1)
+                    mode, stored_words = unpack_header(
+                        self._bram.read_word(0))
+                if mode is OperationMode.RAW:
+                    stats = yield from self._raw_transfer(stored_words)
+                else:
+                    stats = yield from self._compressed_transfer(
+                        stored_words)
         finally:
             self._icap.disable()
             self._bram.disable_read_port()
@@ -118,10 +124,12 @@ class UReC:
         words = self._bram.read_burst(1, stored_words)
         cycles = self._reader.transfer_cycles(stored_words)
         begin = self._sim.now
-        # ICAP absorbs the words; the custom reader's setup cycles are
-        # the only overhead beyond one word per cycle.
-        self._icap.absorb(words)
-        yield WaitCycles(self.clock, cycles)
+        with self._scope.span("urec.raw_burst", cat="urec",
+                              words=stored_words):
+            # ICAP absorbs the words; the custom reader's setup cycles
+            # are the only overhead beyond one word per cycle.
+            self._icap.absorb(words)
+            yield WaitCycles(self.clock, cycles)
         return TransferStats(
             mode=OperationMode.RAW,
             stored_words=stored_words,
@@ -150,11 +158,15 @@ class UReC:
         begin = self._sim.now
         self._decompressor.activity.begin()
         try:
-            decomp_ps = self._decompressor.clock.cycles_duration(
-                self._decompressor.stream_cycles(len(output_words)))
-            icap_ps = self._icap.absorb(output_words)
-            # The pipeline is paced by its slower side.
-            yield Delay(max(decomp_ps, icap_ps))
+            with self._scope.span("decompressor.stream",
+                                  cat="decompressor",
+                                  words_in=stored_words,
+                                  words_out=len(output_words)):
+                decomp_ps = self._decompressor.clock.cycles_duration(
+                    self._decompressor.stream_cycles(len(output_words)))
+                icap_ps = self._icap.absorb(output_words)
+                # The pipeline is paced by its slower side.
+                yield Delay(max(decomp_ps, icap_ps))
         finally:
             self._decompressor.activity.end()
         return TransferStats(

@@ -60,6 +60,10 @@ class WallClockRule(Checker):
     rule_name = "wall-clock"
     rationale = ("simulation time is Simulator.now; host-clock reads make "
                  "results machine-dependent")
+    #: The one sanctioned wall-clock module: host profiling lives in
+    #: ``repro.obs.profiling`` and records only ``wall.*`` metrics,
+    #: which determinism comparisons exclude by construction.
+    exempt_paths = ("*/repro/obs/profiling.py", "repro/obs/profiling.py")
 
     def visit_Call(self, node: ast.Call) -> None:
         if (isinstance(node.func, ast.Name)
@@ -73,6 +77,56 @@ class WallClockRule(Checker):
                 if dotted in WALL_CLOCK_CALLS or tail in WALL_CLOCK_CALLS:
                     self.report(node, f"wall-clock read {dotted}(); use "
                                       f"Simulator.now for simulated time")
+        self.generic_visit(node)
+
+
+#: ``time``-module functions that read a host clock.  ``sleep`` and
+#: the struct/formatting helpers are deliberately absent.
+TIME_CLOCK_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns",
+})
+
+
+@register
+class ClockImportRule(Checker):
+    """D104 — clock callables may only be *imported* in obs/profiling.
+
+    D101 flags wall-clock reads at the call site, but call-site
+    analysis cannot see through a rebinding import: ``from time import
+    perf_counter as tick`` (or ``import time as t``) makes every later
+    ``tick()`` invisible to it.  This rule closes that hole at the
+    import statement.  ``repro.obs.profiling`` — the one module whose
+    job is host timing — is exempt; everything else must route wall
+    measurements through it.
+    """
+
+    rule_id = "D104"
+    rule_name = "clock-import"
+    rationale = ("importing clock callables rebinds them past D101's "
+                 "call-site analysis; wall timing belongs in "
+                 "repro.obs.profiling")
+    exempt_paths = ("*/repro/obs/profiling.py", "repro/obs/profiling.py")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in TIME_CLOCK_FNS:
+                    bound = alias.asname or alias.name
+                    self.report(node, f"from time import {alias.name} "
+                                      f"binds a wall clock to "
+                                      f"{bound!r}; use "
+                                      f"repro.obs.profiling instead")
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time" and alias.asname is not None:
+                self.report(node, f"import time as {alias.asname} hides "
+                                  f"clock reads from call-site "
+                                  f"analysis; use repro.obs.profiling "
+                                  f"instead")
         self.generic_visit(node)
 
 

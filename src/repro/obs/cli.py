@@ -1,0 +1,30 @@
+"""``python -m repro obs`` — summarise a recorded trace file."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.obs.export import load_chrome_trace, summarize_events
+
+__all__ = ["add_obs_arguments", "run_obs"]
+
+
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("trace_file",
+                        help="Chrome-trace JSON written by --trace")
+    parser.add_argument("--cat", default=None,
+                        help="only summarise spans in this category")
+
+
+def run_obs(args: argparse.Namespace) -> int:
+    try:
+        events = load_chrome_trace(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"obs: cannot read {args.trace_file}: {error}")
+        return 2
+    if args.cat is not None:
+        events = [event for event in events
+                  if event.get("ph") != "X"
+                  or event.get("cat") == args.cat]
+    print(summarize_events(events))
+    return 0

@@ -1,0 +1,162 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, NDJSON, text summary.
+
+The Chrome format is the JSON-object flavour (``{"traceEvents":
+[...]}``), loadable in Perfetto and ``chrome://tracing``.  Simulation
+picoseconds map onto the format's microsecond ``ts``/``dur`` fields by
+dividing by 1e6; ``displayTimeUnit`` is nanoseconds so sub-µs spans
+remain visible.  Output is a pure function of the collected records
+(keys sorted, fixed event order), so traced runs can be compared as
+golden files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Union
+
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_ndjson",
+    "load_chrome_trace",
+    "summarize_events",
+]
+
+_PS_PER_US = 1e6
+
+
+def _track_ids(tracer: Tracer) -> Dict[Any, int]:
+    """(pid, track) -> tid, in first-appearance order per pid."""
+    tids: Dict[Any, int] = {}
+    nxt: Dict[int, int] = {}
+    for span in tracer.spans:
+        key = (span.pid, span.track)
+        if key not in tids:
+            tids[key] = nxt.get(span.pid, 0)
+            nxt[span.pid] = tids[key] + 1
+    return tids
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for a tracer's records."""
+    events: List[Dict[str, Any]] = []
+    for pid, label in enumerate(tracer.process_labels):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": label}})
+    tids = _track_ids(tracer)
+    for (pid, track), tid in tids.items():
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": track}})
+    for span in tracer.spans:
+        event: Dict[str, Any] = {
+            "ph": "X", "name": span.name, "cat": span.cat,
+            "pid": span.pid, "tid": tids[(span.pid, span.track)],
+            "ts": span.start_ps / _PS_PER_US,
+            "dur": span.duration_ps / _PS_PER_US,
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    for sample in tracer.counters:
+        events.append({
+            "ph": "C", "name": sample.name, "pid": sample.pid, "tid": 0,
+            "ts": sample.time_ps / _PS_PER_US,
+            "args": {"value": sample.value},
+        })
+    return events
+
+
+def write_chrome_trace(tracer: Tracer,
+                       destination: Union[str, IO[str]]) -> int:
+    """Write the Chrome-trace JSON object; returns the event count."""
+    events = chrome_trace_events(tracer)
+    payload = {"displayTimeUnit": "ns", "traceEvents": events}
+    text = json.dumps(payload, sort_keys=True, indent=1)
+    if hasattr(destination, "write"):
+        destination.write(text + "\n")
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return len(events)
+
+
+def write_ndjson(tracer: Tracer,
+                 destination: Union[str, IO[str]]) -> int:
+    """One record per line: spans then counters, collection order."""
+    lines: List[str] = []
+    for span in tracer.spans:
+        lines.append(json.dumps(
+            {"kind": "span", "name": span.name, "cat": span.cat,
+             "pid": span.pid, "track": span.track,
+             "start_ps": span.start_ps, "end_ps": span.end_ps,
+             "args": span.args},
+            sort_keys=True))
+    for sample in tracer.counters:
+        lines.append(json.dumps(
+            {"kind": "counter", "name": sample.name, "pid": sample.pid,
+             "time_ps": sample.time_ps, "value": sample.value},
+            sort_keys=True))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return len(lines)
+
+
+def load_chrome_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a trace file back to its ``traceEvents`` list.
+
+    Accepts both the JSON-object flavour this module writes and a bare
+    JSON array of events.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        return list(payload.get("traceEvents", []))
+    return list(payload)
+
+
+def summarize_events(events: List[Dict[str, Any]]) -> str:
+    """Human-readable roll-up of a ``traceEvents`` list.
+
+    Groups complete ("X") events by name within category: count, total
+    and mean duration; lists counter tracks with sample counts and
+    extrema.  Durations print in simulated nanoseconds.
+    """
+    spans: Dict[Any, List[float]] = {}
+    counters: Dict[str, List[float]] = {}
+    for event in events:
+        phase = event.get("ph")
+        if phase == "X":
+            key = (event.get("cat", ""), event.get("name", "?"))
+            spans.setdefault(key, []).append(float(event.get("dur", 0.0)))
+        elif phase == "C":
+            values = event.get("args", {}).values()
+            counters.setdefault(event.get("name", "?"), []).extend(
+                float(v) for v in values)
+
+    lines: List[str] = []
+    if spans:
+        lines.append(f"{'category':<14} {'span':<28} {'count':>6} "
+                     f"{'total_ns':>12} {'mean_ns':>12}")
+        for (cat, name), durations in sorted(spans.items()):
+            total_us = sum(durations)
+            lines.append(
+                f"{cat:<14} {name:<28} {len(durations):>6} "
+                f"{total_us * 1e3:>12.3f} "
+                f"{total_us * 1e3 / len(durations):>12.3f}")
+    if counters:
+        if lines:
+            lines.append("")
+        lines.append(f"{'counter':<42} {'samples':>8} {'min':>10} "
+                     f"{'max':>10}")
+        for name, values in sorted(counters.items()):
+            lines.append(f"{name:<42} {len(values):>8} "
+                         f"{min(values):>10.6g} {max(values):>10.6g}")
+    if not lines:
+        lines.append("(empty trace)")
+    return "\n".join(lines)

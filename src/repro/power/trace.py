@@ -5,21 +5,32 @@ total core power over time, assembled from timestamped *phase events*
 that controllers emit while they run (manager control burst, copy
 loop, active wait, chain enable/disable, decompressor enable/disable).
 
-Controllers call the ``enter_*``/``leave_*`` methods as their
-simulation processes advance; the builder samples the power model at
-every state change, producing a stepwise trace whose integral is the
-reconfiguration energy.
+The builder is a :class:`~repro.obs.tracing.SpanSubscriber`: wired to
+a system's :class:`~repro.obs.tracing.TraceScope`, it receives one
+:meth:`on_phase` call per phase-track transition and samples the
+power model at each — the same sampling instants the historical
+``enter_*``/``leave_*`` wiring produced, so the Fig. 7 output is
+byte-identical whether or not a trace is being recorded.  The direct
+transition methods remain the builder's API (and ``on_phase`` simply
+dispatches to them).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
+from repro.obs.primitives import Sample  # noqa: F401  back-compat re-export
+from repro.obs.tracing import SpanSubscriber
 from repro.power.model import ManagerState, PowerModel
 from repro.sim import Simulator, ValueTrace
 
+#: Phase-track names the builder understands (see ``on_phase``).
+MANAGER_TRACK = "manager"
+CHAIN_TRACK = "chain"
+DECOMPRESSOR_TRACK = "decompressor"
 
-class PowerTraceBuilder:
+
+class PowerTraceBuilder(SpanSubscriber):
     """Accumulates component state and samples total power."""
 
     def __init__(self, sim: Simulator, model: PowerModel,
@@ -60,6 +71,32 @@ class PowerTraceBuilder:
         if self._decompressor_active:
             self._decompressor_active = False
             self._sample()
+
+    # -- span subscription ----------------------------------------------
+
+    def on_phase(self, track: str, phase: Optional[str], time_ps: int,
+                 args: Optional[Dict[str, Any]]) -> None:
+        """Phase-track transitions mapped onto power-state changes.
+
+        ``time_ps`` always equals ``sim.now`` when the scope delivers
+        the callback, so sampling through :meth:`_sample` lands on the
+        same instant the direct methods would.
+        """
+        if track == MANAGER_TRACK:
+            self.manager_state(ManagerState.IDLE if phase is None
+                               else phase)
+        elif track == CHAIN_TRACK:
+            if phase is None:
+                self.chain_off()
+            else:
+                self.chain_on((args or {}).get("clk2_mhz",
+                                               self._clk2_mhz))
+        elif track == DECOMPRESSOR_TRACK:
+            if phase is None:
+                self.decompressor_off()
+            else:
+                self.decompressor_on((args or {}).get("clk3_mhz",
+                                                      self._clk3_mhz))
 
     def finalize(self) -> ValueTrace:
         """Return to idle and close the trace."""

@@ -54,6 +54,12 @@ class Simulator:
         self._drain: List[_Entry] = []
         self._running = False
         self._cancelled_in_queue = 0
+        #: Optional kernel observer (``repro.obs.KernelObserver``
+        #: protocol: ``run_started``/``event_fired``/``run_finished``).
+        #: ``run()`` selects a separate dispatch loop when one is
+        #: attached, so the unobserved hot path carries no per-event
+        #: branch for it.
+        self.observer = None
 
     @property
     def now(self) -> int:
@@ -151,51 +157,109 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
-        queue = self._queue
-        drain = self._drain
-        pop = heapq.heappop
+        observer = self.observer
+        if observer is not None:
+            observer.run_started(self._now, self.pending_events)
         try:
-            while True:
-                if drain:
-                    entry = drain[-1]
-                    if queue and queue[0] < entry:
-                        # A callback scheduled something earlier than
-                        # the next drained entry; (time, seq) tuple
-                        # comparison keeps the total order exact.
-                        entry = queue[0]
-                        if until_ps is not None and entry[0] > until_ps:
-                            break
-                        pop(queue)
-                    else:
-                        if until_ps is not None and entry[0] > until_ps:
-                            break
-                        drain.pop()
-                elif queue:
-                    # Refill the drain stack: one timsort replaces a
-                    # heap sift per event for everything queued so far.
-                    queue.sort()
-                    drain.extend(reversed(queue))
-                    queue.clear()
-                    continue
-                else:
-                    break
-                handle = entry[2]
-                if handle is not None:
-                    if handle.cancelled:
-                        self._cancelled_in_queue -= 1
-                        continue
-                    handle.fired = True
-                self._now = entry[0]
-                entry[3]()
+            if observer is None:
+                self._drain_loop(until_ps)
+            else:
+                self._drain_loop_observed(until_ps, observer)
             if until_ps is not None and until_ps > self._now:
                 self._now = until_ps
         finally:
+            queue = self._queue
+            drain = self._drain
             if drain:
                 queue.extend(drain)
                 drain.clear()
                 heapq.heapify(queue)
             self._running = False
+            if observer is not None:
+                observer.run_finished(self._now, self.pending_events)
         return self._now
+
+    def _drain_loop(self, until_ps: Optional[int]) -> None:
+        """The unobserved dispatch loop — the kernel's hot path."""
+        queue = self._queue
+        drain = self._drain
+        pop = heapq.heappop
+        while True:
+            if drain:
+                entry = drain[-1]
+                if queue and queue[0] < entry:
+                    # A callback scheduled something earlier than
+                    # the next drained entry; (time, seq) tuple
+                    # comparison keeps the total order exact.
+                    entry = queue[0]
+                    if until_ps is not None and entry[0] > until_ps:
+                        break
+                    pop(queue)
+                else:
+                    if until_ps is not None and entry[0] > until_ps:
+                        break
+                    drain.pop()
+            elif queue:
+                # Refill the drain stack: one timsort replaces a
+                # heap sift per event for everything queued so far.
+                queue.sort()
+                drain.extend(reversed(queue))
+                queue.clear()
+                continue
+            else:
+                break
+            handle = entry[2]
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                handle.fired = True
+            self._now = entry[0]
+            entry[3]()
+
+    def _drain_loop_observed(self, until_ps: Optional[int],
+                             observer) -> None:
+        """:meth:`_drain_loop` plus an observer hook after each event.
+
+        A structural duplicate of the fast loop (kept in lockstep —
+        any dispatch change must land in both) so attaching telemetry
+        costs the unobserved path nothing.  ``event_fired`` receives
+        the post-dispatch queue depth; the observer decides how often
+        to materialise it into a counter track.
+        """
+        queue = self._queue
+        drain = self._drain
+        pop = heapq.heappop
+        while True:
+            if drain:
+                entry = drain[-1]
+                if queue and queue[0] < entry:
+                    entry = queue[0]
+                    if until_ps is not None and entry[0] > until_ps:
+                        break
+                    pop(queue)
+                else:
+                    if until_ps is not None and entry[0] > until_ps:
+                        break
+                    drain.pop()
+            elif queue:
+                queue.sort()
+                drain.extend(reversed(queue))
+                queue.clear()
+                continue
+            else:
+                break
+            handle = entry[2]
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                handle.fired = True
+            self._now = entry[0]
+            entry[3]()
+            observer.event_fired(
+                self._now,
+                len(queue) + len(drain) - self._cancelled_in_queue)
 
     def run_until_idle(self) -> int:
         """Drain every pending event; convenience alias of :meth:`run`."""

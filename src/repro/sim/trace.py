@@ -12,17 +12,13 @@ Two recorders support the paper's measurements:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import SimulationError
+# The shared telemetry value types live in repro.obs.primitives now;
+# re-exported here because this module is their historical home.
+from repro.obs.primitives import Interval, Sample  # noqa: F401
 from repro.sim.kernel import Simulator
-
-
-@dataclass(frozen=True)
-class Sample:
-    time_ps: int
-    value: float
 
 
 class ValueTrace:
@@ -81,7 +77,9 @@ class ActivityTrace:
     def __init__(self, sim: Simulator, name: str) -> None:
         self._sim = sim
         self.name = name
-        self.intervals: List[Tuple[int, int]] = []
+        #: Closed intervals; :class:`Interval` is tuple-compatible, so
+        #: code treating entries as ``(begin, end)`` pairs still works.
+        self.intervals: List[Interval] = []
         self._depth = 0
         self._opened_at: Optional[int] = None
 
@@ -102,7 +100,7 @@ class ActivityTrace:
         self._depth -= 1
         if self._depth == 0:
             assert self._opened_at is not None
-            self.intervals.append((self._opened_at, self._sim.now))
+            self.intervals.append(Interval(self._opened_at, self._sim.now))
             self._opened_at = None
 
     def close(self) -> None:

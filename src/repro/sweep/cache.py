@@ -85,14 +85,23 @@ def bitstream_params(spec: BitstreamSpec) -> Dict[str, Any]:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters one engine run accumulates."""
+    """Hit/miss and byte-traffic counters one engine run accumulates.
+
+    ``bytes_read`` counts blob bytes served from the cache (hits);
+    ``bytes_written`` counts blob bytes stored on misses.  Both refer
+    to artifact payloads, not filesystem overhead.
+    """
 
     hits: int = 0
     misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
 
 
 class ArtifactCache:
@@ -154,11 +163,15 @@ class ArtifactCache:
         if blob is not None:
             if stats is not None:
                 stats.hits += 1
+                stats.bytes_read += len(blob)
             return _decode_bitstream(spec, blob)
         if stats is not None:
             stats.misses += 1
         bitstream = generate_bitstream(spec)
-        self.put(key, _encode_bitstream(bitstream))
+        encoded = _encode_bitstream(bitstream)
+        self.put(key, encoded)
+        if stats is not None:
+            stats.bytes_written += len(encoded)
         return bitstream
 
     # -- compressed payloads ------------------------------------------
@@ -180,6 +193,7 @@ class ArtifactCache:
         if blob is not None:
             if stats is not None:
                 stats.hits += 1
+                stats.bytes_read += len(blob)
             (original_size,) = struct.unpack_from(">I", blob, 0)
             return CompressionResult(codec_name=codec_name,
                                      original_size=original_size,
@@ -188,7 +202,10 @@ class ArtifactCache:
             stats.misses += 1
         raw = self.load_bitstream(spec).raw_bytes
         compressed = codec_by_name(codec_name).compress(raw)
-        self.put(key, struct.pack(">I", len(raw)) + compressed)
+        encoded = struct.pack(">I", len(raw)) + compressed
+        self.put(key, encoded)
+        if stats is not None:
+            stats.bytes_written += len(encoded)
         return CompressionResult(codec_name=codec_name,
                                  original_size=len(raw),
                                  compressed_size=len(compressed))
@@ -196,19 +213,30 @@ class ArtifactCache:
     # -- run records --------------------------------------------------
 
     def load_record(self, params: Dict[str, Any],
+                    stats: Optional[CacheStats] = None,
                     ) -> Optional[Dict[str, Any]]:
-        """A finished run record for ``params``, or ``None``."""
+        """A finished run record for ``params``, or ``None``.
+
+        Hit/miss accounting stays with the caller (the engine counts a
+        record miss only once per cell); ``stats`` only accumulates
+        the byte traffic.
+        """
         blob = self.get(artifact_key(params))
         if blob is None:
             return None
+        if stats is not None:
+            stats.bytes_read += len(blob)
         return json.loads(blob.decode("utf-8"))
 
     def store_record(self, params: Dict[str, Any],
-                     record: Dict[str, Any]) -> None:
+                     record: Dict[str, Any],
+                     stats: Optional[CacheStats] = None) -> None:
         """Store a run record (floats survive the JSON round trip
         exactly — ``repr`` is shortest-roundtrip in Python 3)."""
         blob = json.dumps(record, sort_keys=True).encode("utf-8")
         self.put(artifact_key(params), blob)
+        if stats is not None:
+            stats.bytes_written += len(blob)
 
 
 def _encode_bitstream(bitstream: PartialBitstream) -> bytes:

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 from typing import List
 
 from repro.analysis.report import render_table
@@ -25,6 +24,15 @@ from repro.sweep.engine import SweepEngine, SweepResult
 from repro.sweep.spec import GRIDS
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _human_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{count} B" if unit == "B" else f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{count} B"
 
 
 def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
@@ -39,6 +47,9 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the artifact cache")
     parser.add_argument("--json", default=None, metavar="FILE",
                         help="also write results as JSON to FILE")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect per-worker metrics registries, "
+                             "merge them and print the roll-up")
 
 
 def _result_rows(results: List[SweepResult]) -> List[List[object]]:
@@ -57,13 +68,9 @@ def _result_rows(results: List[SweepResult]) -> List[List[object]]:
 def run_sweep(args: argparse.Namespace) -> int:
     grid = GRIDS[args.grid]
     cache_dir = None if args.no_cache else args.cache_dir
-    engine = SweepEngine(grid, jobs=args.jobs, cache_dir=cache_dir)
-
-    # Wall-clock here times the host-side engine (cache + process
-    # fan-out), not simulated behaviour; results never depend on it.
-    started = time.perf_counter()  # repro-lint: disable=D101
+    engine = SweepEngine(grid, jobs=args.jobs, cache_dir=cache_dir,
+                         collect_metrics=getattr(args, "metrics", False))
     results = engine.run()
-    elapsed = time.perf_counter() - started  # repro-lint: disable=D101
 
     value_header = ("MB/s" if grid.workload == "reconfigure"
                     else "ratio %")
@@ -75,9 +82,19 @@ def run_sweep(args: argparse.Namespace) -> int:
         title=f"sweep {grid.name} -- {grid.description}"))
     cache_note = ("cache off" if cache_dir is None else
                   f"cache {cache_dir}: {engine.stats.hits} hits, "
-                  f"{engine.stats.misses} misses")
-    print(f"\n{len(results)} cells in {elapsed:.2f} s "
-          f"(-j {engine.jobs}; {cache_note})")
+                  f"{engine.stats.misses} misses, "
+                  f"{_human_bytes(engine.stats.bytes_read)} read, "
+                  f"{_human_bytes(engine.stats.bytes_written)} written")
+    print(f"\n{len(results)} cells in {engine.wall_s:.2f} s "
+          f"(-j {engine.jobs}, {engine.utilization * 100:.0f}% "
+          f"fan-out utilisation; {cache_note})")
+
+    if getattr(args, "metrics", False):
+        rows = engine.registry.rows(include_wall=False)
+        print()
+        print(render_table(["metric", "kind", "value"], rows,
+                           title="merged worker metrics "
+                                 "(deterministic for any -j)"))
 
     if args.json:
         with open(args.json, "w") as handle:

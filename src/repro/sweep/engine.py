@@ -33,6 +33,9 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.bandwidth import BandwidthPoint
 from repro.errors import ReproError
+from repro.obs import install as obs_install
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import Timer, WallProfiler
 from repro.sweep.cache import (
     ArtifactCache,
     CACHE_FORMAT_VERSION,
@@ -125,7 +128,7 @@ def execute_spec(spec: RunSpec, cache_root: Optional[str] = None,
     cache = ArtifactCache(cache_root) if cache_root else None
     params = _record_params(spec) if cache else None
     if cache is not None:
-        record = cache.load_record(params)
+        record = cache.load_record(params, stats)
         if record is not None:
             stats.hits += 1
             return SweepResult.from_record(record), stats
@@ -178,8 +181,42 @@ def execute_spec(spec: RunSpec, cache_root: Optional[str] = None,
         )
 
     if cache is not None:
-        cache.store_record(params, result.to_record())
+        cache.store_record(params, result.to_record(), stats)
     return result, stats
+
+
+def _execute_cell(spec: RunSpec, cache_root: Optional[str] = None,
+                  collect_metrics: bool = False,
+                  ) -> Tuple[SweepResult, CacheStats,
+                             Optional[Dict[str, Any]], float]:
+    """One cell plus its telemetry; module-level for worker pickling.
+
+    With ``collect_metrics`` a fresh :class:`MetricsRegistry` is
+    installed as the process registry for the duration of the cell, so
+    the controllers and kernel instrument into it; the cell returns
+    the registry's deterministic snapshot for the parent to merge.
+    The wall duration is always measured (it is host telemetry,
+    reported separately and never merged into deterministic state).
+    """
+    registry = MetricsRegistry() if collect_metrics else None
+    if registry is not None:
+        obs_install(registry=registry)
+    try:
+        with Timer() as timer:
+            result, stats = execute_spec(spec, cache_root=cache_root)
+    finally:
+        if registry is not None:
+            obs_install()
+    snapshot: Optional[Dict[str, Any]] = None
+    if registry is not None:
+        registry.counter("sweep.cells").inc()
+        registry.counter("sweep.cache.hits").inc(stats.hits)
+        registry.counter("sweep.cache.misses").inc(stats.misses)
+        registry.counter("sweep.cache.bytes_read").inc(stats.bytes_read)
+        registry.counter("sweep.cache.bytes_written").inc(
+            stats.bytes_written)
+        snapshot = registry.snapshot()
+    return result, stats, snapshot, timer.elapsed_s
 
 
 class SweepEngine:
@@ -192,7 +229,8 @@ class SweepEngine:
 
     def __init__(self, grid: Union[SweepGrid, Iterable[RunSpec]],
                  jobs: int = 1,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 collect_metrics: bool = False) -> None:
         if isinstance(grid, SweepGrid):
             self._specs = grid.expand()
         else:
@@ -204,7 +242,17 @@ class SweepEngine:
                 f"duplicate sweep cells: {', '.join(sorted(duplicates))}")
         self.jobs = max(1, int(jobs))
         self.cache_dir = cache_dir
+        self.collect_metrics = collect_metrics
         self.stats = CacheStats()
+        #: Merged per-worker metrics from the last :meth:`run`.  The
+        #: deterministic part (``snapshot(include_wall=False)``) is
+        #: identical for every worker count; ``wall.*`` entries carry
+        #: host timings on top.
+        self.registry = MetricsRegistry()
+        self.wall_s = 0.0
+        #: Fraction of the fan-out's wall-clock capacity spent inside
+        #: cells: sum(cell durations) / (elapsed * jobs).
+        self.utilization = 0.0
 
     @property
     def specs(self) -> List[RunSpec]:
@@ -212,17 +260,32 @@ class SweepEngine:
 
     def run(self) -> List[SweepResult]:
         """Execute every cell; deterministic result order by key."""
-        worker = partial(execute_spec, cache_root=self.cache_dir)
+        worker = partial(_execute_cell, cache_root=self.cache_dir,
+                         collect_metrics=self.collect_metrics)
         self.stats = CacheStats()
-        if self.jobs == 1 or len(self._specs) <= 1:
-            outcomes = [worker(spec) for spec in self._specs]
-        else:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                outcomes = list(pool.map(worker, self._specs))
+        self.registry = MetricsRegistry()
+        with Timer() as timer:
+            if self.jobs == 1 or len(self._specs) <= 1:
+                outcomes = [worker(spec) for spec in self._specs]
+            else:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    outcomes = list(pool.map(worker, self._specs))
+        self.wall_s = timer.elapsed_s
+        profiler = WallProfiler(self.registry)
         results = []
-        for result, stats in outcomes:
+        busy_s = 0.0
+        # `pool.map` preserves spec order, so the merge below folds
+        # snapshots in the same (deterministic) order on every run;
+        # the merge is commutative anyway, so -jN cannot change it.
+        for result, stats, snapshot, cell_wall_s in outcomes:
             results.append(result)
             self.stats.merge(stats)
+            if snapshot is not None:
+                self.registry.merge_snapshot(snapshot)
+            profiler.record_s("sweep.cell", cell_wall_s)
+            busy_s += cell_wall_s
+        if self.wall_s > 0 and self._specs:
+            self.utilization = busy_s / (self.wall_s * self.jobs)
         results.sort(key=lambda result: result.key)
         return results
 

@@ -1,0 +1,12 @@
+"""Fixture: D104 clock-import violations."""
+
+import time  # ok: unaliased module import, D101 watches the call sites
+import time as walltime  # aliased module import hides t.perf_counter()
+from time import perf_counter  # binds a clock callable
+from time import monotonic as mono  # aliased clock callable
+from time import sleep  # ok: not a clock read
+from time import process_time  # repro-lint: disable=D104
+
+
+def measure():
+    return walltime, perf_counter, mono, sleep, process_time, time

@@ -27,6 +27,7 @@ def test_each_rule_fixture_exits_one(capsys):
         "D101": "d101_wall_clock.py",
         "D102": "d102_unseeded_random.py",
         "D103": "d103_unordered_iteration.py",
+        "D104": "d104_clock_import.py",
         "E201": "e201_loop_capture.py",
         "E202": "e202_manual_fire.py",
         "E203": "e203_use_after_cancel.py",

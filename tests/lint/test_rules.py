@@ -16,6 +16,7 @@ RULE_CASES = [
     ("u003_frequency_math.py", "U003", [5, 6]),
     ("d101_wall_clock.py", "D101", [8, 9]),
     ("d102_unseeded_random.py", "D102", [8, 9, 10]),
+    ("d104_clock_import.py", "D104", [4, 5, 6]),
     ("d103_unordered_iteration.py", "D103", [5, 7, 8]),
     ("e201_loop_capture.py", "E201", [6]),
     ("e202_manual_fire.py", "E202", [5]),

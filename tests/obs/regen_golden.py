@@ -1,0 +1,24 @@
+"""Regenerate the golden Chrome trace after an intentional sim change.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m tests.obs.regen_golden
+"""
+
+import io
+
+from repro import obs
+
+from tests.obs.test_export import GOLDEN, traced_small_run
+
+
+def main() -> None:
+    buffer = io.StringIO()
+    count = obs.write_chrome_trace(traced_small_run(), buffer)
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(buffer.getvalue())
+    print(f"wrote {count} events -> {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Trace exporters: golden Chrome trace, NDJSON, summaries.
+
+The golden file pins the full exported byte stream of a small traced
+UPaRC run.  Because every timestamp is simulated picoseconds, the
+trace is a pure function of the workload — any drift means either the
+simulation changed (update the baselines deliberately) or tracing
+stopped being deterministic (a bug).
+
+Regenerate after an intentional simulation change with::
+
+    PYTHONPATH=src python tests/obs/regen_golden.py
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.bitstream.generator import generate_bitstream
+from repro.core.system import UPaRCSystem
+from repro.core.urec import OperationMode
+from repro.units import DataSize
+
+GOLDEN = Path(__file__).resolve().parent / "golden" / "small_run_trace.json"
+
+
+def traced_small_run() -> obs.Tracer:
+    """One compressed 6.5 KB reconfiguration with tracing on."""
+    with obs.observed(trace=True) as observation:
+        system = UPaRCSystem()
+        bitstream = generate_bitstream(size=DataSize.from_kb(6.5),
+                                       seed=2012)
+        system.run(bitstream, mode=OperationMode.COMPRESSED)
+    return observation.tracer
+
+
+@pytest.fixture(scope="module")
+def trace_text():
+    buffer = io.StringIO()
+    obs.write_chrome_trace(traced_small_run(), buffer)
+    return buffer.getvalue()
+
+
+def test_chrome_trace_matches_golden(trace_text):
+    assert trace_text == GOLDEN.read_text()
+
+
+def test_trace_is_deterministic(trace_text):
+    again = io.StringIO()
+    obs.write_chrome_trace(traced_small_run(), again)
+    assert again.getvalue() == trace_text
+
+
+def test_trace_covers_every_layer(trace_text):
+    events = json.loads(trace_text)["traceEvents"]
+    span_names = {e["name"] for e in events if e["ph"] == "X"}
+    # kernel, controller state machine, power tracks, urec and the
+    # decompressor all show up in one compressed run.
+    assert {"kernel.run", "manager.control", "chain.active",
+            "decompressor.active", "decompressor.stream", "urec.run",
+            "urec.header"} <= span_names
+    counter_names = {e["name"] for e in events if e["ph"] == "C"}
+    assert "kernel.queue_depth" in counter_names
+    labels = {e["args"]["name"] for e in events
+              if e["ph"] == "M" and e["name"] == "process_name"}
+    assert any(label.startswith("uparc:") for label in labels)
+
+
+def test_span_timestamps_are_microseconds(trace_text):
+    events = json.loads(trace_text)["traceEvents"]
+    # Preload and reconfigure each run the kernel once.
+    runs = [e for e in events if e["name"] == "kernel.run"]
+    assert len(runs) == 2
+    # A 6.5 KB transfer takes tens of microseconds of simulated time.
+    assert all(1.0 < run["dur"] < 1e5 for run in runs)
+
+
+def test_write_and_load_round_trip(tmp_path, trace_text):
+    tracer = traced_small_run()
+    path = tmp_path / "trace.json"
+    count = obs.write_chrome_trace(tracer, str(path))
+    events = obs.load_chrome_trace(str(path))
+    assert len(events) == count
+    assert events == json.loads(trace_text)["traceEvents"]
+
+
+def test_load_accepts_bare_event_array(tmp_path):
+    path = tmp_path / "bare.json"
+    payload = [{"ph": "X", "name": "a", "ts": 0.0, "dur": 1.0}]
+    path.write_text(json.dumps(payload))
+    assert obs.load_chrome_trace(str(path)) == payload
+
+
+def test_ndjson_one_record_per_line(tmp_path):
+    tracer = traced_small_run()
+    path = tmp_path / "trace.ndjson"
+    count = obs.write_ndjson(tracer, str(path))
+    lines = path.read_text().splitlines()
+    assert len(lines) == count == len(tracer)
+    records = [json.loads(line) for line in lines]
+    assert {record["kind"] for record in records} == {"span", "counter"}
+    spans = [r for r in records if r["kind"] == "span"]
+    assert all(r["end_ps"] >= r["start_ps"] for r in spans)
+
+
+def test_summary_rolls_up_spans_and_counters(trace_text):
+    events = json.loads(trace_text)["traceEvents"]
+    summary = obs.summarize_events(events)
+    assert "kernel.run" in summary
+    assert "manager.control" in summary
+    assert "kernel.queue_depth" in summary
+    assert "mean_ns" in summary
+
+
+def test_summary_of_empty_trace():
+    assert obs.summarize_events([]) == "(empty trace)"

@@ -1,0 +1,70 @@
+"""End-to-end wiring: systems constructed under ``observed`` report.
+
+These tests exercise the same path the CLI's ``--trace``/``--metrics``
+flags use: flip the process-wide collectors on, build a system, run,
+and read the telemetry back out.
+"""
+
+from repro import obs
+from repro.bitstream.generator import generate_bitstream
+from repro.core.system import UPaRCSystem
+from repro.units import DataSize, Frequency
+
+
+def _small_bitstream():
+    return generate_bitstream(size=DataSize.from_kb(6.5), seed=2012)
+
+
+def test_unobserved_system_has_no_kernel_observer():
+    assert obs.current_tracer() is None
+    assert not obs.current_registry().enabled
+    system = UPaRCSystem(decompressor=None)
+    assert system.sim.observer is None
+    assert not system.scope.recording
+
+
+def test_observed_metrics_count_real_work():
+    with obs.observed(metrics=True) as observation:
+        system = UPaRCSystem(decompressor=None)
+        result = system.run(_small_bitstream(),
+                            frequency=Frequency.from_mhz(100))
+    counters = observation.registry.snapshot()["counters"]
+    assert counters["system.reconfigurations"] == 1
+    assert counters["system.preloads"] == 1
+    assert counters["icap.words_written"] == result.words_delivered
+    assert counters["icap.frames_written"] == result.frames_written
+    assert counters["kernel.events_dispatched"] > 0
+
+
+def test_observed_metrics_are_deterministic():
+    def run_once():
+        with obs.observed(metrics=True) as observation:
+            UPaRCSystem(decompressor=None).run(_small_bitstream())
+        return observation.registry.snapshot()
+
+    assert run_once() == run_once()
+
+
+def test_observed_restores_previous_collectors():
+    before = (obs.current_tracer(), obs.current_registry())
+    with obs.observed(trace=True, metrics=True):
+        assert obs.current_tracer() is not None
+        assert obs.current_registry().enabled
+    assert (obs.current_tracer(), obs.current_registry()) == before
+
+
+def test_observation_survives_block_exit_for_export():
+    with obs.observed(trace=True) as observation:
+        UPaRCSystem(decompressor=None).run(_small_bitstream())
+    # Collectors stay readable after the block restores the globals.
+    assert len(observation.tracer.spans) > 0
+    assert obs.current_tracer() is None
+
+
+def test_tracing_does_not_change_results():
+    plain = UPaRCSystem(decompressor=None).run(_small_bitstream())
+    with obs.observed(trace=True, metrics=True):
+        traced = UPaRCSystem(decompressor=None).run(_small_bitstream())
+    assert traced.duration_ps == plain.duration_ps
+    assert traced.payload_crc == plain.payload_crc
+    assert traced.frames_written == plain.frames_written
