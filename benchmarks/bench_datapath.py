@@ -1,0 +1,194 @@
+"""Datapath kernel benchmark: pure vs numpy backend, byte-checked.
+
+Times every :mod:`repro.accel` kernel pair on realistic inputs (the
+payload of a generated partial bitstream) plus one end-to-end mode-ii
+reconfiguration, and verifies on the fly that both backends return
+byte-identical results — a speedup measured on diverging outputs is
+meaningless.
+
+Standalone on purpose (pytest imports this module when collecting
+``benchmarks/`` but finds no tests): the CI quick job and the
+committed ``BENCH_datapath.json`` both come from::
+
+    PYTHONPATH=src python benchmarks/bench_datapath.py \
+        --backend both --output BENCH_datapath.json
+
+``--quick`` shrinks payloads and repeats for a smoke-level run;
+``--backend pure`` works on a numpy-free install (it simply skips the
+comparison columns).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import accel
+from repro.bitstream.generator import (
+    BitstreamSpec,
+    _FrameSynthesizer,
+    generate_bitstream,
+)
+from repro.obs.profiling import Timer
+from repro.units import DataSize, Frequency
+
+PAYLOAD_KB = 216.5      # the paper's power/energy campaign size
+QUICK_KB = 24.0
+SEED = 2012
+
+
+def _bench(func: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """(best elapsed seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        with Timer() as timer:
+            result = func()
+        best = min(best, timer.elapsed_s)
+    return best, result
+
+
+def _kernel_cases(size_kb: float) -> List[Tuple[str, Callable[[], object]]]:
+    """Named closures, each exercising one accel kernel on real data.
+
+    Every closure reads the *active* backend at call time, so the same
+    case list is timed once per backend selection.
+    """
+    spec = BitstreamSpec(size=DataSize.from_kb(size_kb), seed=SEED)
+    bitstream = generate_bitstream(spec)
+    payload = bitstream.frame_payload
+    words = accel.bytes_to_words(payload)
+    word_count = len(words)
+    frame_words = spec.device.frame_words
+
+    synthesizer = _FrameSynthesizer(spec)
+    plan = synthesizer.plan(word_count // frame_words)
+
+    # Match-search inputs shaped like the LZ chain walk: for a window
+    # position deep in the payload, candidate offsets that share its
+    # leading bytes (plus noise), as the hash chains would yield.
+    rng = random.Random(SEED)
+    position = len(payload) // 2
+    limit = min(255, len(payload) - position)
+    prefix = payload[position:position + 3]
+    matchers = [offset for offset in range(max(0, position - 65536), position)
+                if payload[offset:offset + 3] == prefix]
+    candidates = (matchers or [0]) * 4
+    candidates = rng.sample(candidates, min(len(candidates), 64))
+
+    return [
+        ("synthesize_payload",
+         lambda: accel.active().synthesize_payload(plan)),
+        ("crc32c",
+         lambda: accel.active().crc32c(payload)),
+        ("words_to_bytes",
+         lambda: accel.active().words_to_bytes(words)),
+        ("bytes_to_words",
+         lambda: accel.active().bytes_to_words(payload)),
+        ("equal_word_runs",
+         lambda: accel.active().equal_word_runs(payload, word_count)),
+        ("zero_word_runs",
+         lambda: accel.active().zero_word_runs(payload, word_count)),
+        ("match_lengths",
+         lambda: accel.active().match_lengths(
+             payload, candidates, position, limit)),
+        ("chunk_words",
+         lambda: accel.active().chunk_words(words, 0, frame_words)),
+        ("rle_compress",
+         lambda: _rle_compress(payload)),
+    ]
+
+
+def _rle_compress(payload: bytes) -> bytes:
+    from repro.compress import RleCodec
+    return RleCodec().compress(payload)
+
+
+def _mode_ii_run(size_kb: float) -> int:
+    """One generate + compressed-preload reconfiguration; duration ps."""
+    from repro.core.system import UPaRCSystem
+    from repro.core.urec import OperationMode
+    bitstream = generate_bitstream(size=DataSize.from_kb(size_kb),
+                                   seed=SEED)
+    result = UPaRCSystem().run(bitstream,
+                               frequency=Frequency.from_mhz(255),
+                               mode=OperationMode.COMPRESSED)
+    assert result.verified
+    return result.duration_ps
+
+
+def run_suite(backends: List[str], size_kb: float,
+              repeats: int) -> Dict[str, object]:
+    kernels: Dict[str, Dict[str, float]] = {}
+    end_to_end: Dict[str, float] = {}
+    reference: Dict[str, object] = {}
+
+    for backend in backends:
+        with accel.using(backend):
+            assert accel.backend_name() == backend
+            for name, func in _kernel_cases(size_kb):
+                elapsed, result = _bench(func, repeats)
+                kernels.setdefault(name, {})[backend + "_s"] = elapsed
+                if name in reference:
+                    # The whole point: backends must agree bytewise.
+                    assert reference[name] == result, (
+                        f"backend divergence in {name}")
+                else:
+                    reference[name] = result
+            elapsed, _ = _bench(lambda: _mode_ii_run(size_kb),
+                                max(1, repeats - 1))
+            end_to_end[backend + "_s"] = elapsed
+
+    if len(backends) == 2:
+        pure_name, fast_name = backends
+        for row in kernels.values():
+            row["speedup"] = round(
+                row[pure_name + "_s"] / row[fast_name + "_s"], 2)
+        end_to_end["speedup"] = round(
+            end_to_end[pure_name + "_s"] / end_to_end[fast_name + "_s"], 2)
+
+    return {
+        "payload_kb": size_kb,
+        "repeats": repeats,
+        "backends": backends,
+        "kernels": kernels,
+        "end_to_end": {"mode_ii_generate_and_reconfigure": end_to_end},
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backend", choices=("pure", "numpy", "both"),
+                        default="both")
+    parser.add_argument("--quick", action="store_true",
+                        help="small payload, fewer repeats (CI smoke)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    backends = ["pure", "numpy"] if args.backend == "both" \
+        else [args.backend]
+    if "numpy" in backends and not accel.numpy_available():
+        if args.backend == "numpy":
+            print("numpy backend requested but numpy is not installed",
+                  file=sys.stderr)
+            return 2
+        backends = ["pure"]
+
+    size_kb = QUICK_KB if args.quick else PAYLOAD_KB
+    repeats = 2 if args.quick else 5
+    report = run_suite(backends, size_kb, repeats)
+
+    blob = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(blob + "\n")
+    print(blob)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""repro.accel: swappable datapath backends for the hot kernels.
+
+The simulation's datapath cost is concentrated in a handful of
+operations: synthesising frame payloads, bulk word<->byte packing,
+CRC-32C folding, splitting FDRI payloads into frames, and the byte
+scan/match loops inside the compression codecs.  This package exposes
+those operations as a small kernel API with two interchangeable
+implementations:
+
+* :mod:`repro.accel.pure` — tuned stdlib Python, always available,
+  and the semantic reference;
+* :mod:`repro.accel.numpy_backend` — vectorised numpy, used
+  automatically when numpy is importable.
+
+The backends are **byte-identical**: every golden digest, cache key
+and compressed stream is the same whichever backend runs, so backend
+choice is purely a speed decision and never enters sweep cache keys.
+
+Selection precedence: an explicit :func:`select` (the CLI's
+``--backend`` flag) wins over the ``REPRO_BACKEND`` environment
+variable, which wins over auto-detection (numpy if importable, else
+pure).  Kernel dispatches record ``accel.<backend>.<kernel>.calls`` /
+``.bytes`` counters in the active :mod:`repro.obs` metrics registry,
+so an observed run shows which backend served it and how much data
+each kernel moved.
+
+numpy itself may only be imported inside this package (lint rule
+A601); everything else goes through the dispatch functions below or
+through :func:`active` for per-call-site inner loops.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from types import ModuleType
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.accel import pure
+from repro.accel.plan import SynthesisPlan
+from repro.errors import AccelError
+from repro.obs import current_registry
+
+__all__ = [
+    "BACKEND_ENV",
+    "SynthesisPlan",
+    "active",
+    "available_backends",
+    "backend_name",
+    "bytes_to_words",
+    "chunk_words",
+    "crc32c",
+    "equal_word_runs",
+    "match_lengths",
+    "numpy_available",
+    "record",
+    "select",
+    "synthesize_payload",
+    "using",
+    "words_to_bytes",
+    "zero_word_runs",
+]
+
+BACKEND_ENV = "REPRO_BACKEND"
+_BACKEND_NAMES = ("pure", "numpy")
+
+_forced: Optional[str] = None       # select()/CLI override, resolved name
+_active: Optional[ModuleType] = None
+_active_name = "pure"
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend could be loaded."""
+    try:
+        import numpy  # noqa: F401  (availability probe only)
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> List[str]:
+    """Backend names loadable in this environment, pure first."""
+    names = ["pure"]
+    if numpy_available():
+        names.append("numpy")
+    return names
+
+
+def _load(name: str) -> ModuleType:
+    if name == "pure":
+        return pure
+    if name == "numpy":
+        try:
+            from repro.accel import numpy_backend
+        except ImportError as exc:
+            raise AccelError(
+                "backend 'numpy' requested but numpy is not installed "
+                "(pip install repro-uparc[accel])"
+            ) from exc
+        return numpy_backend
+    raise AccelError(
+        f"unknown accel backend {name!r}; "
+        f"choose from {('auto',) + _BACKEND_NAMES}"
+    )
+
+
+def _resolve() -> ModuleType:
+    """Load and cache the backend chosen by the selection precedence."""
+    global _active, _active_name
+    if _active is not None:
+        return _active
+    name = _forced
+    if name is None:
+        env = os.environ.get(BACKEND_ENV, "").strip()
+        if env and env != "auto":
+            if env not in _BACKEND_NAMES:
+                raise AccelError(
+                    f"{BACKEND_ENV}={env!r} is not a valid backend; "
+                    f"choose from {('auto',) + _BACKEND_NAMES}"
+                )
+            name = env
+    if name is None:
+        name = "numpy" if numpy_available() else "pure"
+    module = _load(name)
+    _active = module
+    _active_name = name
+    return module
+
+
+def active() -> ModuleType:
+    """The resolved backend module (for per-call-site inner loops)."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    return backend
+
+
+def backend_name() -> str:
+    """Resolved backend name (``pure`` or ``numpy``)."""
+    if _active is None:
+        _resolve()
+    return _active_name
+
+
+def select(name: Optional[str]) -> str:
+    """Force a backend by name; returns the resolved backend name.
+
+    ``None`` or ``"auto"`` clears any previous force and re-runs the
+    normal precedence (environment variable, then auto-detection).
+    Requesting ``"numpy"`` without numpy installed raises
+    :class:`~repro.errors.AccelError`.
+    """
+    global _forced, _active
+    if name not in (None, "auto") and name not in _BACKEND_NAMES:
+        raise AccelError(
+            f"unknown accel backend {name!r}; "
+            f"choose from {('auto',) + _BACKEND_NAMES}"
+        )
+    _forced = None if name in (None, "auto") else name
+    _active = None
+    return backend_name()
+
+
+@contextmanager
+def using(name: Optional[str]) -> Iterator[str]:
+    """Temporarily select a backend (tests and benchmarks)."""
+    saved = (_forced, _active, _active_name)
+    try:
+        yield select(name)
+    finally:
+        _restore(saved)
+
+
+def _restore(saved: Tuple[Optional[str], Optional[ModuleType], str]) -> None:
+    global _forced, _active, _active_name
+    _forced, _active, _active_name = saved
+
+
+def record(kernel: str, data_bytes: int, calls: int = 1) -> None:
+    """Count a kernel use in the active metrics registry.
+
+    No-op unless a registry is installed.  Call sites that invoke a
+    backend kernel in a tight inner loop (the LZ match search) record
+    one aggregate here per outer operation instead of per call.
+    """
+    registry = current_registry()
+    if not registry.enabled:
+        return
+    prefix = f"accel.{_active_name}.{kernel}"
+    registry.counter(prefix + ".calls").inc(calls)
+    registry.counter(prefix + ".bytes").inc(data_bytes)
+
+
+# -- dispatch ---------------------------------------------------------
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC-32C (Castagnoli) over ``data``, chained through ``crc``."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("crc32c", len(data))
+    return backend.crc32c(data, crc)
+
+
+def words_to_bytes(words: Sequence[int]) -> bytes:
+    """Big-endian 32-bit word serialization."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("words_to_bytes", 4 * len(words))
+    return backend.words_to_bytes(words)
+
+
+def bytes_to_words(data: bytes) -> List[int]:
+    """Big-endian 32-bit word deserialization."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("bytes_to_words", len(data))
+    return backend.bytes_to_words(data)
+
+
+def synthesize_payload(plan: SynthesisPlan) -> bytes:
+    """Materialise a :class:`SynthesisPlan` into packed payload bytes."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("synthesize_payload", 4 * plan.total_words)
+    return backend.synthesize_payload(plan)
+
+
+def equal_word_runs(data: bytes, word_count: int) -> List[int]:
+    """Lengths of maximal equal-word runs (see the pure reference)."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("equal_word_runs", 4 * word_count)
+    return backend.equal_word_runs(data, word_count)
+
+
+def zero_word_runs(data: bytes,
+                   word_count: int) -> Tuple[List[int], List[int]]:
+    """Starts and lengths of maximal zero-word runs."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("zero_word_runs", 4 * word_count)
+    return backend.zero_word_runs(data, word_count)
+
+
+def match_lengths(data: bytes, candidates: Sequence[int],
+                  position: int, limit: int) -> List[int]:
+    """Match length at ``position`` per candidate (early limit break).
+
+    Inner-loop callers should fetch :func:`active` once and call the
+    backend directly, recording an aggregate with :func:`record`.
+    """
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    return backend.match_lengths(data, candidates, position, limit)
+
+
+def chunk_words(block: Sequence[int], offset: int,
+                frame_words: int) -> Tuple[List[List[int]], List[int]]:
+    """Split ``block[offset:]`` into full frames plus the tail."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("chunk_words", 4 * max(0, len(block) - offset))
+    return backend.chunk_words(block, offset, frame_words)

@@ -1,0 +1,213 @@
+"""Vectorised numpy backend for the datapath kernels.
+
+Byte-identical to :mod:`repro.accel.pure` by construction — both
+backends compute the same functions; this one replaces Python-level
+loops with array ops.  Each kernel keeps an internal size threshold
+below which it delegates to the pure implementation: numpy's per-call
+overhead makes it *slower* than the tuned stdlib forms on small
+inputs, and delegating is output-identical so the switch is invisible.
+
+Kernel notes:
+
+* ``crc32c`` folds 64-byte chunks in parallel: ``_TABS[d][b]`` is the
+  CRC contribution of byte ``b`` followed by ``d`` zero bytes, so one
+  table-gather pass per chunk column yields every chunk's raw CRC at
+  once; chunk CRCs are then combined pairwise with cached
+  "advance-by-N-zero-bytes" GF(2) matrices (a log-depth tree).  The
+  initial register is folded by XORing its four little-endian bytes
+  into the first real data bytes — raw CRC from state 0 ignores
+  leading zeros, which also makes front-padding to a power-of-two
+  chunk count free.
+* ``synthesize_payload`` views the plan's typed arrays zero-copy,
+  expands ops with ``np.repeat``, and resolves copy-from-previous-
+  frame references by peeling chains on the copy-owned subset: each
+  pass steps every still-unresolved source back one frame, and the
+  working set shrinks as chains bottom out on filled words.
+* ``words_to_bytes`` and ``chunk_words`` intentionally delegate to
+  the pure backend: both take a Python ``list`` of ints, and
+  converting it into an ndarray costs more than the vector op saves
+  at every measured size, so the stdlib forms are the honest winners.
+
+numpy may only be imported inside ``repro.accel`` (lint rule A601);
+every other module reaches these kernels through the dispatch
+functions in :mod:`repro.accel`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel import pure
+from repro.accel.plan import COPY, SynthesisPlan
+
+name = "numpy"
+
+# Below these sizes the pure kernels win; outputs are identical either
+# way, so the cutovers only affect speed.  Chosen from the measured
+# crossovers on CPython 3.12 / numpy 2.x.
+_CRC_MIN_BYTES = 16384
+_SYNTH_MIN_WORDS = 4096
+_SCAN_MIN_WORDS = 64
+_MATCH_MIN_WORK = 2048
+
+_CHUNK = 64  # bytes folded per vector CRC step
+
+_T0 = np.array(pure.CRC_TABLE, dtype=np.uint32)
+
+
+def _build_chunk_tables(chunk: int) -> "np.ndarray":
+    """``tabs[d][b]``: CRC of byte ``b`` followed by ``d`` zero bytes."""
+    tabs = np.empty((chunk, 256), dtype=np.uint32)
+    cur = _T0.copy()
+    tabs[0] = cur
+    for distance in range(1, chunk):
+        cur = (cur >> np.uint32(8)) ^ _T0[cur & np.uint32(0xFF)]
+        tabs[distance] = cur
+    return tabs
+
+
+_TABS = _build_chunk_tables(_CHUNK)
+
+
+def _shift_basis(n_bytes: int) -> "np.ndarray":
+    """Columns of the "advance register by ``n_bytes`` zeros" matrix."""
+    basis = (np.uint32(1) << np.arange(32, dtype=np.uint32)).astype(np.uint32)
+    for _ in range(n_bytes):
+        basis = (basis >> np.uint32(8)) ^ _T0[basis & np.uint32(0xFF)]
+    return basis
+
+
+def _apply(cols: "np.ndarray", vec: "np.ndarray") -> "np.ndarray":
+    """GF(2) matrix–vector product, vectorised over ``vec`` entries."""
+    out = np.zeros_like(vec)
+    for bit in range(32):
+        out ^= cols[bit] * ((vec >> np.uint32(bit)) & np.uint32(1))
+    return out
+
+_LEVELS: List["np.ndarray"] = []  # [j]: shift by _CHUNK * 2**j bytes
+
+
+def _level(j: int) -> "np.ndarray":
+    while len(_LEVELS) <= j:
+        if not _LEVELS:
+            _LEVELS.append(_shift_basis(_CHUNK))
+        else:
+            prev = _LEVELS[-1]
+            _LEVELS.append(_apply(prev, prev))
+    return _LEVELS[j]
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    length = len(data)
+    # The init-register fold below needs four real data bytes.
+    if length < 4 or length < _CRC_MIN_BYTES:
+        return pure.crc32c(data, crc)
+    state = (crc ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    raw = np.frombuffer(data, dtype=np.uint8)
+    chunk_count = -(-length // _CHUNK)
+    padded = 1
+    while padded < chunk_count:
+        padded <<= 1
+    pad = padded * _CHUNK - length
+    buf = np.zeros(padded * _CHUNK, dtype=np.uint8)
+    buf[pad:] = raw
+    # Fold the initial register into the first four real bytes (the
+    # reflected CRC register maps to little-endian byte order).
+    for i in range(4):
+        buf[pad + i] ^= (state >> (8 * i)) & 0xFF
+    chunks = buf.reshape(padded, _CHUNK)
+    acc = np.zeros(padded, dtype=np.uint32)
+    for column in range(_CHUNK):
+        acc ^= _TABS[_CHUNK - 1 - column][chunks[:, column]]
+    j = 0
+    while len(acc) > 1:
+        acc = _apply(_level(j), acc[0::2]) ^ acc[1::2]
+        j += 1
+    return int(acc[0]) ^ 0xFFFFFFFF
+
+
+def words_to_bytes(words: Sequence[int]) -> bytes:
+    # struct.pack beats list->ndarray conversion at every size tried;
+    # see the module docstring.
+    return pure.words_to_bytes(words)
+
+
+def bytes_to_words(data: bytes) -> List[int]:
+    if len(data) < 1024:
+        return pure.bytes_to_words(data)
+    if len(data) % 4:
+        return pure.bytes_to_words(data)  # raises the formatting error
+    return np.frombuffer(data, dtype=">u4").tolist()
+
+
+def synthesize_payload(plan: SynthesisPlan) -> bytes:
+    if plan.total_words < _SYNTH_MIN_WORDS:
+        return pure.synthesize_payload(plan)
+    kinds = np.frombuffer(plan.kinds, dtype=np.uint8)
+    values = np.frombuffer(
+        plan.values, dtype=np.dtype("u%d" % plan.values.itemsize))
+    lengths = np.frombuffer(
+        plan.lengths, dtype=np.dtype("u%d" % plan.lengths.itemsize))
+    op_of_word = np.repeat(np.arange(len(kinds), dtype=np.intp), lengths)
+    out = values[op_of_word]  # fresh array — safe to patch in place
+    is_copy = (kinds == COPY)[op_of_word]
+    active = np.flatnonzero(is_copy)
+    if active.size:
+        # A COPY-owned word at position p sources p - frame_words
+        # (previous frame, same intra-frame offset).  Peel chains on
+        # the copy subset only: step each still-unresolved source back
+        # one frame per pass until it lands on a FILL-owned position.
+        # Pass count equals the deepest copy-of-copy chain, and the
+        # working set shrinks as chains bottom out.
+        src = active - plan.frame_words
+        deeper = is_copy[src]
+        while bool(deeper.any()):
+            src[deeper] -= plan.frame_words
+            deeper[deeper] = is_copy[src[deeper]]
+        out[active] = out[src]
+    return out.astype(">u4").tobytes()
+
+
+def equal_word_runs(data: bytes, word_count: int) -> List[int]:
+    if word_count <= 0 or word_count < _SCAN_MIN_WORDS:
+        return pure.equal_word_runs(data, word_count)
+    words = np.frombuffer(data, dtype=">u4", count=word_count)
+    boundaries = np.flatnonzero(words[1:] != words[:-1])
+    return np.diff(
+        np.concatenate(((-1,), boundaries, (word_count - 1,)))).tolist()
+
+
+def zero_word_runs(data: bytes,
+                   word_count: int) -> Tuple[List[int], List[int]]:
+    if word_count < _SCAN_MIN_WORDS:
+        return pure.zero_word_runs(data, word_count)
+    words = np.frombuffer(data, dtype=">u4", count=word_count)
+    flags = np.concatenate((
+        (False,), words == 0, (False,))).astype(np.int8)
+    edges = np.flatnonzero(np.diff(flags))
+    starts = edges[0::2]
+    return starts.tolist(), (edges[1::2] - starts).tolist()
+
+
+def match_lengths(data: bytes, candidates: Sequence[int],
+                  position: int, limit: int) -> List[int]:
+    count = len(candidates)
+    if count * limit < _MATCH_MIN_WORK:
+        return pure.match_lengths(data, candidates, position, limit)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    starts = np.asarray(candidates, dtype=np.intp)
+    window = raw[starts[:, None] + np.arange(limit, dtype=np.intp)]
+    equal = window == raw[position:position + limit]
+    runs = np.where(equal.all(axis=1), limit, equal.argmin(axis=1))
+    at_limit = np.flatnonzero(runs == limit)
+    if at_limit.size:
+        return runs[:int(at_limit[0]) + 1].tolist()
+    return runs.tolist()
+
+
+def chunk_words(block: Sequence[int], offset: int,
+                frame_words: int) -> Tuple[List[List[int]], List[int]]:
+    # List->ndarray conversion dominates; see the module docstring.
+    return pure.chunk_words(block, offset, frame_words)

@@ -1,0 +1,205 @@
+"""Pure-Python reference backend for the datapath kernels.
+
+Every kernel here is the *definition* of its operation: the numpy
+backend must reproduce these outputs byte-for-byte, and the
+cross-backend equivalence tests enforce that.  The implementations are
+the tuned stdlib forms that previously lived inline in the bitstream
+and compress modules (slicing-by-8 CRC, bulk ``struct`` packing,
+slice-compare scan loops), so selecting this backend is never a
+regression over the pre-accel code.
+
+This module must stay importable with no third-party dependencies and
+must not import from ``repro.bitstream`` (those modules dispatch into
+``repro.accel``, so importing them back would be a cycle).  Only
+``repro.errors`` is allowed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from repro.errors import BitstreamFormatError
+
+from repro.accel.plan import COPY, SynthesisPlan
+
+name = "pure"
+
+_POLY_REFLECTED = 0x82F63B78  # CRC-32C (Castagnoli), reflected form
+
+
+def _build_tables() -> List[List[int]]:
+    """Slicing-by-8 tables; ``tables[0]`` is the classic byte table."""
+    table0 = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY_REFLECTED
+            else:
+                crc >>= 1
+        table0.append(crc)
+    tables = [table0]
+    for _ in range(7):
+        previous = tables[-1]
+        tables.append([(previous[byte] >> 8)
+                       ^ table0[previous[byte] & 0xFF]
+                       for byte in range(256)])
+    return tables
+
+
+CRC_TABLES = _build_tables()
+CRC_TABLE = CRC_TABLES[0]  # the one-table form, used by the tail loop
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """Plain CRC-32C over a byte string (incremental via ``crc``).
+
+    The byte loop uses slicing-by-8: eight parallel tables fold eight
+    input bytes per iteration, the standard software trick for
+    multi-GB/s CRC rates.  It computes exactly the same polynomial
+    division as the one-table form (the tail loop below *is* the
+    one-table form), just with 8x fewer Python-level iterations.
+    """
+    crc ^= 0xFFFFFFFF
+    t0, t1, t2, t3, t4, t5, t6, t7 = CRC_TABLES
+    length = len(data)
+    index = 0
+    end8 = length - (length & 7)
+    while index < end8:
+        low = crc ^ (data[index]
+                     | (data[index + 1] << 8)
+                     | (data[index + 2] << 16)
+                     | (data[index + 3] << 24))
+        high = (data[index + 4]
+                | (data[index + 5] << 8)
+                | (data[index + 6] << 16)
+                | (data[index + 7] << 24))
+        crc = (t7[low & 0xFF] ^ t6[(low >> 8) & 0xFF]
+               ^ t5[(low >> 16) & 0xFF] ^ t4[low >> 24]
+               ^ t3[high & 0xFF] ^ t2[(high >> 8) & 0xFF]
+               ^ t1[(high >> 16) & 0xFF] ^ t0[high >> 24])
+        index += 8
+    while index < length:
+        crc = (crc >> 8) ^ t0[(crc ^ data[index]) & 0xFF]
+        index += 1
+    return crc ^ 0xFFFFFFFF
+
+
+def words_to_bytes(words: Sequence[int]) -> bytes:
+    """Big-endian word serialization (configuration byte order)."""
+    try:
+        return struct.pack(">%dI" % len(words), *words)
+    except struct.error:
+        for word in words:
+            if not 0 <= word < (1 << 32):
+                raise OverflowError(
+                    f"word {word:#x} does not fit in 32 bits"
+                ) from None
+        raise
+
+
+def bytes_to_words(data: bytes) -> List[int]:
+    """Big-endian word deserialization."""
+    if len(data) % 4:
+        raise BitstreamFormatError(
+            f"byte stream length {len(data)} is not word aligned"
+        )
+    return list(struct.unpack(">%dI" % (len(data) // 4), data))
+
+
+def synthesize_payload(plan: SynthesisPlan) -> bytes:
+    """Materialise a frame-synthesis plan into packed payload bytes.
+
+    COPY ops read from exactly ``frame_words`` words behind the write
+    position — the previous frame at the same intra-frame offset — so
+    an op walk over the growing output list resolves them directly.
+    """
+    out: List[int] = []
+    append = out.append
+    extend = out.extend
+    frame_words = plan.frame_words
+    for kind, value, length in zip(plan.kinds, plan.values, plan.lengths):
+        if kind == COPY:
+            start = len(out) - frame_words
+            extend(out[start:start + length])
+        elif length == 1:
+            append(value)
+        else:
+            extend([value] * length)
+    return struct.pack(">%dI" % len(out), *out)
+
+
+def equal_word_runs(data: bytes, word_count: int) -> List[int]:
+    """Lengths of maximal equal-32-bit-word runs covering the stream.
+
+    ``sum(result) == word_count``; a lone word is a run of 1.
+    """
+    runs: List[int] = []
+    append = runs.append
+    index = 0
+    while index < word_count:
+        base = data[index * 4:index * 4 + 4]
+        run = 1
+        while (index + run < word_count
+               and data[(index + run) * 4:(index + run) * 4 + 4] == base):
+            run += 1
+        append(run)
+        index += run
+    return runs
+
+
+def zero_word_runs(data: bytes,
+                   word_count: int) -> Tuple[List[int], List[int]]:
+    """Starts and lengths of maximal all-zero 32-bit-word runs."""
+    starts: List[int] = []
+    lengths: List[int] = []
+    zero = b"\x00\x00\x00\x00"
+    index = 0
+    while index < word_count:
+        if data[index * 4:index * 4 + 4] == zero:
+            run = 1
+            while (index + run < word_count
+                   and data[(index + run) * 4:(index + run) * 4 + 4] == zero):
+                run += 1
+            starts.append(index)
+            lengths.append(run)
+            index += run
+        else:
+            index += 1
+    return starts, lengths
+
+
+def match_lengths(data: bytes, candidates: Sequence[int],
+                  position: int, limit: int) -> List[int]:
+    """Match length at ``position`` for each candidate start offset.
+
+    Candidates are measured in order; measurement stops after (and
+    including) the first candidate that reaches ``limit``, mirroring
+    the LZ match loops' early break — the returned list may therefore
+    be shorter than ``candidates``.
+    """
+    lengths: List[int] = []
+    append = lengths.append
+    for candidate in candidates:
+        run = 0
+        while (run < limit
+               and data[candidate + run] == data[position + run]):
+            run += 1
+        append(run)
+        if run == limit:
+            break
+    return lengths
+
+
+def chunk_words(block: Sequence[int], offset: int,
+                frame_words: int) -> Tuple[List[List[int]], List[int]]:
+    """Split ``block[offset:]`` into full frames plus the leftover tail."""
+    frames: List[List[int]] = []
+    append = frames.append
+    count = len(block)
+    position = offset
+    while count - position >= frame_words:
+        append(list(block[position:position + frame_words]))
+        position += frame_words
+    return frames, list(block[position:])

@@ -14,71 +14,31 @@ register address.  (The silicon interleaves address and data bits at
 the shift-register level; any fixed convention preserves the checked
 property — detection of corrupted/mis-sequenced writes.)
 
-The byte loop uses slicing-by-8: eight parallel tables fold eight
-input bytes per iteration, the standard software trick for multi-GB/s
-CRC rates.  It computes exactly the same polynomial division as the
-one-table form (the tail loop below *is* the one-table form), just
-with 8x fewer Python-level iterations — this CRC runs over every FDRI
-word of every simulated reconfiguration, so it dominates sweep time.
+The byte-level folding is a :mod:`repro.accel` kernel: the pure
+backend keeps the slicing-by-8 table walk, the numpy backend folds
+64-byte chunks in parallel.  Both are bit-identical; this CRC runs
+over every FDRI word of every simulated reconfiguration, so it
+dominates sweep time and is worth accelerating.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Sequence
+from typing import Sequence
 
-_POLY_REFLECTED = 0x82F63B78  # CRC-32C (Castagnoli), reflected form
+from repro import accel
+from repro.accel.pure import (  # re-exported for back-compat
+    _POLY_REFLECTED,
+    CRC_TABLE as _TABLE,
+    CRC_TABLES as _TABLES,
+)
 
-
-def _build_tables() -> List[List[int]]:
-    """Slicing-by-8 tables; ``tables[0]`` is the classic byte table."""
-    table0 = []
-    for byte in range(256):
-        crc = byte
-        for _ in range(8):
-            if crc & 1:
-                crc = (crc >> 1) ^ _POLY_REFLECTED
-            else:
-                crc >>= 1
-        table0.append(crc)
-    tables = [table0]
-    for _ in range(7):
-        previous = tables[-1]
-        tables.append([(previous[byte] >> 8)
-                       ^ table0[previous[byte] & 0xFF]
-                       for byte in range(256)])
-    return tables
-
-
-_TABLES = _build_tables()
-_TABLE = _TABLES[0]  # kept for the tail loop and external importers
+__all__ = ["ConfigCrc", "crc32c"]
 
 
 def crc32c(data: bytes, crc: int = 0) -> int:
     """Plain CRC-32C over a byte string (incremental via ``crc``)."""
-    crc ^= 0xFFFFFFFF
-    t0, t1, t2, t3, t4, t5, t6, t7 = _TABLES
-    length = len(data)
-    index = 0
-    end8 = length - (length & 7)
-    while index < end8:
-        low = crc ^ (data[index]
-                     | (data[index + 1] << 8)
-                     | (data[index + 2] << 16)
-                     | (data[index + 3] << 24))
-        high = (data[index + 4]
-                | (data[index + 5] << 8)
-                | (data[index + 6] << 16)
-                | (data[index + 7] << 24))
-        crc = (t7[low & 0xFF] ^ t6[(low >> 8) & 0xFF]
-               ^ t5[(low >> 16) & 0xFF] ^ t4[low >> 24]
-               ^ t3[high & 0xFF] ^ t2[(high >> 8) & 0xFF]
-               ^ t1[(high >> 16) & 0xFF] ^ t0[high >> 24])
-        index += 8
-    while index < length:
-        crc = (crc >> 8) ^ t0[(crc ^ data[index]) & 0xFF]
-        index += 1
-    return crc ^ 0xFFFFFFFF
+    return accel.crc32c(data, crc)
 
 
 class ConfigCrc:
@@ -98,7 +58,7 @@ class ConfigCrc:
     def update(self, register_address: int, word: int) -> None:
         """Fold one register write into the CRC."""
         blob = word.to_bytes(4, "big") + bytes([register_address & 0x1F])
-        self._value = crc32c(blob, self._value)
+        self._value = accel.crc32c(blob, self._value)
 
     def update_block(self, register_address: int,
                      words: Sequence[int]) -> None:
@@ -113,14 +73,26 @@ class ConfigCrc:
         count = len(words)
         if count == 0:
             return
-        packed = struct.pack(">%dI" % count, *words)
+        self.update_block_bytes(register_address,
+                                struct.pack(">%dI" % count, *words))
+
+    def update_block_bytes(self, register_address: int,
+                           packed: bytes) -> None:
+        """:meth:`update_block` taking the big-endian packed payload.
+
+        Callers that already hold the serialized words (the generator
+        caches its frame payload bytes) skip the re-pack.
+        """
+        count = len(packed) // 4
+        if count == 0:
+            return
         blob = bytearray(count * 5)
         blob[0::5] = packed[0::4]
         blob[1::5] = packed[1::4]
         blob[2::5] = packed[2::4]
         blob[3::5] = packed[3::4]
         blob[4::5] = bytes([register_address & 0x1F]) * count
-        self._value = crc32c(bytes(blob), self._value)
+        self._value = accel.crc32c(bytes(blob), self._value)
 
     def check(self, expected: int) -> bool:
         """The CRC-register write comparison."""

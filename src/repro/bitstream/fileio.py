@@ -43,6 +43,10 @@ class LoadedBitstream:
     frame_count: int
     frame_payload_offset: int
     frame_payload_words: int
+    #: Serialized FDRI payload sliced straight from the file blob
+    #: (always equal to packing the payload span of ``raw_words``);
+    #: ``None`` means derive on demand.
+    payload_data: Optional[bytes] = None
 
     @property
     def raw_bytes(self) -> bytes:
@@ -58,6 +62,8 @@ class LoadedBitstream:
 
     @property
     def frame_payload(self) -> bytes:
+        if self.payload_data is not None:
+            return self.payload_data
         start = self.frame_payload_offset
         stop = start + self.frame_payload_words
         return words_to_bytes(self.raw_words[start:stop])
@@ -95,12 +101,18 @@ def load_bit(path: PathLike,
             f"FDRI payload of {payload_words} words is not a whole "
             f"number of {frame_words_per_frame}-word frames"
         )
+    # The raw word stream is the tail of the file blob (the parser
+    # decodes it from there), so the FDRI payload bytes can be sliced
+    # out directly instead of re-packed from the word list later.
+    raw_start = len(blob) - 4 * len(parsed.raw_words)
+    start = raw_start + payload_offset * 4
     return LoadedBitstream(
         header=parsed.header,
         raw_words=parsed.raw_words,
         frame_count=payload_words // frame_words_per_frame,
         frame_payload_offset=payload_offset,
         frame_payload_words=payload_words,
+        payload_data=blob[start:start + payload_words * 4],
     )
 
 

@@ -15,10 +15,10 @@ output is structurally valid.
 from __future__ import annotations
 
 import enum
-import struct
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+from repro import accel
 from repro.errors import BitstreamFormatError
 
 SYNC_WORD = 0xAA995566
@@ -121,6 +121,20 @@ def _type1_header(opcode: Opcode, register: ConfigRegister,
     )
 
 
+def type2_write_headers(register: ConfigRegister, count: int,
+                        opcode: Opcode = Opcode.WRITE) -> List[int]:
+    """Header words of a type-1 + type-2 write, without its payload.
+
+    Lets the generator splice an already-serialized payload between
+    the headers and the epilogue instead of materialising the payload
+    as a word list just to encode the packet around it.
+    """
+    if not 0 <= count <= _TYPE2_MAX_WORDS:
+        raise BitstreamFormatError("type-2 payload too large")
+    return [_type1_header(opcode, register, 0),
+            (0b010 << 29) | (int(opcode) << 27) | count]
+
+
 def write_packet(register: ConfigRegister,
                  payload: Sequence[int]) -> ConfigPacket:
     """Convenience for the common type-1 register write."""
@@ -195,21 +209,15 @@ class PacketDecoder:
 
 
 def words_to_bytes(words: Sequence[int]) -> bytes:
-    """Big-endian word serialization (configuration byte order)."""
-    try:
-        return struct.pack(">%dI" % len(words), *words)
-    except struct.error:
-        for word in words:
-            if not 0 <= word < (1 << 32):
-                raise OverflowError(
-                    f"word {word:#x} does not fit in 32 bits"
-                ) from None
-        raise
+    """Big-endian word serialization (configuration byte order).
+
+    Dispatches to the active :mod:`repro.accel` backend; raises
+    :class:`OverflowError` for words outside 32 bits regardless of
+    backend.
+    """
+    return accel.words_to_bytes(words)
 
 
 def bytes_to_words(data: bytes) -> List[int]:
-    if len(data) % 4:
-        raise BitstreamFormatError(
-            f"byte stream length {len(data)} is not word aligned"
-        )
-    return list(struct.unpack(">%dI" % (len(data) // 4), data))
+    """Inverse of :func:`words_to_bytes` (word-aligned input only)."""
+    return accel.bytes_to_words(data)

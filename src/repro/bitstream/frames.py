@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Dict, Iterator, Tuple
 
 from repro.bitstream.device import DeviceInfo
 from repro.errors import BitstreamFormatError
@@ -98,8 +98,20 @@ class FrameAddress:
 
         Advances minor, then column, then row, then top/bottom —
         the auto-increment order the configuration logic applies when
-        consecutive frames stream through FDRI.
+        consecutive frames stream through FDRI.  For in-geometry
+        addresses this is a lookup in the device's memoised
+        :class:`FrameLayout` (one successor table per device, built
+        once instead of per generated bitstream); out-of-geometry
+        addresses (a parsed FAR can carry any field values) fall back
+        to the arithmetic stepping.
         """
+        successor = frame_layout(device, self.block_type).successor(self)
+        if successor is not None:
+            return successor
+        return self._next_arithmetic(device)
+
+    def _next_arithmetic(self, device: DeviceInfo) -> "FrameAddress":
+        """Field-arithmetic successor (the FrameLayout ground truth)."""
         minor = self.minor + 1
         column, row, top = self.column, self.row, self.top
         if minor >= device.minor_frames_clb:
@@ -112,6 +124,63 @@ class FrameAddress:
                     row = 0
                     top ^= 1
         return FrameAddress(self.block_type, top, row, column, minor)
+
+
+class FrameLayout:
+    """Memoised linear frame order for one device and block type.
+
+    Walking a region frame by frame calls ``next_in`` once per frame;
+    before this table existed, every generated bitstream re-ran the
+    field arithmetic (and ``FrameAddress`` construction with its field
+    validation) for each of its thousands of frames.  The layout walks
+    the device's full address cycle *once* with the arithmetic rule —
+    so the table is correct by construction — and serves successors by
+    dictionary lookup afterwards.
+    """
+
+    __slots__ = ("device", "block_type", "addresses", "_successor")
+
+    def __init__(self, device: DeviceInfo, block_type: BlockType) -> None:
+        self.device = device
+        self.block_type = block_type
+        cycle = (device.minor_frames_clb * device.columns
+                 * max(1, device.rows // 2) * 2)
+        addresses = []
+        address = FrameAddress(block_type, top=0, row=0, column=0, minor=0)
+        for _ in range(cycle):
+            addresses.append(address)
+            address = address._next_arithmetic(device)
+        self.addresses: Tuple[FrameAddress, ...] = tuple(addresses)
+        successor: Dict[FrameAddress, FrameAddress] = {}
+        for index, entry in enumerate(addresses):
+            successor[entry] = addresses[(index + 1) % cycle]
+        self._successor = successor
+
+    def successor(self, address: FrameAddress):
+        """The next in-geometry address, or None if out of geometry."""
+        return self._successor.get(address)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
+_LAYOUTS: Dict[Tuple[DeviceInfo, BlockType], FrameLayout] = {}
+
+
+def frame_layout(device: DeviceInfo,
+                 block_type: BlockType = BlockType.CLB_IO_CLK) -> FrameLayout:
+    """The memoised :class:`FrameLayout` for ``device``/``block_type``.
+
+    Keyed by the (frozen, hashable) :class:`DeviceInfo` value itself:
+    two equal device descriptions share one layout, and a device with
+    different frame geometry always gets its own — the memo can never
+    serve stale state because its key objects are immutable.
+    """
+    key = (device, block_type)
+    layout = _LAYOUTS.get(key)
+    if layout is None:
+        layout = _LAYOUTS[key] = FrameLayout(device, block_type)
+    return layout
 
 
 def region_frames(device: DeviceInfo, start: FrameAddress,

@@ -26,21 +26,24 @@ The mixture weights below were calibrated so the from-scratch codecs in
 from __future__ import annotations
 
 import random
+from bisect import bisect
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import List, Optional
 
+from repro import accel
+from repro.accel.plan import SynthesisPlan
 from repro.bitstream.device import DeviceInfo, VIRTEX5_SX50T
 from repro.bitstream.format import (
     BUS_WIDTH_DETECT,
     BUS_WIDTH_SYNC,
     Command,
-    ConfigPacket,
     ConfigRegister,
     DUMMY_WORD,
     NOOP_WORD,
-    Opcode,
     SYNC_WORD,
     command_packet,
+    type2_write_headers,
     words_to_bytes,
     write_packet,
 )
@@ -108,18 +111,49 @@ class PartialBitstream:
     ``raw_words``    — the raw configuration word stream (sync +
                        packets), what actually goes through ICAP.
     ``frame_payload``— just the FDRI frame data, the compressible body.
+
+    The stream is stored in three pieces — prologue words, packed FDRI
+    payload bytes, epilogue words — because every hot consumer (the
+    codecs, file round trips, the UPaRC datapath) reads the payload as
+    *bytes*.  ``raw_words`` is derived lazily and cached the first
+    time a word-level consumer (the baseline ICAP controllers, the
+    floorplan report) asks for it.
     """
 
     spec: BitstreamSpec
     header: BitstreamHeader
-    raw_words: List[int]
+    #: Words before the FDRI payload, including its packet headers.
+    shell_prologue: List[int]
+    #: Words after the payload (LFRM, CRC, DESYNC, padding).
+    shell_epilogue: List[int]
+    #: Packed big-endian FDRI frame data (the compressible body).
+    payload_data: bytes
     frame_count: int
-    frame_payload_offset: int  # word index of first FDRI data word
-    frame_payload_words: int
+    _raw_words: Optional[List[int]] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def frame_payload_offset(self) -> int:
+        """Word index of the first FDRI data word."""
+        return len(self.shell_prologue)
+
+    @property
+    def frame_payload_words(self) -> int:
+        return len(self.payload_data) // 4
+
+    @property
+    def raw_words(self) -> List[int]:
+        if self._raw_words is None:
+            self._raw_words = (self.shell_prologue
+                               + accel.bytes_to_words(self.payload_data)
+                               + self.shell_epilogue)
+        return self._raw_words
 
     @property
     def raw_bytes(self) -> bytes:
-        return words_to_bytes(self.raw_words)
+        return (words_to_bytes(self.shell_prologue)
+                + self.payload_data
+                + words_to_bytes(self.shell_epilogue))
 
     @property
     def file_bytes(self) -> bytes:
@@ -127,17 +161,34 @@ class PartialBitstream:
 
     @property
     def frame_payload(self) -> bytes:
-        start = self.frame_payload_offset
-        stop = start + self.frame_payload_words
-        return words_to_bytes(self.raw_words[start:stop])
+        return self.payload_data
 
     @property
     def size(self) -> DataSize:
-        return DataSize(len(self.raw_bytes))
+        return DataSize(len(self.shell_prologue) * 4
+                        + len(self.payload_data)
+                        + len(self.shell_epilogue) * 4)
 
 
 class _FrameSynthesizer:
-    """Emits frame words as runs following the statistical mixture."""
+    """Plans frame content as runs following the statistical mixture.
+
+    The synthesizer is a *planner*: it makes every RNG draw (so the
+    stream of random numbers consumed is exactly the historical
+    sequence, keeping all seeded outputs bit-identical) but emits
+    run-level ops into a :class:`~repro.accel.plan.SynthesisPlan`
+    instead of appending words one by one.  The active
+    :mod:`repro.accel` backend then materialises the plan in bulk.
+
+    Two sequence-preserving details matter:
+
+    * a run that overshoots the frame boundary is *clipped in the op*
+      but its run-length draws are still consumed (the old code built
+      the long run and truncated with ``words[:target]``);
+    * copies from the previous frame read ``frame_words`` behind the
+      write position, and are available from frame 1 onward (every
+      frame, blank or used, becomes the next frame's copy source).
+    """
 
     def __init__(self, spec: BitstreamSpec) -> None:
         self._spec = spec
@@ -154,58 +205,65 @@ class _FrameSynthesizer:
         self._byte_pool = [self._rng.randrange(1, 256)
                            for _ in range(pool_size)]
         self._byte_weights = [1.0 / (rank + 1) for rank in range(pool_size)]
-        self._previous_frame: Optional[List[int]] = None
+        # random.choices() computes cumulative weights on every call;
+        # precomputing them and sampling via bisect draws the same
+        # single random() per word, so the sequence is unchanged.
+        self._cum_weights = list(accumulate(self._byte_weights))
+        self._cum_total = self._cum_weights[-1] + 0.0
+        self._have_previous = False
 
-    def frame(self) -> List[int]:
-        spec = self._spec
-        words: List[int]
-        if self._rng.random() >= spec.utilization:
-            words = [0] * spec.device.frame_words
-        else:
-            words = self._used_frame()
-        self._previous_frame = words
-        return words
+    def plan(self, frame_count: int) -> SynthesisPlan:
+        plan = SynthesisPlan(self._spec.device.frame_words)
+        for _ in range(frame_count):
+            self._plan_frame(plan)
+            self._have_previous = True
+        return plan
 
-    def _used_frame(self) -> List[int]:
+    def _plan_frame(self, plan: SynthesisPlan) -> None:
         spec = self._spec
         rng = self._rng
-        words: List[int] = []
         target = spec.device.frame_words
-        while len(words) < target:
+        if rng.random() >= spec.utilization:
+            plan.fill(0, target)  # blank (unconfigured) frame
+            return
+        position = 0
+        while position < target:
             draw = rng.random()
             threshold = spec.zero_run_weight
             if draw < threshold:
-                words.extend([0] * self._run_length(spec.zero_run_mean))
+                run = self._run_length(spec.zero_run_mean)
+                position += plan.fill(0, min(run, target - position))
                 continue
             threshold += spec.motif_run_weight
             if draw < threshold:
                 motif = rng.choice(self._motifs)
-                words.extend([motif] * self._run_length(spec.motif_run_mean))
+                run = self._run_length(spec.motif_run_mean)
+                position += plan.fill(motif, min(run, target - position))
                 continue
             threshold += spec.copy_weight
-            if draw < threshold and self._previous_frame is not None:
+            if draw < threshold and self._have_previous:
                 run = self._run_length(spec.copy_run_mean)
-                start = len(words)
-                for offset in range(start, min(start + run, target)):
-                    words.append(self._previous_frame[offset])
+                position += plan.copy_previous(min(run, target - position))
                 continue
             threshold += spec.sparse_weight
-            if draw < threshold or self._previous_frame is None:
-                words.append(self._texture_word())
+            if draw < threshold or not self._have_previous:
+                position += plan.fill(self._texture_word(), 1)
                 continue
-            words.append(rng.getrandbits(32))  # dense LUT content
-        return words[:target]
+            position += plan.fill(rng.getrandbits(32), 1)  # dense LUT
 
     def _texture_word(self) -> int:
         """A word with skewed-byte 'configuration texture' content."""
         rng = self._rng
+        pool = self._byte_pool
+        cum = self._cum_weights
+        total = self._cum_total
+        hi = len(pool) - 1
         word = 0
         for _ in range(4):
             if rng.random() < 0.45:
                 byte = 0
             else:
-                byte = rng.choices(self._byte_pool,
-                                   weights=self._byte_weights)[0]
+                byte = pool[bisect(cum, rng.random() * total, 0, hi)]
             word = (word << 8) | byte
         return word
 
@@ -249,30 +307,28 @@ def generate_bitstream(spec: Optional[BitstreamSpec] = None,
     payload_words = frame_count * device.frame_words
 
     synthesizer = _FrameSynthesizer(spec)
-    frame_words: List[int] = []
-    for _ in range(frame_count):
-        frame_words.extend(synthesizer.frame())
+    plan = synthesizer.plan(frame_count)
+    payload_data = accel.synthesize_payload(plan)
 
-    fdri = ConfigPacket(Opcode.WRITE, ConfigRegister.FDRI, frame_words,
-                        type2=True)
-    epilogue = _finish_epilogue(spec, frame_words, epilogue)
-    raw_words = prologue + fdri.encode() + epilogue
-    payload_offset = len(prologue) + 2  # skip type-1 and type-2 headers
+    shell_prologue = prologue + type2_write_headers(ConfigRegister.FDRI,
+                                                    payload_words)
+    epilogue = _finish_epilogue(spec, payload_data, epilogue)
 
     header = BitstreamHeader(
         design_name=f"{spec.design_name}.ncd",
         part_name=device.name.lower(),
         date="2012/03/12",
         time="14:00:00",
-        payload_length=len(raw_words) * 4,
+        payload_length=(len(shell_prologue) + payload_words
+                        + len(epilogue)) * 4,
     )
     return PartialBitstream(
         spec=spec,
         header=header,
-        raw_words=raw_words,
+        shell_prologue=shell_prologue,
+        shell_epilogue=epilogue,
+        payload_data=payload_data,
         frame_count=frame_count,
-        frame_payload_offset=payload_offset,
-        frame_payload_words=payload_words,
     )
 
 
@@ -309,24 +365,24 @@ def frame_repair_bitstream(device: DeviceInfo, origin: FrameAddress,
     spec = BitstreamSpec(device=device, size=DataSize.from_words(
         len(flat) + 64), origin=origin, design_name=design_name)
     prologue, epilogue = _command_shell(spec)
-    fdri = ConfigPacket(Opcode.WRITE, ConfigRegister.FDRI, flat,
-                        type2=True)
+    shell_prologue = prologue + type2_write_headers(ConfigRegister.FDRI,
+                                                    len(flat))
     epilogue = _finish_epilogue(spec, flat, epilogue)
-    raw_words = prologue + fdri.encode() + epilogue
     header = BitstreamHeader(
         design_name=f"{design_name}.ncd",
         part_name=device.name.lower(),
         date="2012/03/12",
         time="14:00:00",
-        payload_length=len(raw_words) * 4,
+        payload_length=(len(shell_prologue) + len(flat)
+                        + len(epilogue)) * 4,
     )
     return PartialBitstream(
         spec=spec,
         header=header,
-        raw_words=raw_words,
+        shell_prologue=shell_prologue,
+        shell_epilogue=epilogue,
+        payload_data=words_to_bytes(flat),
         frame_count=len(frames),
-        frame_payload_offset=len(prologue) + 2,
-        frame_payload_words=len(flat),
     )
 
 
@@ -362,20 +418,26 @@ def _command_shell(spec: BitstreamSpec):
     return prologue, epilogue
 
 
-def _finish_epilogue(spec: BitstreamSpec, frame_words: List[int],
+def _finish_epilogue(spec: BitstreamSpec, frame_data,
                      epilogue: List[int]) -> List[int]:
     """Patch the epilogue's CRC word with the true configuration CRC.
 
     Mirrors the accumulation the configuration logic performs
     (:class:`repro.bitstream.crc.ConfigCrc`): RCRC resets, then every
-    register write after it folds in, in stream order.
+    register write after it folds in, in stream order.  ``frame_data``
+    is the FDRI payload as either a word list or already-packed
+    big-endian bytes (the generator hands over its cached bytes to
+    avoid re-serializing the payload).
     """
     from repro.bitstream.crc import ConfigCrc
     crc = ConfigCrc()
     crc.update(int(ConfigRegister.IDCODE), spec.device.idcode)
     crc.update(int(ConfigRegister.CMD), int(Command.WCFG))
     crc.update(int(ConfigRegister.FAR), spec.origin.pack())
-    crc.update_block(int(ConfigRegister.FDRI), frame_words)
+    if isinstance(frame_data, bytes):
+        crc.update_block_bytes(int(ConfigRegister.FDRI), frame_data)
+    else:
+        crc.update_block(int(ConfigRegister.FDRI), frame_data)
     crc.update(int(ConfigRegister.CMD), int(Command.LFRM))
     patched = list(epilogue)
     # The CRC payload word follows its type-1 header; locate it: the

@@ -235,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the UPaRC paper's tables and figures.",
     )
+    parser.add_argument(
+        "--backend", choices=("auto", "pure", "numpy"), default=None,
+        help="datapath backend (default: auto — numpy when installed, "
+             "else pure Python; outputs are byte-identical either way). "
+             "The REPRO_BACKEND environment variable sets the same "
+             "choice with lower precedence.")
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name in _COMMANDS:
         if name == "lint":
@@ -281,6 +287,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Resolve the datapath backend up front (also validates a bad
+    # REPRO_BACKEND value) so selection errors are usage errors, not
+    # tracebacks from the first kernel call mid-run.
+    from repro import accel
+    from repro.errors import AccelError
+    try:
+        accel.select(getattr(args, "backend", None))
+    except AccelError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     if args.command == "all":
         for index, (name, command) in enumerate(_COMMANDS.items()):
             if index:

@@ -23,6 +23,7 @@ import struct
 from collections import defaultdict, deque
 from typing import Deque, Dict
 
+from repro import accel
 from repro.compress.base import Codec
 from repro.compress.bitio import BitReader, BitWriter
 from repro.errors import CorruptStreamError
@@ -50,11 +51,15 @@ class Lz77Codec(Codec):
         writer = BitWriter()
         chains: Dict[bytes, Deque[int]] = defaultdict(
             lambda: deque(maxlen=self._max_chain))
+        # One backend fetch and one aggregate metric per compress call;
+        # the per-position search then calls the kernel directly.
+        match_lengths = accel.active().match_lengths
+        accel.record("match_lengths", len(data))
         position = 0
         length = len(data)
         while position < length:
             match_length, match_offset = self._find_match(
-                data, position, chains)
+                data, position, chains, match_lengths)
             if match_length >= self._min_match:
                 writer.write_bit(1)
                 writer.write_bits(match_offset - 1, self._window_bits)
@@ -92,7 +97,7 @@ class Lz77Codec(Codec):
         return bytes(out)
 
     def _find_match(self, data: bytes, position: int,
-                    chains: Dict[bytes, Deque[int]]):
+                    chains: Dict[bytes, Deque[int]], match_lengths):
         """Best (length, offset) for a match starting at ``position``."""
         if position + self._min_match > len(data):
             return 0, 0
@@ -101,18 +106,19 @@ class Lz77Codec(Codec):
         best_offset = 0
         window_start = position - self._window
         limit = min(self._max_match, len(data) - position)
-        for candidate in reversed(chains.get(key, ())):
-            if candidate < window_start:
-                continue
-            run = 0
-            while (run < limit
-                   and data[candidate + run] == data[position + run]):
-                run += 1
+        # Most-recent candidates first; the kernel stops measuring
+        # after the first candidate reaching the limit, matching the
+        # historical inline scan's early break.
+        candidates = [candidate
+                      for candidate in reversed(chains.get(key, ()))
+                      if candidate >= window_start]
+        if not candidates:
+            return 0, 0
+        for candidate, run in zip(
+                candidates, match_lengths(data, candidates, position, limit)):
             if run > best_length:
                 best_length = run
                 best_offset = position - candidate
-                if run == limit:
-                    break
         return best_length, best_offset
 
     def _index(self, data: bytes, position: int,

@@ -18,6 +18,7 @@ import struct
 from collections import defaultdict, deque
 from typing import Deque, Dict, List
 
+from repro import accel
 from repro.errors import CorruptStreamError
 
 MIN_MATCH = 4
@@ -42,11 +43,15 @@ class LzByteStage:
         """
         chains: Dict[bytes, Deque[int]] = defaultdict(
             lambda: deque(maxlen=self._max_chain))
+        # Fetch the active backend's match kernel once; recording one
+        # aggregate metric here keeps the per-position loop clean.
+        match_lengths = accel.active().match_lengths
+        accel.record("match_lengths", len(data))
         position = 0
         length = len(data)
         while position < length:
             match_length, match_offset = self._find_match(
-                data, position, chains)
+                data, position, chains, match_lengths)
             if match_length >= MIN_MATCH:
                 yield ("match", match_offset, match_length)
                 for covered in range(match_length):
@@ -127,7 +132,7 @@ class LzByteStage:
         return bytes(out)
 
     def _find_match(self, data: bytes, position: int,
-                    chains: Dict[bytes, Deque[int]]):
+                    chains: Dict[bytes, Deque[int]], match_lengths):
         if position + MIN_MATCH > len(data):
             return 0, 0
         key = data[position:position + MIN_MATCH]
@@ -135,17 +140,19 @@ class LzByteStage:
         best_offset = 0
         window_start = position - self._window
         limit = min(self._max_match, len(data) - position)
-        for candidate in reversed(chains.get(key, ())):
-            if candidate < window_start:
-                continue
-            run = 0
-            while run < limit and data[candidate + run] == data[position + run]:
-                run += 1
+        # Most-recent candidates first; the kernel measures each one
+        # and stops after the first that reaches the limit, exactly
+        # like the historical inline scan.
+        candidates = [candidate
+                      for candidate in reversed(chains.get(key, ()))
+                      if candidate >= window_start]
+        if not candidates:
+            return 0, 0
+        for candidate, run in zip(
+                candidates, match_lengths(data, candidates, position, limit)):
             if run > best_length:
                 best_length = run
                 best_offset = position - candidate
-                if run == limit:
-                    break
         return best_length, best_offset
 
     def _index(self, data: bytes, position: int,

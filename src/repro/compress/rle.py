@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import struct
 
+from repro import accel
 from repro.compress.base import Codec
 from repro.errors import CorruptStreamError
 
@@ -39,28 +40,27 @@ class RleCodec(Codec):
     def compress(self, data: bytes) -> bytes:
         word_count = len(data) // 4
         tail = data[word_count * 4:]
-        words = [data[i * 4:(i + 1) * 4] for i in range(word_count)]
 
         out = bytearray(struct.pack(">I", len(data)))
         out.append(len(tail))
         out += tail
 
+        # The run scan is the hot loop; the accel kernel returns the
+        # maximal equal-word run lengths covering the stream, and the
+        # emit loop below only slices one representative word per run.
+        runs = accel.equal_word_runs(data, word_count)
         index = 0
         literals: list = []
-        while index < word_count:
-            run = 1
-            while (index + run < word_count
-                   and words[index + run] == words[index]):
-                run += 1
+        for run in runs:
+            word = data[index * 4:index * 4 + 4]
             if run >= _MIN_RUN:
                 self._flush_literals(out, literals)
-                self._emit_run(out, words[index], run)
-                index += run
+                self._emit_run(out, word, run)
             else:
-                literals.append(words[index])
+                literals.append(word)
                 if len(literals) == _MAX_LITERALS:
                     self._flush_literals(out, literals)
-                index += 1
+            index += run
         self._flush_literals(out, literals)
         return bytes(out)
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, List, Optional, Tuple
 
+from repro import accel
 from repro.compress.base import Codec
 from repro.compress.bitio import BitReader, BitWriter
 from repro.errors import CorruptStreamError
@@ -81,23 +82,24 @@ class XMatchProCodec(Codec):
         tail = data[tuple_count * 4:]
         header = struct.pack(">I", len(data)) + bytes([len(tail)]) + tail
 
-        # Batch the tuple view once; the coding loop then works on
-        # ready-made 4-byte words and emits each token with a single
-        # write_bits call (prefix, payload and literals packed into
-        # one integer) — the hot loop does no per-bit work.
-        words = [data[offset:offset + 4]
-                 for offset in range(0, tuple_count * 4, 4)]
+        # Zero runs dominate configuration payloads; the accel kernel
+        # finds every maximal zero-tuple run up front, so the coding
+        # loop jumps over them without touching the words.  The loop
+        # only ever reaches a zero tuple at its run's start (it
+        # consumes whole runs and stops non-zero scans at the first
+        # zero word), so a start-keyed dict covers every case.  Each
+        # token is emitted with a single write_bits call (prefix,
+        # payload and literals packed into one integer) — the hot
+        # loop does no per-bit work.
+        starts, lengths = accel.zero_word_runs(data, tuple_count)
+        zero_runs = dict(zip(starts, lengths))
         writer = BitWriter()
         write_bits = writer.write_bits
         dictionary: List[bytes] = []
         index = 0
         while index < tuple_count:
-            word = words[index]
-            if word == _ZERO_TUPLE:
-                run = 1
-                while (index + run < tuple_count
-                       and words[index + run] == _ZERO_TUPLE):
-                    run += 1
+            run = zero_runs.get(index)
+            if run is not None:
                 token = 0b10
                 width = 2
                 remaining = run
@@ -110,6 +112,7 @@ class XMatchProCodec(Codec):
                 write_bits(token, width)
                 index += run
                 continue
+            word = data[index * 4:index * 4 + 4]
             location, mask = self._best_match(dictionary, word)
             if location is not None and mask is not None:
                 code, length = _MASK_CODES[mask]

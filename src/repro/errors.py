@@ -14,6 +14,10 @@ class ReproError(Exception):
     """Base class of every exception raised by :mod:`repro`."""
 
 
+class AccelError(ReproError):
+    """A datapath backend could not be selected or loaded."""
+
+
 class SimulationError(ReproError):
     """The discrete-event kernel was used incorrectly.
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Optional, Sequence
 
+from repro import accel
 from repro.bitstream.crc import ConfigCrc
 from repro.bitstream.device import DeviceInfo
 from repro.bitstream.format import (
@@ -308,13 +309,12 @@ class ConfigurationLogic:
                 buffer.clear()
                 far = far.next_in(device)
                 self.frames_written += 1
-        while count - position >= frame_words:
-            self.memory.write_frame(
-                far, block[position:position + frame_words])
+        frames, tail = accel.chunk_words(block, position, frame_words)
+        for frame in frames:
+            self.memory.write_frame(far, frame)
             far = far.next_in(device)
-            self.frames_written += 1
-            position += frame_words
-        buffer.extend(block[position:])
+        self.frames_written += len(frames)
+        buffer.extend(tail)
         self._far = far
 
     def _frame_data_word(self, word: int) -> None:

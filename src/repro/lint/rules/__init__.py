@@ -11,9 +11,11 @@ Rule families:
 * ``P4xx`` (:mod:`repro.lint.rules.sweepsafety`) — process-safety of
   sweep workers, grids, and digest inputs.
 * ``C5xx`` (:mod:`repro.lint.rules.cachekeys`) — cache-key purity.
+* ``A6xx`` (:mod:`repro.lint.rules.accel`) — accelerator containment.
 """
 
 from repro.lint.rules import (  # noqa: F401
+    accel,
     cachekeys,
     determinism,
     events,

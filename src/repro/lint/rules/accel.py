@@ -1,0 +1,52 @@
+"""Accelerator-containment rules (A6xx).
+
+The datapath backends in :mod:`repro.accel` are the only sanctioned
+home for third-party array libraries: models, codecs and analysis code
+must stay importable (and correct) on a numpy-free install, and the
+pure/numpy byte-equivalence contract is only enforceable while every
+vectorised code path lives behind the accel kernel API.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import Checker, register
+
+
+@register
+class NumpyContainmentRule(Checker):
+    """A601 — numpy may only be imported inside ``repro.accel``.
+
+    A direct numpy import anywhere else either breaks the numpy-free
+    install (hard dependency) or forks the datapath around the backend
+    dispatch (silent loss of the byte-equivalence guarantee).  Code
+    that wants vectorised kernels calls :mod:`repro.accel`; code that
+    only needs to know whether numpy exists calls
+    ``repro.accel.numpy_available()``.
+    """
+
+    rule_id = "A601"
+    rule_name = "numpy-containment"
+    rationale = ("numpy is an optional accelerator confined to "
+                 "repro.accel; importing it elsewhere breaks the "
+                 "numpy-free install and bypasses the byte-identical "
+                 "backend dispatch")
+    exempt_paths = ("*/repro/accel/*", "repro/accel/*")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                self.report(node, f"import {alias.name} outside "
+                                  f"repro.accel; use the repro.accel "
+                                  f"kernel API instead")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if node.level == 0 and (module == "numpy"
+                                or module.startswith("numpy.")):
+            self.report(node, f"from {module} import ... outside "
+                              f"repro.accel; use the repro.accel "
+                              f"kernel API instead")
+        self.generic_visit(node)

@@ -258,7 +258,7 @@ def _decode_bitstream(spec: BitstreamSpec,
                       blob: bytes) -> PartialBitstream:
     (meta_length,) = struct.unpack_from(">I", blob, 0)
     meta = json.loads(blob[4:4 + meta_length].decode("utf-8"))
-    raw_words = bytes_to_words(blob[4 + meta_length:])
+    raw = blob[4 + meta_length:]
     header = BitstreamHeader(
         design_name=meta["design_name"],
         part_name=meta["part_name"],
@@ -266,11 +266,17 @@ def _decode_bitstream(spec: BitstreamSpec,
         time=meta["time"],
         payload_length=meta["payload_length"],
     )
+    # The blob already holds the serialized stream; only the thin
+    # shell around the FDRI payload is decoded into words — the
+    # payload stays bytes, exactly as generated, so a cache hit skips
+    # the word-level decode entirely.
+    start = meta["frame_payload_offset"] * 4
+    stop = start + meta["frame_payload_words"] * 4
     return PartialBitstream(
         spec=spec,
         header=header,
-        raw_words=raw_words,
+        shell_prologue=bytes_to_words(raw[:start]),
+        shell_epilogue=bytes_to_words(raw[stop:]),
+        payload_data=raw[start:stop],
         frame_count=meta["frame_count"],
-        frame_payload_offset=meta["frame_payload_offset"],
-        frame_payload_words=meta["frame_payload_words"],
     )

@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass
 from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro import accel
 from repro.analysis.bandwidth import BandwidthPoint
 from repro.errors import ReproError
 from repro.obs import install as obs_install
@@ -187,6 +188,7 @@ def execute_spec(spec: RunSpec, cache_root: Optional[str] = None,
 
 def _execute_cell(spec: RunSpec, cache_root: Optional[str] = None,
                   collect_metrics: bool = False,
+                  backend: Optional[str] = None,
                   ) -> Tuple[SweepResult, CacheStats,
                              Optional[Dict[str, Any]], float]:
     """One cell plus its telemetry; module-level for worker pickling.
@@ -197,7 +199,15 @@ def _execute_cell(spec: RunSpec, cache_root: Optional[str] = None,
     the registry's deterministic snapshot for the parent to merge.
     The wall duration is always measured (it is host telemetry,
     reported separately and never merged into deterministic state).
+
+    ``backend`` pins the :mod:`repro.accel` backend in the worker
+    process to the parent's resolved choice (worker processes do not
+    inherit a ``--backend`` selection made after parent startup).
+    Backends are byte-identical, so this never affects results or
+    cache keys — only speed.
     """
+    if backend is not None:
+        accel.select(backend)
     registry = MetricsRegistry() if collect_metrics else None
     if registry is not None:
         obs_install(registry=registry)
@@ -261,7 +271,8 @@ class SweepEngine:
     def run(self) -> List[SweepResult]:
         """Execute every cell; deterministic result order by key."""
         worker = partial(_execute_cell, cache_root=self.cache_dir,
-                         collect_metrics=self.collect_metrics)
+                         collect_metrics=self.collect_metrics,
+                         backend=accel.backend_name())
         self.stats = CacheStats()
         self.registry = MetricsRegistry()
         with Timer() as timer:

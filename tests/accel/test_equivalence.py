@@ -1,0 +1,150 @@
+"""Cross-backend equivalence: numpy kernels are byte-identical to pure.
+
+The pure backend is the semantic reference; these property tests pin
+the numpy backend to it bit-for-bit on randomised inputs.  The numpy
+kernels delegate to pure below their size crossovers, so the fixture
+zeroes every threshold — each case exercises the vectorised code even
+on hypothesis-sized payloads.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import accel
+from repro.accel import pure
+from repro.accel.plan import SynthesisPlan
+from repro.bitstream.generator import generate_bitstream
+from repro.units import DataSize
+
+pytestmark = pytest.mark.skipif(not accel.numpy_available(),
+                                reason="numpy backend not installed")
+
+
+@pytest.fixture(autouse=True)
+def vectorised(monkeypatch):
+    """The numpy backend with every pure-delegation threshold removed."""
+    from repro.accel import numpy_backend
+    monkeypatch.setattr(numpy_backend, "_CRC_MIN_BYTES", 0)
+    monkeypatch.setattr(numpy_backend, "_SYNTH_MIN_WORDS", 0)
+    monkeypatch.setattr(numpy_backend, "_SCAN_MIN_WORDS", 0)
+    monkeypatch.setattr(numpy_backend, "_MATCH_MIN_WORK", 0)
+    return numpy_backend
+
+
+# function_scoped_fixture is deliberate: the thresholds stay patched
+# for every example and the patch carries no per-example state.
+quick = settings(max_examples=60, deadline=None,
+                 suppress_health_check=[
+                     HealthCheck.too_slow,
+                     HealthCheck.function_scoped_fixture,
+                 ])
+
+# Word-run-structured payloads — the shape every kernel actually sees.
+words = st.one_of(
+    st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+             max_size=300),
+    st.builds(
+        lambda runs: [word for word, length in runs
+                      for _ in range(length)],
+        st.lists(st.tuples(
+            st.sampled_from([0, 0xDEADBEEF, 0x01020304, 0xFFFFFFFF]),
+            st.integers(min_value=1, max_value=40)), max_size=40),
+    ),
+)
+
+
+@quick
+@given(st.binary(max_size=4096), st.integers(min_value=0,
+                                             max_value=0xFFFFFFFF))
+def test_crc32c_matches(vectorised, data, crc):
+    assert vectorised.crc32c(data, crc) == pure.crc32c(data, crc)
+
+
+@quick
+@given(st.lists(st.binary(max_size=512), max_size=8))
+def test_crc32c_chaining_matches(vectorised, chunks):
+    crc_np = crc_py = 0
+    for chunk in chunks:
+        crc_np = vectorised.crc32c(chunk, crc_np)
+        crc_py = pure.crc32c(chunk, crc_py)
+    assert crc_np == crc_py
+
+
+@quick
+@given(words)
+def test_word_packing_matches(vectorised, values):
+    packed = pure.words_to_bytes(values)
+    assert vectorised.words_to_bytes(values) == packed
+    assert vectorised.bytes_to_words(packed) == values
+
+
+@quick
+@given(words)
+def test_equal_word_runs_match(vectorised, values):
+    data = pure.words_to_bytes(values)
+    runs = vectorised.equal_word_runs(data, len(values))
+    assert runs == pure.equal_word_runs(data, len(values))
+    assert sum(runs) == len(values)
+
+
+@quick
+@given(words, st.binary(max_size=3))
+def test_zero_word_runs_match(vectorised, values, tail):
+    # A ragged tail must not perturb the word-aligned scan.
+    data = pure.words_to_bytes(values) + tail
+    assert vectorised.zero_word_runs(data, len(values)) == \
+        pure.zero_word_runs(data, len(values))
+
+
+@quick
+@given(st.binary(min_size=8, max_size=2048), st.data())
+def test_match_lengths_match(vectorised, data, draw):
+    position = draw.draw(st.integers(min_value=1, max_value=len(data) - 1))
+    # Callers clamp limit so the match window stays inside the data
+    # (``min(max_match, len(data) - position)`` in the LZ codecs).
+    limit = draw.draw(st.integers(min_value=1,
+                                  max_value=len(data) - position))
+    candidates = draw.draw(st.lists(
+        st.integers(min_value=0, max_value=position - 1),
+        min_size=1, max_size=16))
+    assert vectorised.match_lengths(data, candidates, position, limit) \
+        == pure.match_lengths(data, candidates, position, limit)
+
+
+@quick
+@given(words, st.integers(min_value=0, max_value=8),
+       st.integers(min_value=1, max_value=41))
+def test_chunk_words_match(vectorised, block, offset, frame_words):
+    offset = min(offset, len(block))
+    assert vectorised.chunk_words(block, offset, frame_words) == \
+        pure.chunk_words(block, offset, frame_words)
+
+
+@quick
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(min_value=0, max_value=0xFFFFFFFF),
+                          st.integers(min_value=0, max_value=30)),
+                max_size=60),
+       st.integers(min_value=1, max_value=41))
+def test_synthesize_payload_matches(vectorised, ops, frame_words):
+    plan = SynthesisPlan(frame_words)
+    for is_copy, value, length in ops:
+        # Copies are only meaningful once a previous frame exists.
+        if is_copy and plan.total_words >= frame_words:
+            plan.copy_previous(min(length, frame_words))
+        else:
+            plan.fill(value, length)
+    assert vectorised.synthesize_payload(plan) == \
+        pure.synthesize_payload(plan)
+
+
+def test_generator_digest_identical_across_backends():
+    digests = {}
+    for name in ("pure", "numpy"):
+        with accel.using(name):
+            blob = generate_bitstream(size=DataSize.from_kb(16),
+                                      seed=2012).file_bytes
+        digests[name] = hashlib.sha256(blob).hexdigest()
+    assert digests["pure"] == digests["numpy"]

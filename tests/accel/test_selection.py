@@ -1,0 +1,97 @@
+"""Backend registry: selection precedence, validation, metrics."""
+
+import pytest
+
+from repro import accel
+from repro.errors import AccelError
+from repro.obs import install as obs_install
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_backend(monkeypatch):
+    """Each test resolves from a clean slate (no force, no env)."""
+    monkeypatch.delenv(accel.BACKEND_ENV, raising=False)
+    with accel.using("auto"):
+        yield
+
+
+def test_pure_backend_always_available():
+    assert accel.available_backends()[0] == "pure"
+
+
+def test_auto_prefers_numpy_when_importable():
+    expected = "numpy" if accel.numpy_available() else "pure"
+    assert accel.select("auto") == expected
+    assert accel.backend_name() == expected
+
+
+def test_select_pure_forces_pure():
+    assert accel.select("pure") == "pure"
+    assert accel.active().name == "pure"
+
+
+def test_select_beats_environment(monkeypatch):
+    monkeypatch.setenv(accel.BACKEND_ENV, "pure")
+    if accel.numpy_available():
+        assert accel.select("numpy") == "numpy"
+    else:
+        assert accel.select("pure") == "pure"
+
+
+def test_environment_beats_auto(monkeypatch):
+    monkeypatch.setenv(accel.BACKEND_ENV, "pure")
+    assert accel.select("auto") == "pure"
+
+
+def test_environment_auto_means_auto(monkeypatch):
+    monkeypatch.setenv(accel.BACKEND_ENV, "auto")
+    expected = "numpy" if accel.numpy_available() else "pure"
+    assert accel.select(None) == expected
+
+
+def test_invalid_name_rejected_without_clobbering_state():
+    before = accel.backend_name()
+    with pytest.raises(AccelError):
+        accel.select("cuda")
+    assert accel.backend_name() == before
+
+
+def test_invalid_environment_value_rejected(monkeypatch):
+    monkeypatch.setenv(accel.BACKEND_ENV, "fortran")
+    with pytest.raises(AccelError):
+        accel.select(None)  # re-resolves, reading the bad env value
+
+
+def test_using_restores_previous_selection():
+    accel.select("pure")
+    with accel.using("auto") as name:
+        assert name in ("pure", "numpy")
+    assert accel.backend_name() == "pure"
+
+
+def test_numpy_request_without_numpy_raises(monkeypatch):
+    if accel.numpy_available():
+        pytest.skip("numpy installed; covered by test_select_beats_environment")
+    with pytest.raises(AccelError):
+        accel.select("numpy")
+
+
+def test_dispatch_records_backend_tagged_counters():
+    accel.select("pure")
+    registry = MetricsRegistry()
+    obs_install(registry=registry)
+    try:
+        accel.crc32c(b"\x00" * 64)
+        accel.words_to_bytes([1, 2, 3])
+    finally:
+        obs_install()
+    rows = dict(registry.snapshot()["counters"])
+    assert rows["accel.pure.crc32c.calls"] == 1
+    assert rows["accel.pure.crc32c.bytes"] == 64
+    assert rows["accel.pure.words_to_bytes.bytes"] == 12
+
+
+def test_no_registry_means_no_recording():
+    # Must not raise against the NullRegistry singletons.
+    accel.record("crc32c", 128)

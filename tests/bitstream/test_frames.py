@@ -1,9 +1,16 @@
 """Frame-address packing and enumeration."""
 
+import dataclasses
+
 import pytest
 
-from repro.bitstream.device import VIRTEX5_SX50T
-from repro.bitstream.frames import BlockType, FrameAddress, region_frames
+from repro.bitstream.device import VIRTEX4_FX60, VIRTEX5_SX50T
+from repro.bitstream.frames import (
+    BlockType,
+    FrameAddress,
+    frame_layout,
+    region_frames,
+)
 from repro.errors import BitstreamFormatError
 
 
@@ -81,3 +88,40 @@ def test_region_frames_negative_count():
     start = FrameAddress(BlockType.CLB_IO_CLK, 0, 0, 0, 0)
     with pytest.raises(ValueError):
         list(region_frames(VIRTEX5_SX50T, start, -1))
+
+
+def test_frame_layout_memoised_per_device():
+    assert frame_layout(VIRTEX5_SX50T) is frame_layout(VIRTEX5_SX50T)
+    assert frame_layout(VIRTEX5_SX50T) is not frame_layout(VIRTEX4_FX60)
+
+
+def test_frame_layout_keyed_by_device_value_not_object():
+    # DeviceInfo is frozen, so the memo key is the device's *value*:
+    # an equal copy shares the table, a geometry change gets its own.
+    clone = dataclasses.replace(VIRTEX5_SX50T)
+    assert clone is not VIRTEX5_SX50T
+    assert frame_layout(clone) is frame_layout(VIRTEX5_SX50T)
+    narrower = dataclasses.replace(VIRTEX5_SX50T, columns=40)
+    layout = frame_layout(narrower)
+    assert layout is not frame_layout(VIRTEX5_SX50T)
+    assert len(layout) < len(frame_layout(VIRTEX5_SX50T))
+
+
+def test_frame_layout_successor_matches_arithmetic():
+    address = FrameAddress(BlockType.CLB_IO_CLK, 0, 0, 0, 0)
+    layout = frame_layout(VIRTEX5_SX50T)
+    for _ in range(3 * VIRTEX5_SX50T.minor_frames_clb + 5):
+        expected = address._next_arithmetic(VIRTEX5_SX50T)
+        assert layout.successor(address) == expected
+        assert address.next_in(VIRTEX5_SX50T) == expected
+        address = expected
+
+
+def test_next_in_outside_geometry_falls_back_to_arithmetic():
+    # An address past the device's column range is not in the layout
+    # table; next_in must still advance it (arithmetic fallback).
+    address = FrameAddress(BlockType.CLB_IO_CLK, 0, 0, 200, 0)
+    layout = frame_layout(VIRTEX5_SX50T)
+    assert layout.successor(address) is None
+    assert address.next_in(VIRTEX5_SX50T) == \
+        address._next_arithmetic(VIRTEX5_SX50T)

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.bitstream.device import VIRTEX5_SX50T, VIRTEX6_LX240T
+from repro.bitstream.device import (
+    VIRTEX4_FX60,
+    VIRTEX5_SX50T,
+    VIRTEX6_LX240T,
+)
 from repro.bitstream.generator import generate_bitstream
 from repro.bitstream.parser import BitstreamParser
 from repro.errors import BitstreamFormatError, DeviceMismatchError
@@ -13,6 +17,20 @@ def test_parse_roundtrip(small_bitstream):
     parsed = BitstreamParser(VIRTEX5_SX50T).parse(small_bitstream.file_bytes)
     assert parsed.raw_words == small_bitstream.raw_words
     assert parsed.header == small_bitstream.header
+
+
+@pytest.mark.parametrize(
+    "device", [VIRTEX5_SX50T, VIRTEX6_LX240T, VIRTEX4_FX60],
+    ids=lambda device: device.name)
+def test_parse_roundtrip_every_device(device):
+    bitstream = generate_bitstream(device=device,
+                                   size=DataSize.from_kb(8), seed=7)
+    parsed = BitstreamParser(device).parse(bitstream.file_bytes)
+    assert parsed.raw_words == bitstream.raw_words
+    assert parsed.header == bitstream.header
+    assert parsed.idcode == device.idcode
+    assert parsed.frame_data_words == bitstream.frame_payload_words
+    assert parsed.frame_data_words % device.frame_words == 0
 
 
 def test_size_matches_raw_stream(small_bitstream):

@@ -1,0 +1,14 @@
+"""Fixture: A601 numpy-containment violations."""
+
+import numpy  # direct import outside repro.accel
+import numpy as np  # aliased import is just as leaky
+from numpy import frombuffer  # from-import of the package
+from numpy.linalg import norm  # submodule from-import
+import numpy.random  # dotted module import
+import struct  # ok: stdlib
+from numpy import uint32  # repro-lint: disable=A601
+
+
+def vectorize(data):
+    words = frombuffer(data, dtype=np.uint32)
+    return numpy, numpy.random, norm(words), struct, uint32

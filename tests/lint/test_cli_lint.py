@@ -42,6 +42,7 @@ def test_each_rule_fixture_exits_one(capsys):
         "C501": "c501_unsorted_json_key.py",
         "C502": "c502_repr_digest_input.py",
         "C503": "c503_unversioned_key.py",
+        "A601": "a601_numpy_import.py",
     }
     assert set(fixture_by_rule) == set(all_rules())
     for rule_id, fixture in fixture_by_rule.items():
