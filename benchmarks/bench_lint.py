@@ -1,9 +1,10 @@
 """Cold vs warm lint of the full source tree.
 
-The incremental cache is the v2 analyzer's performance story: a warm
-re-lint of an unchanged tree must come back near-instant (the ISSUE
-acceptance bar is >=5x faster than cold), because CI and editor hooks
-re-run it on every save.  ``BENCH_lint.json`` pins both numbers.
+The incremental cache is the analyzer's performance story: a warm
+re-lint of an unchanged tree must come back near-instant (the v3
+acceptance bar is >=50x faster than cold), because CI and editor
+hooks re-run it on every save.  ``BENCH_lint.json`` pins both
+numbers.
 
 Run with::
 

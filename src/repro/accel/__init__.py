@@ -259,6 +259,7 @@ def match_lengths(data: bytes, candidates: Sequence[int],
     backend = _active
     if backend is None:
         backend = _resolve()
+    record("match_lengths", limit * len(candidates))
     return backend.match_lengths(data, candidates, position, limit)
 
 

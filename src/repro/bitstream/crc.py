@@ -27,11 +27,6 @@ import struct
 from typing import Sequence
 
 from repro import accel
-from repro.accel.pure import (  # re-exported for back-compat
-    _POLY_REFLECTED,
-    CRC_TABLE as _TABLE,
-    CRC_TABLES as _TABLES,
-)
 
 __all__ = ["ConfigCrc", "crc32c"]
 

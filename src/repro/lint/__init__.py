@@ -6,13 +6,16 @@ all clock math, bit-exact determinism, and kernel-owned event dispatch.
 This package checks them statically, with project-specific rules, and
 backs the ``python -m repro lint`` CLI plus the CI gate.
 
-v2 is a two-pass whole-program analyzer: pass 1 builds a
+v3 is a two-pass whole-program analyzer: pass 1 builds a
 :class:`~repro.lint.project.ProjectIndex` (imports, call graph,
-per-function unit summaries), pass 2 runs local rules plus
-flow-sensitive project rules (cross-function unit propagation, sweep
-process-safety, cache-key purity) against it.  An incremental cache
-makes warm re-lints near-instant, and a checked-in baseline lets new
-rules land without blocking the tree.
+per-function unit summaries, interprocedural mutation/escape effect
+summaries), pass 2 runs local rules plus flow-sensitive project rules
+(cross-function unit propagation, sweep process-safety, cache-key
+purity, scheduled-callback race detection, accel backend-contract
+conformance) against it.  Rules may attach mechanically safe fixes,
+applied with ``--fix`` or previewed with ``--show-fixes``.  An
+incremental cache makes warm re-lints near-instant, and a checked-in
+baseline lets new rules land without blocking the tree.
 
 Typical use::
 
@@ -40,6 +43,8 @@ from repro.lint.baseline import (
     write_baseline,
 )
 from repro.lint.cache import LintCache
+from repro.lint.effects import EffectSummary, ResolvedEffects
+from repro.lint.fix import FixPlan, plan_fixes, write_changes
 from repro.lint.project import ProjectIndex
 from repro.lint.registry import (
     Checker,
@@ -54,15 +59,20 @@ from repro.lint.reporters import (
     format_sarif,
     format_text,
 )
-from repro.lint.violations import Violation
+from repro.lint.violations import Edit, Fix, Violation
 
 __all__ = [
     "BaselineEntry",
     "BaselineError",
     "Checker",
+    "Edit",
+    "EffectSummary",
+    "Fix",
+    "FixPlan",
     "LintCache",
     "ProjectChecker",
     "ProjectIndex",
+    "ResolvedEffects",
     "Violation",
     "all_rules",
     "apply_baseline",
@@ -78,6 +88,8 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "plan_fixes",
     "register",
     "write_baseline",
+    "write_changes",
 ]

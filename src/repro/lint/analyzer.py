@@ -27,6 +27,7 @@ import ast
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.lint.fix import delete_span_fix
 from repro.lint.project import ProjectIndex, module_name_for
 from repro.lint.registry import all_rules, get_rule
 from repro.lint.summaries import ModuleSummary, summarize_module
@@ -34,7 +35,7 @@ from repro.lint.suppressions import ALL, SuppressionIndex
 from repro.lint.violations import Violation
 
 #: Bump on any behavior change that should invalidate cached results.
-ANALYZER_VERSION = "2.0"
+ANALYZER_VERSION = "3.0"
 
 #: Directory names skipped while walking a directory argument.  Files
 #: named explicitly on the command line are always linted — that is how
@@ -130,11 +131,17 @@ def _run_checkers(tree: ast.Module, source: str, path: str,
                 or UNUSED_SUPPRESSION_RULE in suppressions.file_rules:
             continue
         listed = ",".join(sorted(rules))
+        span = suppressions.line_spans.get(line)
+        fix = None
+        if span is not None:
+            fix = delete_span_fix(line, span[0], line, span[1],
+                                  "delete the unused suppression comment")
         kept.append(Violation(
             path=path, line=line, col=0,
             rule_id=UNUSED_SUPPRESSION_RULE,
             message=f"unused suppression: disable={listed} matches "
-                    f"no violation on this line; delete it"))
+                    f"no violation on this line; delete it",
+            fix=fix))
     return sorted(kept)
 
 
@@ -166,18 +173,28 @@ def lint_file(path: Path,
 
 def lint_paths(paths: Sequence[str],
                select: Optional[Iterable[str]] = None,
-               cache=None) -> List[Violation]:
+               cache=None,
+               report_only: Optional[Iterable[str]] = None
+               ) -> List[Violation]:
     """Lint every Python file reachable from ``paths``, sorted."""
-    return lint_files(collect_files(paths), select=select, cache=cache)
+    return lint_files(collect_files(paths), select=select, cache=cache,
+                      report_only=report_only)
 
 
 def lint_files(files: Sequence[Path],
                select: Optional[Iterable[str]] = None,
-               cache=None) -> List[Violation]:
+               cache=None,
+               report_only: Optional[Iterable[str]] = None
+               ) -> List[Violation]:
     """Two-pass lint of an explicit file list.
 
     ``cache`` is a :class:`repro.lint.cache.LintCache` (or ``None``);
     with one, unchanged files are neither parsed nor re-checked.
+
+    ``report_only`` restricts *pass 2* to the named files while the
+    project index still covers everything — this is how
+    ``tools/lint_changed.py`` lints a handful of changed files with
+    full cross-module context but no full-tree rule run.
     """
     checkers = _select_checkers(select)
     select_key = ",".join(sorted(select)) if select is not None else "*"
@@ -213,11 +230,16 @@ def lint_files(files: Sequence[Path],
 
     index = ProjectIndex(summaries)
     signature = f"{ANALYZER_VERSION}:{index.signature()}:{select_key}"
+    reported = (None if report_only is None
+                else {str(Path(p).resolve()) for p in report_only})
 
     # Pass 2 — rules (cached by file content + project signature).
     violations: List[Violation] = []
     for file_path in files:
         path = str(file_path)
+        if reported is not None \
+                and str(file_path.resolve()) not in reported:
+            continue
         if cache is not None:
             cached = cache.get_results(file_keys[path], signature)
             if cached is not None:

@@ -30,7 +30,8 @@ from repro.lint.summaries import ModuleSummary
 from repro.lint.violations import Violation
 
 #: Bump on any serialized layout change; embedded in every file key.
-LINT_CACHE_VERSION = 1
+#: v2: summaries carry effect data, results carry optional fixes.
+LINT_CACHE_VERSION = 2
 
 _KEY_PREFIX = ("v%d" % LINT_CACHE_VERSION).encode("utf-8") + b"\0"
 
@@ -79,11 +80,8 @@ class LintCache:
         blob = self._read(self._result_path(key, signature))
         if blob is not None:
             try:
-                violations = [
-                    Violation(path=entry["path"], line=entry["line"],
-                              col=entry["col"], rule_id=entry["rule"],
-                              message=entry["message"])
-                    for entry in json.loads(blob)]
+                violations = [Violation.from_dict(entry)
+                              for entry in json.loads(blob)]
             except (ValueError, KeyError, TypeError):
                 violations = None  # corrupt entry: recompute, overwrite
             if violations is not None:

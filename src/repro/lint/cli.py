@@ -30,6 +30,7 @@ from repro.lint.baseline import (
     write_baseline,
 )
 from repro.lint.cache import LintCache
+from repro.lint.fix import plan_fixes, write_changes
 from repro.lint.registry import all_rules
 from repro.lint.reporters import (
     format_json,
@@ -72,6 +73,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                              f"{DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the incremental analysis cache")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanically safe fixes, then "
+                             "re-lint and report what remains")
+    parser.add_argument("--show-fixes", action="store_true",
+                        help="preview auto-fixes as unified diffs "
+                             "without writing anything")
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -118,16 +125,38 @@ def run_lint(args: argparse.Namespace) -> int:
               f"to each entry")
         return EXIT_CLEAN
 
-    if baseline_path is not None and not args.no_baseline:
-        try:
-            entries = load_baseline(baseline_path)
-        except BaselineError as exc:
-            print(f"repro lint: {exc}", file=sys.stderr)
-            return EXIT_USAGE
-        violations = apply_baseline(
-            violations, entries, baseline_path,
+    def filter_through_baseline(found):
+        if baseline_path is None or args.no_baseline:
+            return found
+        entries = load_baseline(baseline_path)
+        return apply_baseline(
+            found, entries, baseline_path,
             checked_paths={normalize_path(str(f)) for f in files},
             checked_rules=set(select) if select is not None else None)
+
+    try:
+        violations = filter_through_baseline(violations)
+    except BaselineError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    # Fixes operate strictly on post-baseline findings: a baselined
+    # idiom is a documented decision, not something to rewrite.
+    if args.fix or args.show_fixes:
+        plan = plan_fixes(violations)
+        if args.show_fixes and plan.changes:
+            print(plan.render_diffs())
+        if plan.changes:
+            noun = "file" if len(plan.changes) == 1 else "files"
+            print(f"{plan.applied_count} auto-fixable violation(s) "
+                  f"in {len(plan.changes)} {noun}"
+                  + (f"; {plan.skipped_count} skipped (conflicting "
+                     f"edits)" if plan.skipped_count else ""))
+        if args.fix and plan.changes:
+            write_changes(plan)
+            print(f"applied {plan.applied_count} fix(es); re-linting")
+            violations = filter_through_baseline(
+                lint_files(files, select=select, cache=cache))
 
     if args.format == "json":
         formatter = format_json

@@ -1,0 +1,368 @@
+"""Interprocedural effect-and-alias summaries (pass 1 of v3).
+
+Every function body is reduced to an :class:`EffectSummary` — which of
+its *roots* it mutates, reads, or lets escape, and which calls it
+makes with roots bound to arguments.  A root is one of:
+
+* a **parameter** (mutating ``stats.append(...)`` mutates the caller's
+  object — the aliasing Python cannot type-check),
+* a ``self.<attr>`` slot (state shared by every scheduled callback of
+  the same object),
+* a **free name** — a module-level binding, significant when the
+  owning module declares it mutable.
+
+Summaries are *local* facts only; :class:`repro.lint.project
+.ProjectIndex` propagates them through the call graph to a fixed
+point (``helper(x)`` that appends to its parameter makes the caller a
+mutator of whatever it passed), exactly as it already does for return
+units.  The race rules (R7xx) consume the propagated view.
+
+Encoding: roots are serialized as short tagged strings — ``"p:name"``
+(parameter), ``"s:attr"`` (self attribute), ``"f:name"`` (free name)
+— so summaries stay plain JSON for the incremental cache.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.lint.astutils import dotted_name
+
+#: Method names that mutate their receiver in place.  Conservative on
+#: purpose: a name here must *always* mean in-place mutation on the
+#: builtin containers / deques / dicts this codebase schedules around.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "pop", "popleft", "popitem", "remove", "reverse",
+    "setdefault", "sort", "update", "write", "writelines",
+})
+
+#: Classes whose self-mutations *are* the ordering mechanism, not a
+#: hazard: triggering an :class:`repro.sim.signal.Event` (or driving a
+#: ``Signal``) is how processes establish happens-before in this
+#: codebase, so flagging it as an unordered write would condemn every
+#: correctly synchronized handshake.  The index drops self effects of
+#: methods defined on these classes before propagation.
+SYNC_CLASSES = frozenset({"Event", "Signal"})
+
+#: Root-key tags (see module docstring).
+PARAM, SELF, FREE = "p", "s", "f"
+
+
+def root_key(tag: str, name: str) -> str:
+    return f"{tag}:{name}"
+
+
+def split_root(key: str) -> Tuple[str, str]:
+    tag, _, name = key.partition(":")
+    return tag, name
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One call made by a function, with roots bound to arguments.
+
+    ``receiver`` is the root the method is called on (``"self"`` for
+    ``self.m()``, a root key for ``param.m()``), ``args`` maps each
+    positional argument to the root key it passes (``None`` for
+    anything that is not a plain root).  The project index resolves
+    ``name`` and translates the callee's effects back through this
+    binding.
+    """
+
+    name: str
+    line: int
+    receiver: Optional[str] = None
+    args: Tuple[Optional[str], ...] = ()
+
+    def to_list(self) -> list:
+        return [self.name, self.line, self.receiver, list(self.args)]
+
+    @staticmethod
+    def from_list(data: list) -> "CallEdge":
+        return CallEdge(name=data[0], line=data[1], receiver=data[2],
+                        args=tuple(data[3]))
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """Local (un-propagated) effects of one function body."""
+
+    #: Root keys mutated in place or rebound (``s:``/``p:``/``f:``).
+    mutates: Tuple[str, ...] = ()
+    #: Free roots whose *only* writes are membership-guarded subscript
+    #: fills (``CACHE.get(k)`` / ``k in CACHE`` plus ``CACHE[k] = v``)
+    #: — the idempotent memo-cache idiom, whose fill order cannot
+    #: change results.  Kept apart from :attr:`mutates` so race rules
+    #: can stay silent on it without losing real global mutations.
+    memo_fills: Tuple[str, ...] = ()
+    #: ``self.<attr>`` slots read (Load context or AugAssign target).
+    self_reads: Tuple[str, ...] = ()
+    #: Parameters stored into ``self`` slots or free containers —
+    #: the object outlives the call and is reachable later.
+    escapes: Tuple[str, ...] = ()
+    #: Calls with root-to-argument bindings, for propagation.
+    calls: Tuple[CallEdge, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "mutates": list(self.mutates),
+            "memo_fills": list(self.memo_fills),
+            "self_reads": list(self.self_reads),
+            "escapes": list(self.escapes),
+            "calls": [edge.to_list() for edge in self.calls],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "EffectSummary":
+        return EffectSummary(
+            mutates=tuple(data["mutates"]),
+            memo_fills=tuple(data["memo_fills"]),
+            self_reads=tuple(data["self_reads"]),
+            escapes=tuple(data["escapes"]),
+            calls=tuple(CallEdge.from_list(raw) for raw in data["calls"]),
+        )
+
+
+class _EffectCollector(ast.NodeVisitor):
+    """Single walk of one function body collecting local effects.
+
+    Nested function and lambda bodies are *excluded*: their effects
+    happen when they run, not when this function runs — nested defs
+    get their own summaries, and the race rules analyze scheduled
+    lambdas at the scheduling site.
+    """
+
+    def __init__(self, params: Set[str]) -> None:
+        self.params = params
+        self.bound: Set[str] = set(params)
+        self.globals_declared: Set[str] = set()
+        self.mutates: Set[str] = set()
+        self.fills: Set[str] = set()    # free roots with G[k] = v stores
+        self.guarded: Set[str] = set()  # free roots with get()/`in` tests
+        self.self_reads: Set[str] = set()
+        self.escapes: Set[str] = set()
+        self.calls: List[CallEdge] = []
+
+    # -- scope boundaries ---------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.bound.add(node.name)  # body not visited: separate scope
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # runs later, not here
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.globals_declared.update(node.names)
+
+    visit_Nonlocal = visit_Global
+
+    # -- root classification ------------------------------------------
+
+    def _root_of(self, node: ast.AST) -> Optional[str]:
+        """Root key of the *base object* an expression denotes.
+
+        ``self.attr[...]`` and deeper attribute paths all resolve to
+        the first step from the root: mutating ``self.grid.cells``
+        mutates state reachable from ``self.grid``.
+        """
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            parent = node.value
+            if isinstance(parent, ast.Name) and parent.id == "self" \
+                    and isinstance(node, ast.Attribute):
+                return root_key(SELF, node.attr)
+            node = parent
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name == "self":
+                return None  # bare self never mutated as a whole
+            if name in self.params:
+                return root_key(PARAM, name)
+            if name in self.bound and name not in self.globals_declared:
+                return None  # plain local
+            return root_key(FREE, name)
+        return None
+
+    def _mark_mutated(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            # A plain rebind is a local unless declared global.
+            if target.id in self.globals_declared:
+                self.mutates.add(root_key(FREE, target.id))
+            else:
+                self.bound.add(target.id)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mark_mutated(element)
+            return
+        root = self._root_of(target)
+        if root is not None:
+            self.mutates.add(root)
+
+    # -- statements and expressions -----------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            # ``NAME[key] = value`` on a free container is a candidate
+            # memo fill; anything deeper or different is a mutation.
+            if isinstance(target, ast.Subscript) \
+                    and isinstance(target.value, ast.Name):
+                root = self._root_of(target.value)
+                if root is not None and root.startswith(FREE + ":"):
+                    self.fills.add(root)
+                    self._note_escape(target, node.value)
+                    continue
+            self._mark_mutated(target)
+            self._note_escape(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._mark_mutated(node.target)
+        if node.value is not None:
+            self._note_escape(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._mark_mutated(node.target)
+        root = self._root_of(node.target)
+        if root is not None and root.startswith(SELF + ":"):
+            self.self_reads.add(split_root(root)[1])
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._mark_mutated(target)
+        self.generic_visit(node)
+
+    def _note_escape(self, target: ast.AST, value: ast.AST) -> None:
+        """``self.x = param`` / ``FREE[k] = param``: the param escapes."""
+        if not isinstance(value, ast.Name) \
+                or value.id not in self.params:
+            return
+        root = self._root_of(target)
+        if root is not None and not root.startswith(PARAM + ":"):
+            self.escapes.add(value.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            self.self_reads.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.In, ast.NotIn)) \
+                    and isinstance(comparator, ast.Name):
+                root = self._root_of(comparator)
+                if root is not None and root.startswith(FREE + ":"):
+                    self.guarded.add(root)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "get" \
+                and isinstance(func.value, ast.Name):
+            root = self._root_of(func.value)
+            if root is not None and root.startswith(FREE + ":"):
+                self.guarded.add(root)
+        if isinstance(func, ast.Attribute) \
+                and func.attr in MUTATOR_METHODS:
+            root = self._root_of(func.value)
+            if root is not None:
+                self.mutates.add(root)
+                # ``container.append(param)``: the argument escapes
+                # into state that outlives this call.
+                if not root.startswith(PARAM + ":"):
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name) \
+                                and arg.id in self.params:
+                            self.escapes.add(arg.id)
+        self._record_edge(node)
+        self.generic_visit(node)
+
+    def _record_edge(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        receiver: Optional[str] = None
+        if isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                receiver = "self"
+            else:
+                receiver = self._root_of(base)
+        args = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                break  # later positions are unknowable
+            if isinstance(arg, ast.Name) and arg.id != "self":
+                args.append(self._root_of(arg))
+            else:
+                args.append(None)
+        self.calls.append(CallEdge(name=name, line=node.lineno,
+                                   receiver=receiver, args=tuple(args)))
+
+
+def effects_of(node: ast.AST, param_names: Tuple[str, ...]
+               ) -> EffectSummary:
+    """The :class:`EffectSummary` of one function definition node."""
+    collector = _EffectCollector(set(param_names))
+    for stmt in node.body:
+        collector.visit(stmt)
+    # A subscript fill is only memo-shaped when the function also
+    # tests membership first and never mutates the root another way.
+    memo = {root for root in collector.fills
+            if root in collector.guarded
+            and root not in collector.mutates}
+    mutates = collector.mutates | (collector.fills - memo)
+    return EffectSummary(
+        mutates=tuple(sorted(mutates)),
+        memo_fills=tuple(sorted(memo)),
+        self_reads=tuple(sorted(collector.self_reads)),
+        escapes=tuple(sorted(collector.escapes)),
+        calls=tuple(collector.calls),
+    )
+
+
+@dataclass
+class ResolvedEffects:
+    """Call-graph-propagated effects of one function (index view).
+
+    Unlike :class:`EffectSummary` this is *absolute*: free-name
+    mutations and reads are qualified to ``module.name`` and filtered
+    to names the owning module actually binds to mutable objects, so a
+    rule can compare roots across modules without re-deriving context.
+    """
+
+    mutated_params: Set[str] = field(default_factory=set)
+    mutated_self: Set[str] = field(default_factory=set)
+    mutated_globals: Set[str] = field(default_factory=set)
+    #: Globals touched only through the idempotent memo-fill idiom;
+    #: shared, but order-independent — race rules leave them alone.
+    memo_globals: Set[str] = field(default_factory=set)
+    self_reads: Set[str] = field(default_factory=set)
+    global_reads: Set[str] = field(default_factory=set)
+    escaped_params: Set[str] = field(default_factory=set)
+
+    def snapshot(self) -> Tuple[frozenset, ...]:
+        return (frozenset(self.mutated_params),
+                frozenset(self.mutated_self),
+                frozenset(self.mutated_globals),
+                frozenset(self.memo_globals),
+                frozenset(self.self_reads),
+                frozenset(self.global_reads),
+                frozenset(self.escaped_params))
+
+    def mutates_anything(self) -> bool:
+        return bool(self.mutated_params or self.mutated_self
+                    or self.mutated_globals)
+
+

@@ -1,0 +1,249 @@
+"""Autofix engine: plan, preview, and apply mechanically safe edits.
+
+Rules *describe* repairs by attaching a :class:`~repro.lint
+.violations.Fix` to a violation; this module owns everything about
+executing them:
+
+* **planning** — fixes touching the same file are accepted in source
+  order and any fix whose edits would overlap an already-accepted
+  edit is skipped (never merged: overlapping edits mean two rules
+  disagree about the same characters, which is exactly when a
+  mechanical rewrite stops being safe);
+* **application** — edits are applied to the original text from the
+  bottom up so earlier offsets stay valid, and files are rewritten
+  atomically (tmp + ``os.replace``), so an interrupted ``--fix``
+  never leaves a half-written module;
+* **preview** — unified diffs of exactly what ``--fix`` would do,
+  which is what ``--show-fixes`` prints and what CI runs in check
+  mode.
+
+Idempotence is structural: a fix removes the pattern its rule
+matches, so the second run finds nothing to fix.  The test suite
+round-trips every fixer to hold that property.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.violations import Edit, Fix, Violation
+
+
+@dataclass
+class FileChange:
+    """Planned rewrite of one file."""
+
+    path: str
+    old_text: str
+    new_text: str
+    applied: List[Violation] = field(default_factory=list)
+    skipped: List[Violation] = field(default_factory=list)
+
+    def diff(self) -> str:
+        return "".join(difflib.unified_diff(
+            self.old_text.splitlines(keepends=True),
+            self.new_text.splitlines(keepends=True),
+            fromfile=f"a/{self.path}",
+            tofile=f"b/{self.path}",
+        ))
+
+
+@dataclass
+class FixPlan:
+    """Every planned change across the linted tree."""
+
+    changes: List[FileChange] = field(default_factory=list)
+
+    @property
+    def applied_count(self) -> int:
+        return sum(len(change.applied) for change in self.changes)
+
+    @property
+    def skipped_count(self) -> int:
+        return sum(len(change.skipped) for change in self.changes)
+
+    def render_diffs(self) -> str:
+        return "\n".join(change.diff() for change in self.changes
+                         if change.applied)
+
+
+def fixable(violations: Sequence[Violation]) -> List[Violation]:
+    return [v for v in violations if v.fix is not None]
+
+
+def _line_starts(text: str) -> List[int]:
+    starts = [0]
+    for index, char in enumerate(text):
+        if char == "\n":
+            starts.append(index + 1)
+    return starts
+
+
+def _offset(starts: List[int], line: int, col: int,
+            text_length: int) -> Optional[int]:
+    if not 1 <= line <= len(starts):
+        return None
+    offset = starts[line - 1] + col
+    return offset if offset <= text_length else None
+
+
+def _edit_spans(fix: Fix, starts: List[int], length: int
+                ) -> Optional[List[Tuple[int, int, str]]]:
+    spans = []
+    for edit in fix.edits:
+        start = _offset(starts, edit.line, edit.col, length)
+        end = _offset(starts, edit.end_line, edit.end_col, length)
+        if start is None or end is None or end < start:
+            return None  # stale positions: refuse rather than corrupt
+        spans.append((start, end, edit.text))
+    return spans
+
+
+def _overlaps(span: Tuple[int, int, str],
+              taken: List[Tuple[int, int, str]]) -> bool:
+    start, end, _ = span
+    for other_start, other_end, _ in taken:
+        if start < other_end and other_start < end:
+            return True
+        # Two zero-width insertions at the same point have no defined
+        # order — treat as a conflict so the outcome never depends on
+        # rule iteration order.
+        if start == end == other_start == other_end:
+            return True
+    return False
+
+
+def apply_to_text(text: str, violations: Sequence[Violation]
+                  ) -> Tuple[str, List[Violation], List[Violation]]:
+    """Apply the fixes of ``violations`` to ``text``.
+
+    Returns ``(new_text, applied, skipped)``.  Acceptance is in
+    source order of the violation, making conflicts deterministic.
+    """
+    starts = _line_starts(text)
+    taken: List[Tuple[int, int, str]] = []
+    applied: List[Violation] = []
+    skipped: List[Violation] = []
+    for violation in sorted(v for v in violations if v.fix is not None):
+        spans = _edit_spans(violation.fix, starts, len(text))
+        if spans is None or any(_overlaps(s, taken) for s in spans):
+            skipped.append(violation)
+            continue
+        taken.extend(spans)
+        applied.append(violation)
+    new_text = text
+    for start, end, replacement in sorted(taken, reverse=True):
+        new_text = new_text[:start] + replacement + new_text[end:]
+    return new_text, applied, skipped
+
+
+def plan_fixes(violations: Sequence[Violation]) -> FixPlan:
+    """Group fixable violations per file and compute each rewrite."""
+    by_path: Dict[str, List[Violation]] = {}
+    for violation in fixable(violations):
+        by_path.setdefault(violation.path, []).append(violation)
+    plan = FixPlan()
+    for path in sorted(by_path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                old_text = handle.read()
+        except OSError:
+            continue
+        new_text, applied, skipped = apply_to_text(old_text, by_path[path])
+        if new_text != old_text:
+            plan.changes.append(FileChange(path=path, old_text=old_text,
+                                           new_text=new_text,
+                                           applied=applied,
+                                           skipped=skipped))
+    return plan
+
+
+def write_changes(plan: FixPlan) -> List[str]:
+    """Atomically rewrite every planned file; returns written paths."""
+    written = []
+    for change in plan.changes:
+        directory = os.path.dirname(os.path.abspath(change.path))
+        descriptor, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".repro-fix-", suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(change.new_text)
+            os.replace(tmp_path, change.path)
+        except OSError:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        written.append(change.path)
+    return written
+
+
+# -- fix constructors used by the rules -------------------------------
+
+def wrap_call_fix(node, function: str, description: str) -> Optional[Fix]:
+    """Wrap an expression node in ``function(...)`` via two insertions."""
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return Fix(description=description, edits=(
+        Edit(line=node.lineno, col=node.col_offset,
+             end_line=node.lineno, end_col=node.col_offset,
+             text=f"{function}("),
+        Edit(line=end_line, col=end_col, end_line=end_line,
+             end_col=end_col, text=")"),
+    ))
+
+
+def append_argument_fix(call, argument: str,
+                        description: str) -> Optional[Fix]:
+    """Insert ``, argument`` after the last argument of a call node."""
+    last = None
+    for candidate in (*call.args, *[kw.value for kw in call.keywords]):
+        if last is None or (candidate.end_lineno, candidate.end_col_offset) \
+                > (last.end_lineno, last.end_col_offset):
+            last = candidate
+    if last is None or getattr(last, "end_lineno", None) is None:
+        return None
+    return Fix(description=description, edits=(
+        Edit(line=last.end_lineno, col=last.end_col_offset,
+             end_line=last.end_lineno, end_col=last.end_col_offset,
+             text=f", {argument}"),
+    ))
+
+
+def insert_statement_fix(function_def, statement: str,
+                         description: str) -> Optional[Fix]:
+    """Insert a statement line before the first real body statement.
+
+    A leading docstring is kept first; a body that is *only* a
+    docstring offers no anchor whose indentation is trustworthy, so
+    no fix is produced.
+    """
+    import ast
+
+    body = function_def.body
+    anchor_index = 0
+    if body and isinstance(body[0], ast.Expr) \
+            and isinstance(body[0].value, ast.Constant) \
+            and isinstance(body[0].value.value, str):
+        anchor_index = 1
+    if anchor_index >= len(body):
+        return None
+    anchor = body[anchor_index]
+    indent = " " * anchor.col_offset
+    return Fix(description=description, edits=(
+        Edit(line=anchor.lineno, col=0, end_line=anchor.lineno,
+             end_col=0, text=f"{indent}{statement}\n"),
+    ))
+
+
+def delete_span_fix(line: int, col: int, end_line: int, end_col: int,
+                    description: str) -> Fix:
+    return Fix(description=description, edits=(
+        Edit(line=line, col=col, end_line=end_line, end_col=end_col,
+             text=""),
+    ))

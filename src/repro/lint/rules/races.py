@@ -1,0 +1,542 @@
+"""R-rules: scheduled-callback and sim-process race detection.
+
+The sim kernel is single-threaded and deterministic, so these are not
+thread races — they are *order* races: two callbacks land on the event
+queue, both touch the same object, and nothing but the kernel's
+tie-break decides who runs first.  Refactors that merely renumber
+insertion order then change golden digests, which is the hazard class
+a multi-tenant fleet scheduler mass-produces.
+
+The happens-before approximation is deliberately shallow and sound in
+one direction only: two callbacks are *ordered* when they are
+scheduled from the same function with literal times of the same kind
+(both absolute or both relative) and different values, or when they
+sit in mutually exclusive branches of one ``if``.  Everything else —
+equal literals, symbolic times, loop-scheduled callbacks — is treated
+as unordered.  What each callback touches comes from the
+interprocedural effect summaries (:mod:`repro.lint.effects`)
+propagated through the :class:`~repro.lint.project.ProjectIndex`, so
+``sim.call_after(d, lambda: self._drain())`` sees everything
+``_drain`` (and its callees) mutate.
+
+The kernel and the process wrapper implement the scheduling machinery
+these rules model; they are exempt by path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.astutils import dotted_name, terminal_name
+from repro.lint.effects import MUTATOR_METHODS
+from repro.lint.registry import ProjectChecker, register
+
+#: ``Simulator`` scheduling entry points, mapped to the kind of their
+#: time argument (absolute instant vs relative delay).
+SCHEDULE_METHODS = {
+    "at": "abs",
+    "call_at": "abs",
+    "after": "rel",
+    "call_after": "rel",
+}
+
+#: Receiver names that plausibly denote the simulator object.  The
+#: method-name check alone would catch every ``obj.at(...)`` in sight;
+#: requiring a sim-looking receiver keeps the rules quiet elsewhere.
+_SIM_RECEIVERS = ("sim", "simulator", "kernel")
+
+Root = Tuple[str, str]  # ("self"|"local"|"global", name)
+
+
+def _looks_like_sim(node: ast.AST) -> bool:
+    name = terminal_name(node)
+    if name is None:
+        return False
+    return name.lstrip("_") in _SIM_RECEIVERS \
+        or name.endswith("_sim") or name.endswith("sim")
+
+
+class _Site:
+    """One scheduling point: a callback (or process) plus its effects."""
+
+    __slots__ = ("node", "kind", "time_kind", "time_key", "in_loop",
+                 "branch", "reads", "writes")
+
+    def __init__(self, node: ast.AST, kind: str,
+                 time_kind: Optional[str], time_key: Optional[str],
+                 in_loop: bool, branch: Tuple[Tuple[int, int], ...],
+                 reads: Set[Root], writes: Set[Root]) -> None:
+        self.node = node
+        self.kind = kind  # "cb" | "proc"
+        self.time_kind = time_kind  # "abs" | "rel" | None
+        self.time_key = time_key  # "const:<n>" | "expr:<dump>" | None
+        self.in_loop = in_loop
+        self.branch = branch
+        self.reads = reads
+        self.writes = writes
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+def _exclusive(a: _Site, b: _Site) -> bool:
+    """True when the two sites sit in different arms of one ``if``."""
+    for step_a, step_b in zip(a.branch, b.branch):
+        if step_a == step_b:
+            continue
+        return step_a[0] == step_b[0]  # same If node, different arm
+    return False
+
+
+def _same_time(a: _Site, b: _Site) -> bool:
+    if a.time_kind != b.time_kind or a.time_key is None:
+        return False
+    if a.time_key != b.time_key:
+        return False
+    if a is b:
+        # A loop re-evaluates the time expression every iteration;
+        # only a literal provably lands on one instant.
+        return a.time_key.startswith("const:")
+    if a.in_loop or b.in_loop:
+        return a.time_key.startswith("const:")
+    return True
+
+
+def _ordered(a: _Site, b: _Site) -> bool:
+    if a is b:
+        return False
+    if a.time_kind != b.time_kind:
+        return False
+    return (a.time_key is not None and b.time_key is not None
+            and a.time_key.startswith("const:")
+            and b.time_key.startswith("const:")
+            and a.time_key != b.time_key)
+
+
+def _show(root: Root) -> str:
+    tag, name = root
+    return f"self.{name}" if tag == "self" else name
+
+
+def _show_all(roots: Set[Root]) -> str:
+    return ", ".join(sorted(_show(root) for root in roots))
+
+
+class _RaceChecker(ProjectChecker):
+    """Shared machinery: find scheduling sites, derive their effects."""
+
+    exempt_paths = (
+        "*/repro/sim/kernel.py", "repro/sim/kernel.py",
+        "*/repro/sim/process.py", "repro/sim/process.py",
+    )
+
+    def __init__(self, path: str, index=None, module=None) -> None:
+        super().__init__(path, index=index, module=module)
+        self._class_stack: List[str] = []
+
+    # -- traversal ----------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self.index is not None and self.module is not None:
+            self._check_one_function(node)
+        self.generic_visit(node)  # nested defs analyzed on their own
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def check_sites(self, sites: List[_Site]) -> None:
+        raise NotImplementedError
+
+    def _check_one_function(self, node: ast.AST) -> None:
+        self._locals = self._local_names(node)
+        sites: List[_Site] = []
+        self._collect_sites(node.body, sites, in_loop=False, branch=())
+        if sites:
+            self.check_sites(sites)
+
+    def _local_names(self, node: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                    args.vararg, args.kwarg):
+            if arg is not None:
+                names.add(arg.arg)
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) \
+                    and isinstance(child.ctx, ast.Store):
+                names.add(child.id)
+        return names
+
+    def _collect_sites(self, stmts: Sequence[ast.stmt],
+                       sites: List[_Site], in_loop: bool,
+                       branch: Tuple[Tuple[int, int], ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for call in self._own_scope_calls(stmt):
+                self._classify_call(call, sites, in_loop, branch)
+            if isinstance(stmt, ast.If):
+                marker = id(stmt)
+                self._collect_sites(stmt.body, sites, in_loop,
+                                    branch + ((marker, 0),))
+                self._collect_sites(stmt.orelse, sites, in_loop,
+                                    branch + ((marker, 1),))
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self._collect_sites(stmt.body, sites, True, branch)
+                self._collect_sites(stmt.orelse, sites, in_loop, branch)
+            else:
+                for attr in ("body", "orelse", "finalbody"):
+                    block = getattr(stmt, attr, None)
+                    if block:
+                        self._collect_sites(block, sites, in_loop, branch)
+                for handler in getattr(stmt, "handlers", ()):
+                    self._collect_sites(handler.body, sites, in_loop,
+                                        branch)
+
+    def _own_scope_calls(self, stmt: ast.stmt) -> List[ast.Call]:
+        """Call nodes in this statement's expressions, not sub-blocks."""
+        calls: List[ast.Call] = []
+
+        def walk(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                return
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            for name, value in ast.iter_fields(node):
+                if isinstance(node, ast.stmt) and name in (
+                        "body", "orelse", "finalbody", "handlers"):
+                    continue
+                if isinstance(value, ast.AST):
+                    walk(value)
+                elif isinstance(value, list):
+                    for item in value:
+                        if isinstance(item, ast.AST):
+                            walk(item)
+
+        walk(stmt)
+        return calls
+
+    def _classify_call(self, call: ast.Call, sites: List[_Site],
+                       in_loop: bool,
+                       branch: Tuple[Tuple[int, int], ...]) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in SCHEDULE_METHODS \
+                and _looks_like_sim(func.value) and len(call.args) >= 2:
+            reads, writes = self._callback_effects(call.args[1],
+                                                   call.args[2:])
+            sites.append(_Site(
+                node=call, kind="cb",
+                time_kind=SCHEDULE_METHODS[func.attr],
+                time_key=self._time_key(call.args[0]),
+                in_loop=in_loop, branch=branch,
+                reads=reads, writes=writes,
+            ))
+            return
+        if isinstance(func, ast.Attribute) \
+                and func.attr == "schedule_batch" \
+                and _looks_like_sim(func.value) and call.args:
+            self._classify_batch(call, sites, in_loop, branch)
+            return
+        if terminal_name(func) == "Process" and len(call.args) >= 2:
+            reads, writes = self._callback_effects(call.args[1], ())
+            sites.append(_Site(
+                node=call, kind="proc", time_kind=None, time_key=None,
+                in_loop=in_loop, branch=branch,
+                reads=reads, writes=writes,
+            ))
+
+    def _classify_batch(self, call: ast.Call, sites: List[_Site],
+                        in_loop: bool,
+                        branch: Tuple[Tuple[int, int], ...]) -> None:
+        batch = call.args[0]
+        if not isinstance(batch, (ast.List, ast.Tuple)):
+            return
+        for element in batch.elts:
+            if isinstance(element, (ast.Tuple, ast.List)) \
+                    and len(element.elts) >= 2:
+                reads, writes = self._callback_effects(element.elts[1], ())
+                sites.append(_Site(
+                    node=element, kind="cb", time_kind="abs",
+                    time_key=self._time_key(element.elts[0]),
+                    in_loop=in_loop, branch=branch,
+                    reads=reads, writes=writes,
+                ))
+
+    def _time_key(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, (int, float)):
+            return f"const:{node.value!r}"
+        try:
+            return f"expr:{ast.dump(node)}"
+        except Exception:  # pragma: no cover - dump never fails today
+            return None
+
+    # -- callback effect extraction -----------------------------------
+
+    def _frame_root(self, node: ast.AST) -> Optional[Root]:
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return ("self", node.attr)
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            return self._frame_root(node.value)
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name == "self":
+                return None
+            if name in self._locals:
+                return ("local", name)
+            qualified = self.index.qualify_mutable_global(self.module,
+                                                          name)
+            if qualified is not None:
+                return ("global", qualified)
+        return None
+
+    def _callback_effects(self, callback: ast.AST,
+                          extra_args: Sequence[ast.AST]
+                          ) -> Tuple[Set[Root], Set[Root]]:
+        reads: Set[Root] = set()
+        writes: Set[Root] = set()
+        if isinstance(callback, ast.Lambda):
+            self._lambda_effects(callback, reads, writes)
+        elif isinstance(callback, ast.Call) \
+                and terminal_name(callback.func) == "partial" \
+                and callback.args:
+            self._reference_effects(callback.args[0], callback.args[1:],
+                                    reads, writes)
+        elif isinstance(callback, (ast.Name, ast.Attribute, ast.Call)):
+            self._reference_effects(callback, extra_args, reads, writes)
+        return reads, writes
+
+    def _reference_effects(self, ref: ast.AST,
+                           call_args: Sequence[ast.AST],
+                           reads: Set[Root], writes: Set[Root]) -> None:
+        """Effects of invoking a named callable / generator call.
+
+        ``Process(sim, gen(args))`` hands the *call* ``gen(args)``;
+        a plain ``sim.at(t, self._tick)`` hands the *reference*.  Both
+        reduce to: resolve the callee, translate its propagated
+        effects through the receiver and the argument roots.
+        """
+        if isinstance(ref, ast.Call):
+            call_args = ref.args
+            ref = ref.func
+        name = dotted_name(ref)
+        if name is None:
+            return
+        enclosing = self._class_stack[-1] if self._class_stack else None
+        callee = self.index.resolve(self.module, name, enclosing)
+        receiver_root: Optional[Root] = None
+        receiver_is_self = False
+        if isinstance(ref, ast.Attribute):
+            base = ref.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                receiver_is_self = True
+            else:
+                receiver_root = self._frame_root(base)
+                if receiver_root is not None:
+                    reads.add(receiver_root)
+        if callee is None:
+            return
+        effects = self.index.effects(callee)
+        for qualified in effects.mutated_globals:
+            writes.add(("global", qualified))
+        for qualified in effects.global_reads:
+            reads.add(("global", qualified))
+        if receiver_is_self:
+            for attr in effects.mutated_self:
+                writes.add(("self", attr))
+            for attr in effects.self_reads:
+                reads.add(("self", attr))
+        elif receiver_root is not None:
+            if effects.mutated_self:
+                writes.add(receiver_root)
+            elif effects.self_reads:
+                reads.add(receiver_root)
+        params = (callee.explicit_params
+                  if receiver_is_self or receiver_root is not None
+                  else callee.params)
+        for position, arg in enumerate(call_args):
+            root = self._frame_root(arg)
+            if root is None:
+                continue
+            reads.add(root)
+            if position < len(params) \
+                    and params[position].name in effects.mutated_params:
+                writes.add(root)
+
+    def _lambda_effects(self, node: ast.Lambda, reads: Set[Root],
+                        writes: Set[Root]) -> None:
+        bound = {arg.arg for arg in (*node.args.posonlyargs,
+                                     *node.args.args,
+                                     *node.args.kwonlyargs)}
+        for extra in (node.args.vararg, node.args.kwarg):
+            if extra is not None:
+                bound.add(extra.arg)
+
+        for child in ast.walk(node.body):
+            if isinstance(child, ast.Call):
+                func = child.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr in MUTATOR_METHODS:
+                    root = self._bound_aware_root(func.value, bound)
+                    if root is not None:
+                        writes.add(root)
+                    continue
+                self._reference_effects(func, child.args, reads, writes)
+            elif isinstance(child, ast.Attribute) \
+                    and isinstance(child.ctx, ast.Load):
+                root = self._bound_aware_root(child, bound)
+                if root is not None:
+                    reads.add(root)
+            elif isinstance(child, ast.Name) \
+                    and isinstance(child.ctx, ast.Load) \
+                    and child.id not in bound:
+                root = self._frame_root(child)
+                if root is not None:
+                    reads.add(root)
+
+    def _bound_aware_root(self, node: ast.AST,
+                          bound: Set[str]) -> Optional[Root]:
+        base = node
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if isinstance(base, ast.Name) and base.id in bound:
+            return None
+        return self._frame_root(node)
+
+    # -- pair enumeration ---------------------------------------------
+
+    def _hazard_pairs(self, sites: List[_Site], kind: str
+                      ) -> List[Tuple[_Site, _Site]]:
+        chosen = [s for s in sites if s.kind == kind]
+        pairs: List[Tuple[_Site, _Site]] = []
+        for i, first in enumerate(chosen):
+            if first.in_loop:
+                pairs.append((first, first))
+            for second in chosen[i + 1:]:
+                if not _exclusive(first, second):
+                    pairs.append((first, second))
+        return pairs
+
+
+@register
+class UnorderedCallbackMutation(_RaceChecker):
+    rule_id = "R701"
+    rule_name = "unordered-callback-mutation"
+    rationale = (
+        "Two scheduled callbacks mutate the same object and nothing "
+        "orders them: the final state depends on the kernel's "
+        "insertion-order tie-break, so an innocent refactor that "
+        "renumbers scheduling order changes simulation results."
+    )
+
+    def check_sites(self, sites: List[_Site]) -> None:
+        for first, second in self._hazard_pairs(sites, "cb"):
+            if first is not second and _ordered(first, second):
+                continue
+            shared = first.writes & second.writes
+            if not shared:
+                continue
+            if first is second:
+                self.report(first.node, (
+                    f"'{_show_all(shared)}' is mutated by every callback "
+                    f"scheduled in this loop, with no event ordering "
+                    f"between iterations"))
+            else:
+                self.report(second.node, (
+                    f"'{_show_all(shared)}' is mutated by unordered "
+                    f"callbacks scheduled at lines {first.line} and "
+                    f"{second.line}; order them with distinct times or "
+                    f"merge them into one callback"))
+
+
+@register
+class SameTimeOrderDependence(_RaceChecker):
+    rule_id = "R702"
+    rule_name = "same-time-order-dependence"
+    rationale = (
+        "Two callbacks land on the same simulation instant and one "
+        "reads what the other mutates: the observed value is decided "
+        "by the same-timestamp tie-break, a detail no hardware model "
+        "should encode."
+    )
+
+    def check_sites(self, sites: List[_Site]) -> None:
+        for first, second in self._hazard_pairs(sites, "cb"):
+            if first is second or not _same_time(first, second):
+                continue
+            cross = (first.writes & second.reads) \
+                | (second.writes & first.reads)
+            cross -= first.writes & second.writes  # that pair is R701
+            if cross:
+                self.report(second.node, (
+                    f"callbacks at lines {first.line} and {second.line} "
+                    f"run at the same instant and race on "
+                    f"'{_show_all(cross)}': the result depends on "
+                    f"scheduling order"))
+
+
+@register
+class ProcessSharedState(_RaceChecker):
+    rule_id = "R703"
+    rule_name = "process-shared-state"
+    rationale = (
+        "Two simulation processes touch the same mutable object and "
+        "at least one mutates it; their interleaving at wait points "
+        "is scheduling-order dependent, so shared state needs an "
+        "Event handshake, not luck."
+    )
+
+    def check_sites(self, sites: List[_Site]) -> None:
+        for first, second in self._hazard_pairs(sites, "proc"):
+            if first is second:
+                shared = set(first.writes)
+            else:
+                shared = (first.writes & (second.writes | second.reads)) \
+                    | (second.writes & (first.writes | first.reads))
+            if not shared:
+                continue
+            if first is second:
+                self.report(first.node, (
+                    f"every process spawned in this loop mutates "
+                    f"'{_show_all(shared)}' with no synchronization "
+                    f"between them"))
+            else:
+                self.report(second.node, (
+                    f"processes spawned at lines {first.line} and "
+                    f"{second.line} share mutable state "
+                    f"'{_show_all(shared)}' without an event ordering"))
+
+
+@register
+class CallbackMutatesGlobal(_RaceChecker):
+    rule_id = "R704"
+    rule_name = "callback-mutates-global"
+    rationale = (
+        "A scheduled callback (or spawned process) mutates "
+        "module-level state: every simulator instance in the process "
+        "shares that module object, so two fleet tenants scheduling "
+        "against it interfere even though each simulation is "
+        "deterministic in isolation."
+    )
+
+    def check_sites(self, sites: List[_Site]) -> None:
+        for site in sites:
+            shared = {root for root in site.writes
+                      if root[0] == "global"}
+            for root in sorted(shared):
+                kind = ("process" if site.kind == "proc"
+                        else "scheduled callback")
+                self.report(site.node, (
+                    f"{kind} mutates module-level state '{root[1]}'; "
+                    f"simulations sharing this module will interfere"))

@@ -23,7 +23,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, Set, Tuple
 
 _DIRECTIVE = re.compile(
     r"#\s*repro-lint:\s*disable=([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
@@ -38,11 +38,17 @@ class SuppressionIndex:
 
     file_rules: FrozenSet[str] = frozenset()
     line_rules: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: For line-scoped directives whose comment is *only* the
+    #: directive: ``line -> (delete_from_col, delete_to_col)``, the
+    #: span covering the comment plus the whitespace before it.  This
+    #: is what lets W001 offer a mechanical deletion.
+    line_spans: Dict[int, Tuple[int, int]] = field(default_factory=dict)
 
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
         file_rules: Set[str] = set()
         line_rules: Dict[int, Set[str]] = {}
+        line_spans: Dict[int, Tuple[int, int]] = {}
         try:
             tokens = tokenize.generate_tokens(io.StringIO(source).readline)
             for token in tokens:
@@ -56,6 +62,11 @@ class SuppressionIndex:
                 prefix = token.line[:token.start[1]]
                 if prefix.strip():
                     line_rules.setdefault(line_no, set()).update(rules)
+                    if token.string.strip() == match.group(0).strip():
+                        line_spans[line_no] = (
+                            len(prefix.rstrip()),
+                            token.start[1] + len(token.string),
+                        )
                 else:
                     file_rules.update(rules)
         except tokenize.TokenizeError:
@@ -64,6 +75,7 @@ class SuppressionIndex:
             file_rules=frozenset(file_rules),
             line_rules={line: frozenset(rules)
                         for line, rules in line_rules.items()},
+            line_spans=line_spans,
         )
 
     def suppresses(self, rule_id: str, line: int) -> bool:

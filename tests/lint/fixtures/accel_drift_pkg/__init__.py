@@ -1,0 +1,25 @@
+"""Fixture backend package: dispatch facade with seeded B-rule gaps."""
+
+from accel_drift_pkg import pure as _pure
+
+
+def record(kernel, data_bytes: int):
+    pass
+
+
+def pack_words(words):
+    record("pack_words", len(words))
+    return _pure.pack_words(words)
+
+
+def scan_runs(data, count):
+    # B803: dispatch without a record() call.
+    return _pure.scan_runs(data, count)
+
+
+# B802: crc_fold has no dispatch function at all.
+
+
+# Suppressed seed: another record()-less dispatch.
+def mix_rows(rows, stride):  # repro-lint: disable=B803
+    return _pure.mix_rows(rows, stride)

@@ -1,0 +1,26 @@
+"""Pure reference kernels for the drifted-backend fixture."""
+
+
+def pack_words(words):
+    return bytes(words)
+
+
+def crc_fold(data, crc=0):
+    return crc ^ len(data)
+
+
+def scan_runs(data, count):
+    return [count for _ in data]
+
+
+def _helper(data):
+    return len(data)
+
+
+# Suppressed seed: counterpart exists but the facade never dispatches.
+def fold_bits(data):  # repro-lint: disable=B802
+    return data[0] if data else 0
+
+
+def mix_rows(rows, stride):
+    return [row * stride for row in rows]

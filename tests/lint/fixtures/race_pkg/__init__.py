@@ -1,0 +1,1 @@
+"""Fixture package: seeded scheduling races for the R7xx rules."""

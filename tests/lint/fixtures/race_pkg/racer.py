@@ -1,0 +1,72 @@
+"""Each method seeds exactly one R-rule positive (see the tests)."""
+
+from repro.sim import Process
+
+from race_pkg.shared import enqueue, writer
+
+
+class Controller:
+    def __init__(self, sim):
+        self.sim = sim
+        self.pending = []
+        self.backlog = 0
+        self.log = []
+
+    def arm(self, delay):
+        # R701: both callbacks mutate self.pending; symbolic delays
+        # give the analyzer no ordering to lean on.
+        self.sim.call_after(delay, self.flush)
+        self.sim.call_after(delay * 2, self.reset)
+
+    def flush(self):
+        self.pending.append("flush")
+
+    def reset(self):
+        self.pending.clear()
+
+    def sample(self):
+        # R702: same literal instant, one writes what the other reads.
+        self.sim.call_at(1000, self.bump)
+        self.sim.call_at(1000, self.observe)
+
+    def bump(self):
+        self.backlog += 1
+
+    def observe(self):
+        self.log.append(self.backlog)
+
+    def spawn(self, stats):
+        # R703: two processes append to the same caller-owned list.
+        Process(self.sim, writer(self.sim, stats))
+        Process(self.sim, writer(self.sim, stats))
+
+    def defer(self):
+        # R704: a scheduled lambda mutates module-level state.
+        self.sim.call_after(5, lambda: enqueue("late"))
+
+    def storm(self, jobs):
+        # R701 (loop form): every iteration schedules the same mutator.
+        for _job in jobs:
+            self.sim.call_after(10, self.flush)
+
+    def staged(self, ready):
+        # Negative: distinct literal delays are ordered; exclusive
+        # branches never coexist.  Neither pair may be reported.
+        self.sim.call_after(10, self.flush)
+        self.sim.call_after(20, self.reset)
+        if ready:
+            self.sim.call_at(500, self.bump)
+        else:
+            self.sim.call_at(500, self.observe)
+
+    def rearm(self, delay, stats):
+        # One suppressed seed per R rule: stripping the directives in
+        # the suppression tests must reveal exactly one more finding
+        # of each.
+        self.sim.call_after(delay, self.flush)
+        self.sim.call_after(delay + 3, self.reset)  # repro-lint: disable=R701
+        self.sim.call_at(2000, self.bump)
+        self.sim.call_at(2000, self.observe)  # repro-lint: disable=R702
+        Process(self.sim, writer(self.sim, stats))
+        Process(self.sim, writer(self.sim, stats))  # repro-lint: disable=R703
+        self.sim.call_after(9, lambda: enqueue("late"))  # repro-lint: disable=R704

@@ -1,0 +1,12 @@
+"""Shared mutable state and helpers the race fixtures schedule."""
+
+PENDING = []
+
+
+def enqueue(item):
+    PENDING.append(item)
+
+
+def writer(sim, stats):
+    stats.append(sim.now)
+    yield

@@ -19,7 +19,8 @@ def test_clean_tree_exits_zero(capsys):
 
 def test_each_rule_fixture_exits_one(capsys):
     # Acceptance criterion: pointing the CLI at a fixture with a
-    # planted violation exits 1, for every rule.
+    # planted violation exits 1, for every rule.  Whole-program rules
+    # list every file their cross-module evidence needs.
     fixture_by_rule = {
         "U001": "u001_unit_suffix.py",
         "U002": "u002_float_time.py",
@@ -43,10 +44,29 @@ def test_each_rule_fixture_exits_one(capsys):
         "C502": "c502_repr_digest_input.py",
         "C503": "c503_unversioned_key.py",
         "A601": "a601_numpy_import.py",
+        "R701": "race_pkg/racer.py",
+        "R702": "race_pkg/racer.py",
+        "R703": ("race_pkg/racer.py", "race_pkg/shared.py"),
+        "R704": ("race_pkg/racer.py", "race_pkg/shared.py"),
+        "B801": ("accel_drift_pkg/__init__.py",
+                 "accel_drift_pkg/pure.py",
+                 "accel_drift_pkg/numpy_backend.py"),
+        "B802": ("accel_drift_pkg/__init__.py",
+                 "accel_drift_pkg/pure.py",
+                 "accel_drift_pkg/numpy_backend.py"),
+        "B803": ("accel_drift_pkg/__init__.py",
+                 "accel_drift_pkg/pure.py",
+                 "accel_drift_pkg/numpy_backend.py"),
+        "B804": ("b804_consumer.py",
+                 "accel_drift_pkg/__init__.py",
+                 "accel_drift_pkg/pure.py",
+                 "accel_drift_pkg/numpy_backend.py"),
     }
     assert set(fixture_by_rule) == set(all_rules())
     for rule_id, fixture in fixture_by_rule.items():
-        assert main(["lint", str(FIXTURES / fixture)]) == 1
+        names = (fixture,) if isinstance(fixture, str) else fixture
+        paths = [str(FIXTURES / name) for name in names]
+        assert main(["lint", *paths]) == 1
         assert rule_id in capsys.readouterr().out
 
 

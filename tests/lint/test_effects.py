@@ -1,0 +1,324 @@
+"""Interprocedural effect analysis: local summaries and propagation."""
+
+import ast
+import textwrap
+
+from repro.lint.effects import (
+    SYNC_CLASSES,
+    EffectSummary,
+    ResolvedEffects,
+    effects_of,
+)
+from repro.lint.project import ProjectIndex
+from repro.lint.summaries import summarize_module
+
+
+def _effects(source, params=()):
+    tree = ast.parse(textwrap.dedent(source))
+    return effects_of(tree.body[0], tuple(params))
+
+
+def _index(**modules):
+    summaries = []
+    for name, source in sorted(modules.items()):
+        path = name.replace(".", "/") + ".py"
+        tree = ast.parse(textwrap.dedent(source))
+        summaries.append(summarize_module(tree, name, path))
+    return ProjectIndex(summaries)
+
+
+def _fn(index, qualname):
+    return index.effects(index.functions[qualname])
+
+
+# -- local summaries ---------------------------------------------------
+
+def test_parameter_mutation_root():
+    eff = _effects("""
+        def add(stats, item):
+            stats.append(item)
+    """, params=("stats", "item"))
+    assert eff.mutates == ("p:stats",)
+
+
+def test_self_attribute_roots_and_reads():
+    eff = _effects("""
+        def tick(self):
+            self.count += 1
+            self.log.append(self.count)
+    """, params=("self",))
+    assert set(eff.mutates) == {"s:count", "s:log"}
+    assert "count" in eff.self_reads
+
+
+def test_plain_rebind_is_a_local_not_a_mutation():
+    eff = _effects("""
+        def shadow(x):
+            total = 0
+            total = total + x
+            return total
+    """, params=("x",))
+    assert eff.mutates == ()
+
+
+def test_global_declaration_makes_rebind_a_free_mutation():
+    eff = _effects("""
+        def bump():
+            global COUNTER
+            COUNTER = COUNTER + 1
+    """)
+    assert eff.mutates == ("f:COUNTER",)
+
+
+def test_free_container_mutation():
+    eff = _effects("""
+        def push(item):
+            PENDING.append(item)
+    """, params=("item",))
+    assert eff.mutates == ("f:PENDING",)
+    assert eff.escapes == ("item",)
+
+
+def test_store_into_self_escapes_the_parameter():
+    eff = _effects("""
+        def adopt(self, child):
+            self.child = child
+    """, params=("self", "child"))
+    assert eff.escapes == ("child",)
+
+
+def test_nested_defs_and_lambdas_are_excluded():
+    eff = _effects("""
+        def outer(items):
+            def later():
+                items.append(1)
+            callback = lambda: items.append(2)
+            return later, callback
+    """, params=("items",))
+    assert eff.mutates == ()
+
+
+def test_call_edges_record_receiver_and_argument_roots():
+    eff = _effects("""
+        def run(self, payload):
+            self.drain(payload)
+            helper(payload, 7)
+    """, params=("self", "payload"))
+    edges = {edge.name: edge for edge in eff.calls}
+    assert edges["self.drain"].receiver == "self"
+    assert edges["self.drain"].args == ("p:payload",)
+    assert edges["helper"].receiver is None
+    assert edges["helper"].args == ("p:payload", None)
+
+
+def test_summary_round_trips_through_json_dict():
+    eff = _effects("""
+        def work(self, out):
+            self.done = True
+            out.append(self.done)
+            self.finish(out)
+    """, params=("self", "out"))
+    assert EffectSummary.from_dict(eff.to_dict()) == eff
+
+
+# -- propagation through the project index -----------------------------
+
+def test_caller_inherits_helper_parameter_mutation():
+    index = _index(mod="""
+        def helper(bucket):
+            bucket.append(1)
+
+        def caller(items):
+            helper(items)
+    """)
+    assert _fn(index, "mod.caller").mutated_params == {"items"}
+
+
+def test_propagation_crosses_module_boundaries_and_chains():
+    index = _index(
+        base="""
+            def sink(target):
+                target.append("x")
+        """,
+        mid="""
+            from base import sink
+
+            def relay(queue):
+                sink(queue)
+        """,
+        top="""
+            from mid import relay
+
+            def entry(jobs):
+                relay(jobs)
+        """,
+    )
+    assert _fn(index, "top.entry").mutated_params == {"jobs"}
+
+
+def test_global_mutation_qualifies_through_imports():
+    index = _index(
+        shared="""
+            REGISTRY = []
+
+            def register(item):
+                REGISTRY.append(item)
+        """,
+        user="""
+            from shared import register
+
+            def run():
+                register("a")
+        """,
+    )
+    assert _fn(index, "user.run").mutated_globals == {"shared.REGISTRY"}
+    # Reading a plain constant is not a shared-state access.
+    assert index.qualify_mutable_global(index.modules["user"],
+                                        "register") is None
+
+
+def test_method_effects_translate_through_the_receiver():
+    index = _index(mod="""
+        class Box:
+            def fill(self):
+                self.items.append(1)
+
+        def caller(box):
+            box.fill()
+    """)
+    assert _fn(index, "mod.Box.fill").mutated_self == {"items"}
+    assert _fn(index, "mod.caller").mutated_params == {"box"}
+
+
+def test_self_call_merges_attribute_effects():
+    index = _index(mod="""
+        class Pump:
+            def _drain(self):
+                self.queue.clear()
+
+            def cycle(self):
+                self._drain()
+    """)
+    assert _fn(index, "mod.Pump.cycle").mutated_self == {"queue"}
+
+
+def test_sync_class_self_mutations_are_exempt():
+    # Triggering an Event *is* the ordering mechanism: its self
+    # effects must not propagate, or every correct handshake would be
+    # reported as a race.  An identically shaped non-sync class keeps
+    # its effects — the exemption is by class name, not by shape.
+    assert "Event" in SYNC_CLASSES
+    source_for = """
+        class {name}:
+            def trigger(self):
+                self.triggered = True
+                self.waiters.clear()
+
+        def fire(ev):
+            ev.trigger()
+    """
+    sync = _index(mod=source_for.format(name="Event"))
+    assert not _fn(sync, "mod.Event.trigger").mutates_anything()
+    assert _fn(sync, "mod.fire").mutated_params == set()
+
+    plain = _index(mod=source_for.format(name="Latch"))
+    assert _fn(plain, "mod.Latch.trigger").mutated_self \
+        == {"triggered", "waiters"}
+    assert _fn(plain, "mod.fire").mutated_params == {"ev"}
+
+
+def test_escapes_propagate_parameter_to_parameter():
+    index = _index(mod="""
+        class Keeper:
+            def keep(self, item):
+                self.held = item
+
+        def stash(keeper, thing):
+            keeper.keep(thing)
+    """)
+    assert "thing" in _fn(index, "mod.stash").escaped_params
+
+
+def test_unknown_function_has_empty_sound_default():
+    index = _index(mod="def noop():\n    pass\n")
+    empty = index.effects(None)
+    assert isinstance(empty, ResolvedEffects)
+    assert not empty.mutates_anything()
+
+
+def test_recursion_reaches_a_fixed_point():
+    index = _index(mod="""
+        def ping(box, n):
+            box.append(n)
+            if n:
+                pong(box, n - 1)
+
+        def pong(box, n):
+            ping(box, n)
+    """)
+    assert _fn(index, "mod.ping").mutated_params == {"box"}
+    assert _fn(index, "mod.pong").mutated_params == {"box"}
+
+
+def test_guarded_subscript_fill_is_memo_not_mutation():
+    eff = _effects("""
+        def layout_for(key):
+            cached = CACHE.get(key)
+            if cached is None:
+                cached = CACHE[key] = build(key)
+            return cached
+    """, params=("key",))
+    assert eff.memo_fills == ("f:CACHE",)
+    assert eff.mutates == ()
+
+
+def test_membership_test_also_guards_a_fill():
+    eff = _effects("""
+        def ensure(key):
+            if key not in TABLE:
+                TABLE[key] = key * 2
+            return TABLE[key]
+    """, params=("key",))
+    assert eff.memo_fills == ("f:TABLE",)
+    assert eff.mutates == ()
+
+
+def test_unguarded_fill_and_mixed_mutation_stay_mutations():
+    unguarded = _effects("""
+        def stamp(key):
+            TABLE[key] = key
+    """, params=("key",))
+    assert unguarded.mutates == ("f:TABLE",)
+    assert unguarded.memo_fills == ()
+
+    mixed = _effects("""
+        def churn(key):
+            if key in TABLE:
+                TABLE.clear()
+            TABLE[key] = key
+    """, params=("key",))
+    assert mixed.mutates == ("f:TABLE",)
+    assert mixed.memo_fills == ()
+
+
+def test_memo_globals_propagate_separately_from_mutations():
+    index = _index(
+        store="""
+            CACHE = {}
+
+            def lookup(key):
+                value = CACHE.get(key)
+                if value is None:
+                    value = CACHE[key] = key * 2
+                return value
+        """,
+        user="""
+            from store import lookup
+
+            def consume(key):
+                return lookup(key)
+        """,
+    )
+    eff = _fn(index, "user.consume")
+    assert eff.memo_globals == {"store.CACHE"}
+    assert eff.mutated_globals == set()

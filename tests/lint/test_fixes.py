@@ -1,0 +1,164 @@
+"""Autofix engine: planning, application, idempotence, CLI modes."""
+
+import shutil
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import Edit, Fix, Violation, lint_file, lint_files, plan_fixes, write_changes
+from repro.lint.fix import apply_to_text, fixable
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _fix_file(path, select=None):
+    """Lint ``path``, apply every planned fix, return remaining rules."""
+    violations = lint_file(path, select=select)
+    plan = plan_fixes(violations)
+    write_changes(plan)
+    return plan, lint_file(path, select=select)
+
+
+def _copy(tmp_path, name):
+    target = tmp_path / name
+    shutil.copy(FIXTURES / name, target)
+    return target
+
+
+# -- per-fixer round trips ---------------------------------------------
+
+def test_d103_wrap_in_sorted_round_trip(tmp_path):
+    target = _copy(tmp_path, "d103_unordered_iteration.py")
+    assert any(v.rule_id == "D103" for v in lint_file(target))
+    plan, remaining = _fix_file(target, select=["D103"])
+    assert plan.applied_count > 0
+    assert not any(v.rule_id == "D103" for v in remaining)
+    assert "sorted(" in target.read_text()
+
+
+def test_p403_sorted_digest_round_trip(tmp_path):
+    target = _copy(tmp_path, "p403_unordered_digest.py")
+    plan, remaining = _fix_file(target, select=["P403"])
+    assert plan.applied_count > 0
+    assert not any(v.rule_id == "P403" for v in remaining)
+
+
+def test_c501_sort_keys_round_trip(tmp_path):
+    target = _copy(tmp_path, "c501_unsorted_json_key.py")
+    plan, remaining = _fix_file(target, select=["C501"])
+    assert plan.applied_count > 0
+    assert not any(v.rule_id == "C501" for v in remaining)
+    assert "sort_keys=True" in target.read_text()
+
+
+def test_w001_delete_suppression_round_trip(tmp_path):
+    target = _copy(tmp_path, "w001_unused_suppression.py")
+    assert any(v.rule_id == "W001" for v in lint_file(target))
+    plan, remaining = _fix_file(target)
+    assert plan.applied_count > 0
+    assert not any(v.rule_id == "W001" for v in remaining)
+
+
+def test_b803_insert_record_round_trip(tmp_path):
+    pkg = tmp_path / "accel_drift_pkg"
+    shutil.copytree(FIXTURES / "accel_drift_pkg", pkg)
+    files = sorted(pkg.rglob("*.py"))
+    before = lint_files(files)
+    assert any(v.rule_id == "B803" for v in before)
+    write_changes(plan_fixes(before))
+    after = lint_files(files)
+    assert not any(v.rule_id == "B803" for v in after)
+    # Structural findings without a mechanical repair must survive.
+    assert any(v.rule_id == "B801" for v in after)
+    assert 'record("scan_runs", 0)' in (pkg / "__init__.py").read_text()
+
+
+def test_fix_twice_is_byte_identical(tmp_path):
+    # Acceptance criterion: --fix is idempotent — a second pass finds
+    # nothing left to rewrite, for every fixer the fixtures cover.
+    names = ["d103_unordered_iteration.py", "p403_unordered_digest.py",
+             "c501_unsorted_json_key.py", "w001_unused_suppression.py"]
+    targets = [_copy(tmp_path, name) for name in names]
+    write_changes(plan_fixes(lint_files(targets)))
+    once = {t: t.read_text() for t in targets}
+    second = plan_fixes(lint_files(targets))
+    assert second.changes == []
+    write_changes(second)
+    assert {t: t.read_text() for t in targets} == once
+
+
+# -- engine mechanics --------------------------------------------------
+
+def _violation(line, col, end_line, end_col, text, rule="T900"):
+    return Violation(path="x.py", line=line, col=col, rule_id=rule,
+                     message="test", fix=Fix(description="t", edits=(
+                         Edit(line=line, col=col, end_line=end_line,
+                              end_col=end_col, text=text),)))
+
+
+def test_overlapping_edits_skip_the_later_violation():
+    text = "alpha beta\n"
+    keep = _violation(1, 0, 1, 5, "ALPHA")
+    clash = _violation(1, 3, 1, 8, "XXX")
+    new_text, applied, skipped = apply_to_text(text, [keep, clash])
+    assert new_text == "ALPHA beta\n"
+    assert applied == [keep] and skipped == [clash]
+
+
+def test_equal_position_insertions_conflict():
+    # Two zero-width insertions at one point have no defined order;
+    # the engine must keep one and skip the other, deterministically.
+    first = _violation(1, 0, 1, 0, "a", rule="T900")
+    second = _violation(1, 0, 1, 0, "b", rule="T901")
+    new_text, applied, skipped = apply_to_text("x\n", [first, second])
+    assert new_text == "ax\n"
+    assert applied == [first] and skipped == [second]
+
+
+def test_stale_positions_are_refused_not_applied():
+    stale = _violation(99, 0, 99, 5, "nope")
+    new_text, applied, skipped = apply_to_text("one line\n", [stale])
+    assert new_text == "one line\n"
+    assert skipped == [stale]
+
+
+def test_multi_edit_fix_applies_bottom_up():
+    violation = Violation(
+        path="x.py", line=1, col=4, rule_id="T900", message="wrap",
+        fix=Fix(description="wrap", edits=(
+            Edit(line=1, col=4, end_line=1, end_col=4, text="sorted("),
+            Edit(line=1, col=7, end_line=1, end_col=7, text=")"),
+        )))
+    new_text, applied, _ = apply_to_text("x = {1}\n", [violation])
+    assert new_text == "x = sorted({1})\n"
+    assert applied == [violation]
+
+
+def test_fixable_filter_and_plan_skips_unchanged_files(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    without_fix = Violation(path=str(clean), line=1, col=0,
+                            rule_id="T900", message="no fix")
+    assert fixable([without_fix]) == []
+    assert plan_fixes([without_fix]).changes == []
+
+
+# -- CLI modes ---------------------------------------------------------
+
+def test_show_fixes_previews_without_writing(tmp_path, capsys):
+    target = _copy(tmp_path, "d103_unordered_iteration.py")
+    before = target.read_text()
+    assert main(["lint", str(target), "--show-fixes", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert f"a/{target}" in out and f"b/{target}" in out
+    assert "+" in out and "auto-fixable" in out
+    assert target.read_text() == before
+
+
+def test_fix_cli_applies_and_relints(tmp_path, capsys):
+    target = _copy(tmp_path, "c501_unsorted_json_key.py")
+    code = main(["lint", str(target), "--select", "C501",
+                 "--fix", "--no-cache"])
+    out = capsys.readouterr().out
+    assert "re-linting" in out
+    assert code == 0  # every C501 in the fixture is fixable
+    assert "sort_keys=True" in target.read_text()

@@ -81,3 +81,88 @@ def test_project_index_resolution_and_signature():
     # file order.
     shuffled = ProjectIndex(list(reversed(summaries)))
     assert index.signature() == shuffled.signature()
+
+
+# -- race rules (R7xx) -------------------------------------------------
+
+def test_race_rules_flag_every_seeded_race():
+    found = _by_rule(lint_files(_pkg_files("race_pkg")))
+    assert [v.line for v in found["R701"]] == [19, 50]
+    assert "self.pending" in found["R701"][0].message
+    assert "loop" in found["R701"][1].message
+    assert [v.line for v in found["R702"]] == [30]
+    assert "self.backlog" in found["R702"][0].message
+    assert [v.line for v in found["R703"]] == [41]
+    assert "'stats'" in found["R703"][0].message
+    assert [v.line for v in found["R704"]] == [45]
+    assert "race_pkg.shared.PENDING" in found["R704"][0].message
+
+
+def test_ordered_and_exclusive_schedules_stay_silent():
+    # Controller.staged: distinct literal delays are ordered, and the
+    # if/else arms are mutually exclusive — lines 55-60 must be clean.
+    found = lint_files(_pkg_files("race_pkg"))
+    assert not any(v.line >= 53 for v in found
+                   if v.rule_id.startswith("R7"))
+
+
+def test_process_race_needs_the_cross_module_index():
+    # racer.py alone cannot resolve shared.writer/shared.enqueue, so
+    # the sound default keeps R703/R704 silent; the in-class pairs
+    # (R701/R702) survive because self-resolution is module-local.
+    alone = _by_rule(lint_file(FIXTURES / "race_pkg" / "racer.py"))
+    assert "R703" not in alone and "R704" not in alone
+    assert "R701" in alone and "R702" in alone
+
+
+# -- backend contract rules (B8xx) ------------------------------------
+
+def _drift_files():
+    return _pkg_files("accel_drift_pkg") + [FIXTURES / "b804_consumer.py"]
+
+
+def test_backend_contract_rules_flag_every_seed():
+    found = _by_rule(lint_files(_drift_files()))
+    b801 = {(v.path.rsplit("/", 1)[-1], v.line) for v in found["B801"]}
+    assert b801 == {("pure.py", 4), ("pure.py", 8),
+                    ("numpy_backend.py", 13)}
+    messages = " | ".join(v.message for v in found["B801"])
+    assert "signature drift" in messages
+    assert "no counterpart" in messages
+    assert "no pure reference" in messages
+
+    [b802] = found["B802"]
+    assert b802.path.endswith("pure.py") and "crc_fold" in b802.message
+
+    [b803] = found["B803"]
+    assert b803.path.endswith("__init__.py")
+    assert "scan_runs" in b803.message
+    assert b803.fix is not None  # mechanically safe: insert record()
+
+    assert [v.line for v in found["B804"]] == [3, 4]
+    assert all(v.path.endswith("b804_consumer.py")
+               for v in found["B804"])
+
+
+def test_backend_package_detection_is_generic():
+    import ast
+
+    from repro.lint.project import ProjectIndex, module_name_for
+    from repro.lint.rules.backend import backend_package_of
+    from repro.lint.summaries import summarize_module
+
+    index = ProjectIndex([
+        summarize_module(ast.parse(path.read_text()),
+                         module_name_for(str(path)), str(path))
+        for path in _pkg_files("accel_drift_pkg")])
+    for module in ("accel_drift_pkg", "accel_drift_pkg.pure",
+                   "accel_drift_pkg.numpy_backend"):
+        assert backend_package_of(index, module) == "accel_drift_pkg"
+    assert backend_package_of(index, "somewhere.else") is None
+
+
+def test_imports_inside_the_backend_package_are_sanctioned():
+    found = _by_rule(lint_files(_pkg_files("accel_drift_pkg")))
+    # __init__.py imports its own pure submodule — that is the
+    # dispatch layer doing its job, not a bypass.
+    assert "B804" not in found

@@ -1,11 +1,12 @@
 """Per-rule fixture tests: each rule flags its planted violations and
 honors line- and file-level suppressions."""
 
+import shutil
 from pathlib import Path
 
 import pytest
 
-from repro.lint import all_rules, lint_file, lint_source
+from repro.lint import all_rules, lint_file, lint_files, lint_source
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
 
@@ -34,6 +35,37 @@ RULE_CASES = [
     ("c503_unversioned_key.py", "C503", [7, 10]),
     ("a601_numpy_import.py", "A601", [3, 4, 5, 6, 7]),
 ]
+
+# Whole-program rules need the cross-module index, so their fixtures
+# are packages linted together (exact sites are pinned down in
+# test_project_rules.py).  Each still plants one extra seed under a
+# trailing ``# repro-lint: disable=RULE``: (sources, rule, count).
+PROJECT_RULE_CASES = [
+    (("race_pkg",), "R701", 2),
+    (("race_pkg",), "R702", 1),
+    (("race_pkg",), "R703", 1),
+    (("race_pkg",), "R704", 1),
+    (("accel_drift_pkg",), "B801", 3),
+    (("accel_drift_pkg",), "B802", 1),
+    (("accel_drift_pkg",), "B803", 1),
+    (("accel_drift_pkg", "b804_consumer.py"), "B804", 2),
+]
+
+
+def _lint_tree(root, sources, rule_id, reveal=False):
+    root.mkdir(parents=True, exist_ok=True)
+    for name in sources:
+        src = FIXTURES / name
+        if src.is_dir():
+            shutil.copytree(src, root / name)
+        else:
+            (root / name).write_text(src.read_text())
+    if reveal:
+        for path in root.rglob("*.py"):
+            path.write_text(path.read_text().replace(
+                "repro-lint: disable", "repro-lint-off"))
+    return [v for v in lint_files(sorted(root.rglob("*.py")))
+            if v.rule_id == rule_id]
 
 
 @pytest.mark.parametrize("fixture,rule_id,lines",
@@ -79,8 +111,19 @@ def test_registry_has_at_least_eight_rules():
         assert checker.rationale
 
 
+@pytest.mark.parametrize("sources,rule_id,count", PROJECT_RULE_CASES,
+                         ids=[c[1] for c in PROJECT_RULE_CASES])
+def test_project_rule_suppression_respected(tmp_path, sources, rule_id,
+                                            count):
+    suppressed = _lint_tree(tmp_path / "a", sources, rule_id)
+    assert len(suppressed) == count
+    revealed = _lint_tree(tmp_path / "b", sources, rule_id, reveal=True)
+    assert len(revealed) == count + 1
+
+
 def test_every_rule_has_a_fixture():
     covered = {rule_id for _, rule_id, _ in RULE_CASES}
+    covered |= {rule_id for _, rule_id, _ in PROJECT_RULE_CASES}
     assert covered == set(all_rules())
 
 
