@@ -38,26 +38,35 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.accel import pure
 from repro.accel.plan import SynthesisPlan
+from repro.accel.pure import XMATCH_MASK_CODES, TokenStream
 from repro.errors import AccelError
 from repro.obs import current_registry
 
 __all__ = [
     "BACKEND_ENV",
     "SynthesisPlan",
+    "TokenStream",
+    "XMATCH_MASK_CODES",
     "active",
     "available_backends",
     "backend_name",
+    "bitpack",
     "bytes_to_words",
     "chunk_words",
     "crc32c",
     "equal_word_runs",
+    "huffman_code_table",
+    "huffman_pack",
+    "lz77_tokens",
     "match_lengths",
     "numpy_available",
     "record",
+    "rle_records",
     "select",
     "synthesize_payload",
     "using",
     "words_to_bytes",
+    "xmatch_tokens",
     "zero_word_runs",
 ]
 
@@ -271,3 +280,62 @@ def chunk_words(block: Sequence[int], offset: int,
         backend = _resolve()
     record("chunk_words", 4 * max(0, len(block) - offset))
     return backend.chunk_words(block, offset, frame_words)
+
+
+def bitpack(values: Sequence[int], widths: Sequence[int]) -> bytes:
+    """MSB-first bit packing of ``(value, width)`` token pairs."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("bitpack", 8 * len(values))
+    return backend.bitpack(values, widths)
+
+
+def xmatch_tokens(data: bytes, word_count: int,
+                  capacity: int) -> TokenStream:
+    """X-MatchPRO token stream over the word-aligned prefix of ``data``."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("xmatch_tokens", 4 * word_count)
+    return backend.xmatch_tokens(data, word_count, capacity)
+
+
+def lz77_tokens(data: bytes, window_bits: int, length_bits: int,
+                min_match: int, max_chain: int) -> TokenStream:
+    """LZSS literal/match token stream over ``data``."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("lz77_tokens", len(data))
+    return backend.lz77_tokens(data, window_bits, length_bits,
+                               min_match, max_chain)
+
+
+def huffman_code_table(frequencies: Sequence[int]
+                       ) -> Tuple[List[int], List[int]]:
+    """Canonical Huffman ``(codes, lengths)`` from a 256-bin histogram."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("huffman_code_table", 256)
+    return backend.huffman_code_table(frequencies)
+
+
+def huffman_pack(data: bytes, codes: Sequence[int],
+                 lengths: Sequence[int]) -> bytes:
+    """Encode ``data`` through a 256-entry code table and bit-pack it."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("huffman_pack", len(data))
+    return backend.huffman_pack(data, codes, lengths)
+
+
+def rle_records(data: bytes, word_count: int) -> bytes:
+    """Word-RLE record stream (no header) over ``data``."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("rle_records", 4 * word_count)
+    return backend.rle_records(data, word_count)

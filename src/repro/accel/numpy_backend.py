@@ -35,6 +35,7 @@ functions in :mod:`repro.accel`.
 
 from __future__ import annotations
 
+from array import array
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -51,6 +52,11 @@ _CRC_MIN_BYTES = 16384
 _SYNTH_MIN_WORDS = 4096
 _SCAN_MIN_WORDS = 64
 _MATCH_MIN_WORK = 2048
+_XMATCH_MIN_WORDS = 64
+_BITPACK_MIN_TOKENS = 64
+_LZ77_MIN_BYTES = 4096
+_HUFF_MIN_BYTES = 1024
+_RLE_MIN_WORDS = 64
 
 _CHUNK = 64  # bytes folded per vector CRC step
 
@@ -211,3 +217,179 @@ def chunk_words(block: Sequence[int], offset: int,
                 frame_words: int) -> Tuple[List[List[int]], List[int]]:
     # List->ndarray conversion dominates; see the module docstring.
     return pure.chunk_words(block, offset, frame_words)
+
+
+def bitpack(values: Sequence[int], widths: Sequence[int]) -> bytes:
+    if len(values) < _BITPACK_MIN_TOKENS:
+        return pure.bitpack(values, widths)
+    return _bitpack_arrays(np.asarray(values, dtype=np.uint64),
+                           np.asarray(widths, dtype=np.uint8))
+
+
+def _bitpack_arrays(values: "np.ndarray",
+                    widths: "np.ndarray") -> bytes:
+    """Vectorised MSB-first bit packing of ``(value, width)`` tokens.
+
+    Explodes the stream into one entry per *output bit* (O(total
+    bits), insensitive to width skew): global bit ``g`` inside token
+    ``t`` sits ``ends[t] - 1 - g`` positions from the value's LSB,
+    where ``ends`` is the cumulative bit offset — so a single gather
+    and shift yields every bit in stream order, and ``np.packbits``
+    folds them into bytes (zero-padding the final byte exactly like
+    ``BitWriter.getvalue()``).
+    """
+    spans = widths.astype(np.int64)
+    total = int(spans.sum())
+    if total == 0:
+        return b""
+    token_of_bit = np.repeat(
+        np.arange(len(spans), dtype=np.intp), spans)
+    ends = np.cumsum(spans)
+    shift = (ends[token_of_bit] - 1
+             - np.arange(total, dtype=np.int64)).astype(np.uint64)
+    bits = ((values[token_of_bit] >> shift) & np.uint64(1))
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+def xmatch_tokens(data: bytes, word_count: int,
+                  capacity: int) -> "pure.TokenStream":
+    if word_count < _XMATCH_MIN_WORDS:
+        return pure.xmatch_tokens(data, word_count, capacity)
+    # The move-to-front dictionary makes every token depend on the
+    # full history, so the scan itself stays sequential (the shared
+    # SWAR loop in pure); the vector win is the zero-run pre-scan and
+    # the bulk word decode.
+    words = np.frombuffer(data, dtype=">u4", count=word_count).tolist()
+    starts, lengths = zero_word_runs(data, word_count)
+    return pure._xmatch_scan(words, dict(zip(starts, lengths)), capacity)
+
+
+def lz77_tokens(data: bytes, window_bits: int, length_bits: int,
+                min_match: int, max_chain: int) -> "pure.TokenStream":
+    length = len(data)
+    # ``min_match > 8``: the prefix key must fit a uint64.
+    # ``length < min_match``: no match is possible, and the prefix
+    # array below would be empty (guards the zero-threshold test mode).
+    if length < _LZ77_MIN_BYTES or min_match > 8 or length < min_match:
+        return pure.lz77_tokens(data, window_bits, length_bits,
+                                min_match, max_chain)
+    window = 1 << window_bits
+    max_match = min_match + (1 << length_bits) - 1
+    raw = np.frombuffer(data, dtype=np.uint8)
+    prefix_count = length - min_match + 1
+    # The hash-chain candidate set is position-determined: the pure
+    # coder indexes *every* covered position, so at any position p the
+    # chain holds exactly the previous occurrences of p's prefix —
+    # independent of how earlier bytes were tokenised.  That lets the
+    # whole search run for all positions at once: stable-argsort the
+    # min_match-byte prefix keys (ties keep position order), and the
+    # j-th most recent occurrence of position order[s] is order[s-j]
+    # whenever both slots share a key group.
+    key = np.zeros(prefix_count, dtype=np.uint64)
+    for byte_index in range(min_match):
+        key = (key << np.uint64(8)) | raw[
+            byte_index:byte_index + prefix_count].astype(np.uint64)
+    order = np.argsort(key, kind="stable").astype(np.int64)
+    sorted_key = key[order]
+    # depth[s]: how many earlier occurrences slot s's prefix has —
+    # slot s has a candidate at chain distance j iff depth[s] >= j.
+    new_group = np.empty(prefix_count, dtype=bool)
+    new_group[0] = True
+    if prefix_count > 1:
+        np.not_equal(sorted_key[1:], sorted_key[:-1],
+                     out=new_group[1:])
+    slot_index = np.arange(prefix_count, dtype=np.int64)
+    depth = slot_index - np.maximum.accumulate(
+        np.where(new_group, slot_index, 0))
+    padded = np.concatenate(
+        (raw, np.zeros(max_match, dtype=np.uint8)))
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, max_match)  # zero-copy; rows gathered per chain step
+    limits = np.minimum(max_match,
+                        length - np.arange(prefix_count, dtype=np.int64))
+    best_run = np.zeros(prefix_count, dtype=np.int64)
+    best_source = np.zeros(prefix_count, dtype=np.int64)
+    live = np.flatnonzero(depth >= 1)
+    for j in range(1, max_chain + 1):
+        if j > 1:
+            # Shrink the working set: a slot leaves when its chain is
+            # exhausted or its position already matched to its cap
+            # (the update is strict, so it cannot improve) — this
+            # collapses the dominant all-zero-prefix groups after the
+            # first step.
+            positions = order[live]
+            live = live[(depth[live] >= j)
+                        & (best_run[positions] < limits[positions])]
+        if not live.size:
+            break
+        positions = order[live]
+        sources = order[live - j]
+        # Sources only age as j grows, so out-of-window slots are
+        # done for good.
+        in_window = sources >= positions - window
+        if not bool(in_window.all()):
+            live = live[in_window]
+            positions = positions[in_window]
+            sources = sources[in_window]
+        if not positions.size:
+            continue
+        equal = windows[positions] == windows[sources]
+        runs = np.where(equal.all(axis=1), max_match,
+                        equal.argmin(axis=1))
+        runs = np.minimum(runs, limits[positions])
+        # j ascends most-recent-first and the update is strict, so the
+        # most recent candidate reaching the best length wins — the
+        # pure coder's tie-break exactly.
+        improved = runs > best_run[positions]
+        positions = positions[improved]
+        best_run[positions] = runs[improved]
+        best_source[positions] = sources[improved]
+    run_list = best_run.tolist()
+    source_list = best_source.tolist()
+    values = array("Q")
+    widths = array("B")
+    append_value = values.append
+    append_width = widths.append
+    match_flag = 1 << (window_bits + length_bits)
+    match_width = 1 + window_bits + length_bits
+    position = 0
+    while position < length:
+        run = run_list[position] if position < prefix_count else 0
+        if run >= min_match:
+            append_value(match_flag
+                         | ((position - source_list[position] - 1)
+                            << length_bits)
+                         | (run - min_match))
+            append_width(match_width)
+            position += run
+        else:
+            append_value(data[position])
+            append_width(9)
+            position += 1
+    return values, widths
+
+
+def huffman_code_table(frequencies: Sequence[int]
+                       ) -> Tuple[List[int], List[int]]:
+    # At most 255 heap merges over a 256-bin histogram: the sequential
+    # heap dominates and list<->ndarray conversion would only add to
+    # it, so the pure form is the honest winner at every size.
+    return pure.huffman_code_table(frequencies)
+
+
+def huffman_pack(data: bytes, codes: Sequence[int],
+                 lengths: Sequence[int]) -> bytes:
+    if len(data) < _HUFF_MIN_BYTES:
+        return pure.huffman_pack(data, codes, lengths)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    values = np.asarray(codes, dtype=np.uint64)[raw]
+    widths = np.asarray(lengths, dtype=np.uint8)[raw]
+    return _bitpack_arrays(values, widths)
+
+
+def rle_records(data: bytes, word_count: int) -> bytes:
+    if word_count < _RLE_MIN_WORDS:
+        return pure.rle_records(data, word_count)
+    # Vectorised run scan; the record emission is a short per-run loop
+    # shared with the pure reference.
+    return pure._rle_emit(data, equal_word_runs(data, word_count))

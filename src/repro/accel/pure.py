@@ -16,14 +16,22 @@ must not import from ``repro.bitstream`` (those modules dispatch into
 
 from __future__ import annotations
 
+import heapq
 import struct
-from typing import List, Sequence, Tuple
+from array import array
+from collections import defaultdict, deque
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import BitstreamFormatError
 
 from repro.accel.plan import COPY, SynthesisPlan
 
 name = "pure"
+
+#: Token stream: parallel typed arrays of (value, bit-width) pairs.
+#: ``array("Q")`` values / ``array("B")`` widths — the numpy backend
+#: views both zero-copy, the same trick :class:`SynthesisPlan` uses.
+TokenStream = Tuple["array", "array"]
 
 _POLY_REFLECTED = 0x82F63B78  # CRC-32C (Castagnoli), reflected form
 
@@ -203,3 +211,473 @@ def chunk_words(block: Sequence[int], offset: int,
         append(list(block[position:position + frame_words]))
         position += frame_words
     return frames, list(block[position:])
+
+
+# -- bit packing ------------------------------------------------------
+
+
+def bitpack(values: Sequence[int], widths: Sequence[int]) -> bytes:
+    """MSB-first concatenation of ``(value, width)`` tokens.
+
+    The final byte is zero-padded, exactly like
+    ``BitWriter.getvalue()`` — a token stream packed here is
+    byte-identical to the same tokens written through a
+    :class:`~repro.compress.bitio.BitWriter`.  Widths must be in
+    [0, 64] and values must fit their width.
+    """
+    buf = bytearray()
+    append = buf.append
+    acc = 0
+    bits = 0
+    for value, width in zip(values, widths):
+        acc = (acc << width) | value
+        bits += width
+        while bits >= 8:
+            bits -= 8
+            append((acc >> bits) & 0xFF)
+        acc &= (1 << bits) - 1
+    if bits:
+        append((acc << (8 - bits)) & 0xFF)
+    return bytes(buf)
+
+
+# -- X-MatchPRO token scan --------------------------------------------
+
+#: Match-type static prefix code: mask bit i set => byte i matched,
+#: byte 0 being the most-significant byte of the big-endian word.
+#: This table *defines* the X-MatchPRO stream format; the codec in
+#: ``repro.compress.xmatchpro`` re-exports it for its decoder.
+XMATCH_MASK_CODES: Dict[int, Tuple[int, int]] = {
+    0b1111: (0b0, 1),
+    0b1110: (0b1000, 4),
+    0b1101: (0b1001, 4),
+    0b1011: (0b1010, 4),
+    0b0111: (0b1011, 4),
+    0b1100: (0b11000, 5),
+    0b1010: (0b11001, 5),
+    0b1001: (0b11010, 5),
+    0b0110: (0b11011, 5),
+    0b0101: (0b11100, 5),
+    0b0011: (0b11101, 5),
+}
+_XM_MIN_MATCH_BYTES = 2
+_XM_RUN_MAX = 255  # zero-run counter chunk: 0xFF means "255 and continue"
+
+
+def _build_xmatch_tables() -> Tuple[List[int], List[int], List[int]]:
+    """``score/code/length`` per 4-bit match mask (-1 score = no code)."""
+    score = [-1] * 16
+    code = [0] * 16
+    length = [0] * 16
+    for mask, (value, bits) in XMATCH_MASK_CODES.items():
+        matched = bin(mask).count("1")
+        if matched >= _XM_MIN_MATCH_BYTES:
+            score[mask] = matched * 8 - bits
+            code[mask] = value
+            length[mask] = bits
+    return score, code, length
+
+
+_XM_SCORE, _XM_CODE, _XM_CLEN = _build_xmatch_tables()
+
+# Zero-byte SWAR masks per dictionary size n: the dictionary is packed
+# into one big int (entry l occupies bits [32l, 32l+32)), and
+# ``~((X & M7F) + M7F | X) & HI`` marks every zero byte of
+# ``X = packed ^ word * REP`` — i.e. every matching byte of every
+# entry — in 5 big-int ops, independent of the dictionary size.
+_XM_REP = [((1 << (32 * n)) - 1) // 0xFFFFFFFF for n in range(65)]
+_XM_M7F = [rep * 0x7F7F7F7F for rep in _XM_REP]
+_XM_HI = [rep * 0x80808080 for rep in _XM_REP]
+
+#: 0x80808080-masked SWAR lane -> 4-bit match mask (bit i = byte i,
+#: byte 0 = MSB, which sits in the lane's *high* marker bit).
+_XM_LANE = {
+    ((mask & 1) and 0x80000000) | ((mask & 2) and 0x00800000)
+    | ((mask & 4) and 0x00008000) | ((mask & 8) and 0x00000080): mask
+    for mask in range(16)
+}
+
+
+def _xmatch_index_bits(dictionary_size: int) -> int:
+    """Phased-binary width for indices ``0..dictionary_size - 1``."""
+    width = 1
+    while (1 << width) < dictionary_size:
+        width += 1
+    return width
+
+
+def xmatch_tokens(data: bytes, word_count: int,
+                  capacity: int) -> TokenStream:
+    """X-MatchPRO token stream over ``data[:word_count * 4]``.
+
+    Implements the full coding loop of
+    :class:`repro.compress.xmatchpro.XMatchProCodec` — zero-run
+    tokens, full/partial dictionary matches with move-to-front update,
+    and misses — returning the ``(values, widths)`` token arrays whose
+    :func:`bitpack` is byte-identical to the historical per-token
+    ``BitWriter`` stream.  Long zero-run tokens are split across array
+    entries (the bit stream is a plain concatenation, so the split is
+    invisible); every width is <= 58 bits.
+    """
+    words = list(struct.unpack(">%dI" % word_count,
+                               data[:word_count * 4]))
+    starts, lengths = zero_word_runs(data, word_count)
+    return _xmatch_scan(words, dict(zip(starts, lengths)), capacity)
+
+
+def _xmatch_scan(words: List[int], zero_runs: Dict[int, int],
+                 capacity: int) -> TokenStream:
+    """The X-MatchPRO coding loop over pre-scanned zero runs.
+
+    Shared with the numpy backend, which passes vectorised zero-run
+    positions; everything here is the semantic reference.  Two
+    scan-level collapses keep the hot loop short:
+
+    * a repeated non-zero word is a full match at location 0 with a
+      move-to-front no-op, so a run of equal words is a run of
+      all-zero token bits emitted in bulk (zero runs in between do
+      not touch the dictionary, so the collapse crosses them);
+    * the dictionary lives packed in one big int and a SWAR zero-byte
+      scan finds every matching byte of every entry at once — a miss
+      (the most common token) is detected without a per-entry loop.
+    """
+    values = array("Q")
+    widths = array("B")
+    av = values.append
+    aw = widths.append
+    score_of = _XM_SCORE
+    code_of = _XM_CODE
+    clen_of = _XM_CLEN
+    lane_mask = _XM_LANE
+    rep = _XM_REP
+    m7f = _XM_M7F
+    hi = _XM_HI
+    word_count = len(words)
+    packed = 0          # dictionary entry l at bits [32l, 32l + 32)
+    members = set()     # entries are always distinct (see _insert)
+    size = 0
+    ibits = 1
+    full0_width = 3     # width of a full match at location 0
+    previous = -1
+    index = 0
+    while index < word_count:
+        word = words[index]
+        if word == 0:
+            run = zero_runs[index]
+            index += run
+            token = 0b10
+            width = 2
+            while run >= _XM_RUN_MAX:
+                token = (token << 8) | _XM_RUN_MAX
+                width += 8
+                if width >= 56:
+                    av(token)
+                    aw(width)
+                    token = 0
+                    width = 0
+                run -= _XM_RUN_MAX
+            av((token << 8) | run)
+            aw(width + 8)
+            continue
+        if word == previous:
+            # Equal run: each repeat is the all-zero-bit full-match-
+            # at-location-0 token; emit the zero bits in bulk.
+            run = 1
+            while index + run < word_count and words[index + run] == word:
+                run += 1
+            index += run
+            total = run * full0_width
+            while total >= 48:
+                av(0)
+                aw(48)
+                total -= 48
+            if total:
+                av(0)
+                aw(total)
+            continue
+        previous = word
+        index += 1
+        if word in members:
+            # Full match: locate the all-zero lane (entries are
+            # distinct, so exactly one lane cancels).
+            lanes = packed ^ (word * rep[size])
+            location = 0
+            while lanes & 0xFFFFFFFF:
+                lanes >>= 32
+                location += 1
+            av(location << 1)
+            aw(2 + ibits)
+            if location:
+                keep = (1 << (32 * location)) - 1
+                packed = ((((packed >> (32 * (location + 1)))
+                            << (32 * location))
+                           | (packed & keep)) << 32) | word
+            continue
+        if size:
+            lanes = packed ^ (word * rep[size])
+            marks = ~((lanes & m7f[size]) + m7f[size] | lanes) & hi[size]
+        else:
+            marks = 0
+        if marks:
+            best_location = -1
+            best_score = -1
+            best_mask = 0
+            location = 0
+            scan = marks
+            while scan:
+                lane = scan & 0x80808080
+                if lane:
+                    mask = lane_mask[lane]
+                    points = score_of[mask]
+                    if points > best_score:
+                        best_score = points
+                        best_location = location
+                        best_mask = mask
+                scan >>= 32
+                location += 1
+            if best_score >= 0:
+                mask = best_mask
+                token = ((best_location << clen_of[mask])
+                         | code_of[mask])
+                width = 1 + ibits + clen_of[mask]
+                if not mask & 1:
+                    token = (token << 8) | (word >> 24)
+                    width += 8
+                if not mask & 2:
+                    token = (token << 8) | ((word >> 16) & 0xFF)
+                    width += 8
+                if not mask & 4:
+                    token = (token << 8) | ((word >> 8) & 0xFF)
+                    width += 8
+                if not mask & 8:
+                    token = (token << 8) | (word & 0xFF)
+                    width += 8
+                av(token)
+                aw(width)
+                old = (packed >> (32 * best_location)) & 0xFFFFFFFF
+                members.discard(old)
+                members.add(word)
+                keep = (1 << (32 * best_location)) - 1
+                packed = ((((packed >> (32 * (best_location + 1)))
+                            << (32 * best_location))
+                           | (packed & keep)) << 32) | word
+                continue
+        # Miss: raw 32-bit word, inserted at the dictionary front.
+        av((0b11 << 32) | word)
+        aw(34)
+        members.add(word)
+        packed = (packed << 32) | word
+        if size < capacity:
+            size += 1
+            if size > 1:
+                ibits = _xmatch_index_bits(size)
+                full0_width = 2 + ibits
+        else:
+            old = (packed >> (32 * capacity)) & 0xFFFFFFFF
+            members.discard(old)
+            packed &= (1 << (32 * capacity)) - 1
+    return values, widths
+
+
+# -- LZ77 token scan --------------------------------------------------
+
+
+def lz77_tokens(data: bytes, window_bits: int, length_bits: int,
+                min_match: int, max_chain: int) -> TokenStream:
+    """LZSS token stream: hash-chain search plus greedy tokenisation.
+
+    Implements the coding loop of
+    :class:`repro.compress.lz77.Lz77Codec`: every position is indexed
+    into a ``min_match``-byte-prefix hash chain (``max_chain`` most
+    recent occurrences), candidates are probed most-recent-first with
+    the :func:`match_lengths` early-limit break, and the first
+    candidate reaching the best length wins.  Tokens are
+    ``1 | offset-1 | length-min_match`` (``1 + window_bits +
+    length_bits`` wide) for matches and ``0 | byte`` (9 bits) for
+    literals.
+    """
+    window = 1 << window_bits
+    max_match = min_match + (1 << length_bits) - 1
+    match_flag = 1 << (window_bits + length_bits)
+    match_width = 1 + window_bits + length_bits
+    values = array("Q")
+    widths = array("B")
+    av = values.append
+    aw = widths.append
+    chains: Dict[bytes, deque] = defaultdict(
+        lambda: deque(maxlen=max_chain))
+    length = len(data)
+    position = 0
+    while position < length:
+        best_length = 0
+        best_offset = 0
+        if position + min_match <= length:
+            chain = chains.get(data[position:position + min_match])
+            if chain:
+                window_start = position - window
+                candidates = [candidate
+                              for candidate in reversed(chain)
+                              if candidate >= window_start]
+                if candidates:
+                    limit = min(max_match, length - position)
+                    for candidate, run in zip(
+                            candidates,
+                            match_lengths(data, candidates,
+                                          position, limit)):
+                        if run > best_length:
+                            best_length = run
+                            best_offset = position - candidate
+        if best_length >= min_match:
+            av(match_flag
+               | ((best_offset - 1) << length_bits)
+               | (best_length - min_match))
+            aw(match_width)
+            end = position + best_length
+            while position < end:
+                if position + min_match <= length:
+                    chains[data[position:position + min_match]] \
+                        .append(position)
+                position += 1
+        else:
+            av(data[position])
+            aw(9)
+            if position + min_match <= length:
+                chains[data[position:position + min_match]] \
+                    .append(position)
+            position += 1
+    return values, widths
+
+
+# -- Huffman tables and packing ---------------------------------------
+
+
+def huffman_code_table(frequencies: Sequence[int]
+                       ) -> Tuple[List[int], List[int]]:
+    """Canonical Huffman ``(codes, lengths)`` from a 256-bin histogram.
+
+    Code lengths come from the classic two-least-weights merge with
+    the deterministic tie-break :mod:`repro.compress.huffman` has
+    always used (insertion order over symbol-sorted leaves); canonical
+    codewords are assigned in ``(length, symbol)`` order.  Absent
+    symbols have length 0.
+    """
+    codes = [0] * 256
+    lengths = [0] * 256
+    symbols = [symbol for symbol in range(256) if frequencies[symbol]]
+    if not symbols:
+        return codes, lengths
+    if len(symbols) == 1:
+        lengths[symbols[0]] = 1
+        return codes, lengths
+    heap: List[Tuple[int, int, List[int]]] = [
+        (frequencies[symbol], order, [symbol])
+        for order, symbol in enumerate(symbols)
+    ]
+    heapq.heapify(heap)
+    tiebreak = len(symbols)
+    while len(heap) > 1:
+        weight_1, _, symbols_1 = heapq.heappop(heap)
+        weight_2, _, symbols_2 = heapq.heappop(heap)
+        merged = symbols_1 + symbols_2
+        for symbol in merged:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (weight_1 + weight_2, tiebreak, merged))
+        tiebreak += 1
+    code = 0
+    previous_length = 0
+    for length, symbol in sorted(
+            (lengths[symbol], symbol) for symbol in symbols):
+        code <<= length - previous_length
+        codes[symbol] = code
+        code += 1
+        previous_length = length
+    return codes, lengths
+
+
+def huffman_pack(data: bytes, codes: Sequence[int],
+                 lengths: Sequence[int]) -> bytes:
+    """Encode ``data`` through a 256-entry code table and bit-pack it.
+
+    Equivalent to one ``write_bits(codes[b], lengths[b])`` per input
+    byte followed by ``BitWriter.getvalue()`` (zero-padded final
+    byte), fused into a single accumulator loop.
+    """
+    buf = bytearray()
+    append = buf.append
+    acc = 0
+    bits = 0
+    for byte in data:
+        width = lengths[byte]
+        acc = (acc << width) | codes[byte]
+        bits += width
+        while bits >= 8:
+            bits -= 8
+            append((acc >> bits) & 0xFF)
+        acc &= (1 << bits) - 1
+    if bits:
+        append((acc << (8 - bits)) & 0xFF)
+    return bytes(buf)
+
+
+# -- RLE record emission ----------------------------------------------
+
+# Record format constants (the codec in ``repro.compress.rle`` keeps
+# its own copies for the decoder; the golden-stream digests pin both).
+_RLE_MAX_LITERALS = 0x80
+_RLE_MIN_RUN = 2
+_RLE_MAX_BASE_RUN = 0x7F + _RLE_MIN_RUN
+
+
+def rle_records(data: bytes, word_count: int) -> bytes:
+    """Word-RLE record stream (no header) over ``data[:word_count*4]``.
+
+    Control byte < 0x80 announces ``n + 1`` literal words; >= 0x80 a
+    run of ``control - 0x80 + 2`` repeats with 0xFF-extension bytes
+    for longer runs — the exact record emission of
+    :class:`repro.compress.rle.RleCodec`.
+    """
+    return _rle_emit(data, equal_word_runs(data, word_count))
+
+
+def _rle_emit(data: bytes, runs: List[int]) -> bytes:
+    """Emit RLE records for pre-scanned equal-word runs."""
+    out = bytearray()
+    literals: List[bytes] = []
+    index = 0
+    for run in runs:
+        word = data[index * 4:index * 4 + 4]
+        index += run
+        if run >= _RLE_MIN_RUN:
+            if literals:
+                _rle_flush_literals(out, literals)
+            while run >= _RLE_MIN_RUN:
+                base = min(run, _RLE_MAX_BASE_RUN)
+                out.append(0x80 + (base - _RLE_MIN_RUN))
+                remaining = run - base
+                if base == _RLE_MAX_BASE_RUN:
+                    while remaining >= 0xFF:
+                        out.append(0xFF)
+                        remaining -= 0xFF
+                    out.append(remaining)
+                    remaining = 0
+                out += word
+                run = remaining
+            if run == 1:
+                out.append(0)  # single literal record
+                out += word
+        else:
+            literals.append(word)
+            if len(literals) == _RLE_MAX_LITERALS:
+                _rle_flush_literals(out, literals)
+    if literals:
+        _rle_flush_literals(out, literals)
+    return bytes(out)
+
+
+def _rle_flush_literals(out: bytearray, literals: List[bytes]) -> None:
+    while literals:
+        chunk = literals[:_RLE_MAX_LITERALS]
+        del literals[:_RLE_MAX_LITERALS]
+        out.append(len(chunk) - 1)
+        for word in chunk:
+            out += word

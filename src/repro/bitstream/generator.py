@@ -26,13 +26,14 @@ The mixture weights below were calibrated so the from-scratch codecs in
 from __future__ import annotations
 
 import random
+from array import array
 from bisect import bisect
 from dataclasses import dataclass, field
 from itertools import accumulate
 from typing import List, Optional
 
 from repro import accel
-from repro.accel.plan import SynthesisPlan
+from repro.accel.plan import COPY, FILL, SynthesisPlan
 from repro.bitstream.device import DeviceInfo, VIRTEX5_SX50T
 from repro.bitstream.format import (
     BUS_WIDTH_DETECT,
@@ -213,69 +214,127 @@ class _FrameSynthesizer:
         self._have_previous = False
 
     def plan(self, frame_count: int) -> SynthesisPlan:
-        plan = SynthesisPlan(self._spec.device.frame_words)
-        for _ in range(frame_count):
-            self._plan_frame(plan)
-            self._have_previous = True
-        return plan
+        """Plan ``frame_count`` frames of payload ops.
 
-    def _plan_frame(self, plan: SynthesisPlan) -> None:
+        The mixture logic (one blank-frame gate per frame, then
+        category draws until the frame is full) is fully inlined: the
+        planner is the last pure-Python per-word-ish loop on the
+        mode-ii critical path, so run-length geometrics, texture-word
+        synthesis and op appends all run on local bindings.  The RNG
+        draw *sequence* is the contract — every branch consumes
+        exactly the draws the historical per-method code did, keeping
+        all seeded payloads bit-identical.
+        """
         spec = self._spec
         rng = self._rng
+        random = rng.random
+        choice = rng.choice
+        getrandbits = rng.getrandbits
+        plan = SynthesisPlan(spec.device.frame_words)
+        # Ops accumulate in plain lists (cheapest append) and become
+        # the plan's typed arrays in one bulk constructor at the end.
+        kinds: list = []
+        values: list = []
+        lengths: list = []
+        kind_append = kinds.append
+        value_append = values.append
+        length_append = lengths.append
         target = spec.device.frame_words
-        if rng.random() >= spec.utilization:
-            plan.fill(0, target)  # blank (unconfigured) frame
-            return
-        position = 0
-        while position < target:
-            draw = rng.random()
-            threshold = spec.zero_run_weight
-            if draw < threshold:
-                run = self._run_length(spec.zero_run_mean)
-                position += plan.fill(0, min(run, target - position))
-                continue
-            threshold += spec.motif_run_weight
-            if draw < threshold:
-                motif = rng.choice(self._motifs)
-                run = self._run_length(spec.motif_run_mean)
-                position += plan.fill(motif, min(run, target - position))
-                continue
-            threshold += spec.copy_weight
-            if draw < threshold and self._have_previous:
-                run = self._run_length(spec.copy_run_mean)
-                position += plan.copy_previous(min(run, target - position))
-                continue
-            threshold += spec.sparse_weight
-            if draw < threshold or not self._have_previous:
-                position += plan.fill(self._texture_word(), 1)
-                continue
-            position += plan.fill(rng.getrandbits(32), 1)  # dense LUT
-
-    def _texture_word(self) -> int:
-        """A word with skewed-byte 'configuration texture' content."""
-        rng = self._rng
+        utilization = spec.utilization
+        # Cumulative category thresholds, accumulated in the historical
+        # order so the float comparisons are bit-for-bit unchanged.
+        zero_threshold = spec.zero_run_weight
+        motif_threshold = zero_threshold + spec.motif_run_weight
+        copy_threshold = motif_threshold + spec.copy_weight
+        sparse_threshold = copy_threshold + spec.sparse_weight
+        # Geometric success probabilities (None: mean <= 1 draws nothing).
+        zero_success = (1.0 / spec.zero_run_mean
+                        if spec.zero_run_mean > 1.0 else None)
+        motif_success = (1.0 / spec.motif_run_mean
+                         if spec.motif_run_mean > 1.0 else None)
+        copy_success = (1.0 / spec.copy_run_mean
+                        if spec.copy_run_mean > 1.0 else None)
+        motifs = self._motifs
         pool = self._byte_pool
         cum = self._cum_weights
         total = self._cum_total
         hi = len(pool) - 1
-        word = 0
-        for _ in range(4):
-            if rng.random() < 0.45:
-                byte = 0
-            else:
-                byte = pool[bisect(cum, rng.random() * total, 0, hi)]
-            word = (word << 8) | byte
-        return word
-
-    def _run_length(self, mean: float) -> int:
-        """Geometric run length with the given mean (>= 1)."""
-        if mean <= 1.0:
-            return 1
-        success = 1.0 / mean
-        length = 1
-        while self._rng.random() > success:
-            length += 1
-        return length
+        have_previous = self._have_previous
+        for _ in range(frame_count):
+            if random() >= utilization:
+                # Blank (unconfigured) frame.
+                kind_append(FILL)
+                value_append(0)
+                length_append(target)
+                have_previous = True
+                continue
+            position = 0
+            while position < target:
+                draw = random()
+                if draw < zero_threshold:
+                    length = 1
+                    if zero_success is not None:
+                        while random() > zero_success:
+                            length += 1
+                    remaining = target - position
+                    if length > remaining:
+                        length = remaining
+                    kind_append(FILL)
+                    value_append(0)
+                    length_append(length)
+                    position += length
+                elif draw < motif_threshold:
+                    motif = choice(motifs)
+                    length = 1
+                    if motif_success is not None:
+                        while random() > motif_success:
+                            length += 1
+                    remaining = target - position
+                    if length > remaining:
+                        length = remaining
+                    kind_append(FILL)
+                    value_append(motif)
+                    length_append(length)
+                    position += length
+                elif draw < copy_threshold and have_previous:
+                    length = 1
+                    if copy_success is not None:
+                        while random() > copy_success:
+                            length += 1
+                    remaining = target - position
+                    if length > remaining:
+                        length = remaining
+                    kind_append(COPY)
+                    value_append(0)
+                    length_append(length)
+                    position += length
+                elif draw < sparse_threshold or not have_previous:
+                    # Texture word: skewed-byte configuration content.
+                    word = 0
+                    for _byte in range(4):
+                        if random() < 0.45:
+                            word <<= 8
+                        else:
+                            word = (word << 8) \
+                                | pool[bisect(cum, random() * total, 0, hi)]
+                    kind_append(FILL)
+                    value_append(word)
+                    length_append(1)
+                    position += 1
+                else:
+                    kind_append(FILL)  # dense LUT word
+                    value_append(getrandbits(32))
+                    length_append(1)
+                    position += 1
+            have_previous = True
+        self._have_previous = have_previous
+        plan.kinds = array("B", kinds)
+        plan.values = array("I", values)
+        plan.lengths = array("I", lengths)
+        # Every frame sums to exactly frame_words (runs are clipped at
+        # the boundary), so the total is closed-form.
+        plan.total_words = frame_count * target
+        return plan
 
     def _sparse_word(self, bits: int) -> int:
         word = 0

@@ -8,6 +8,7 @@ end-of-stream symbol or a length header.
 
 from __future__ import annotations
 
+from repro import accel
 from repro.errors import CorruptStreamError
 
 
@@ -56,6 +57,20 @@ class BitWriter:
             return
         for byte in data:
             self.write_bits(byte, 8)
+
+    def write_tokens(self, values, widths) -> None:
+        """Write a whole ``(values, widths)`` token stream at once.
+
+        Accepts the typed-array pairs the accel token kernels return
+        (or any parallel sequences) and folds them through a single
+        bulk :meth:`write_bits` call instead of one call per token.
+        """
+        total = sum(widths)
+        if not total:
+            return
+        packed = accel.bitpack(values, widths)
+        value = int.from_bytes(packed, "big") >> (len(packed) * 8 - total)
+        self.write_bits(value, total)
 
     @property
     def bit_length(self) -> int:
@@ -124,4 +139,5 @@ class BitReader:
                 raise CorruptStreamError("bit stream exhausted")
             self._position = position + (count << 3)
             return bytes(self._data[start:start + count])
-        return bytes(self.read_bits(8) for _ in range(count))
+        # Unaligned: one bulk bit read instead of a per-byte loop.
+        return self.read_bits(count << 3).to_bytes(count, "big")

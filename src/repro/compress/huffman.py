@@ -16,40 +16,16 @@ the decoder table-driven.
 
 from __future__ import annotations
 
-import heapq
 import struct
 from collections import Counter
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
+from repro import accel
 from repro.compress.base import Codec
-from repro.compress.bitio import BitReader, BitWriter
 from repro.errors import CorruptStreamError
 
 _MAX_CODE_LENGTH = 32
-
-
-def _code_lengths(histogram: Counter) -> Dict[int, int]:
-    """Huffman code lengths from a symbol histogram."""
-    symbols = sorted(histogram)
-    if not symbols:
-        return {}
-    if len(symbols) == 1:
-        return {symbols[0]: 1}
-    # Heap of (weight, tiebreak, symbols-in-subtree).
-    heap: List[Tuple[int, int, List[int]]] = []
-    for order, symbol in enumerate(symbols):
-        heap.append((histogram[symbol], order, [symbol]))
-    heapq.heapify(heap)
-    lengths: Dict[int, int] = {symbol: 0 for symbol in symbols}
-    tiebreak = len(symbols)
-    while len(heap) > 1:
-        w1, _, s1 = heapq.heappop(heap)
-        w2, _, s2 = heapq.heappop(heap)
-        for symbol in s1 + s2:
-            lengths[symbol] += 1
-        heapq.heappush(heap, (w1 + w2, tiebreak, s1 + s2))
-        tiebreak += 1
-    return lengths
+_PEEK_BITS = 12  # primary decode-table window
 
 
 def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
@@ -75,19 +51,14 @@ class HuffmanCodec(Codec):
         out = bytearray(struct.pack(">I", len(data)))
         if not data:
             return bytes(out) + bytes(256)
-        lengths = _code_lengths(Counter(data))
-        if max(lengths.values()) > _MAX_CODE_LENGTH:
+        histogram = [0] * 256
+        for symbol, count in Counter(data).items():
+            histogram[symbol] = count
+        codes, lengths = accel.huffman_code_table(histogram)
+        if max(lengths) > _MAX_CODE_LENGTH:
             raise CorruptStreamError("code length overflow")  # unreachable
-        table = bytearray(256)
-        for symbol, length in lengths.items():
-            table[symbol] = length
-        out += table
-        codes = _canonical_codes(lengths)
-        writer = BitWriter()
-        for byte in data:
-            code, length = codes[byte]
-            writer.write_bits(code, length)
-        out += writer.getvalue()
+        out += bytes(lengths)
+        out += accel.huffman_pack(data, codes, lengths)
         return bytes(out)
 
     def decompress(self, data: bytes) -> bytes:
@@ -105,21 +76,71 @@ class HuffmanCodec(Codec):
         if not lengths:
             raise CorruptStreamError("empty Huffman table for non-empty data")
         codes = _canonical_codes(lengths)
-        # Invert: (length, code) -> symbol.
+        # Primary table: the next ``peek`` bits (zero-padded near the
+        # stream end — canonical codes are prefix-free, so a lookup
+        # that lands on a code no longer than the real bits left is
+        # unambiguous) index straight to ``(length << 8) | symbol``.
+        # Codes longer than the window (rare: implies > 2^12 spread in
+        # symbol frequencies) fall back to the historical bit-by-bit
+        # walk over the (length, code) map.
+        max_length = max(length for _, length in codes.values())
+        peek = min(_PEEK_BITS, max_length)
+        table = [0] * (1 << peek)
+        for symbol, (code, length) in codes.items():
+            if length <= peek:
+                base = code << (peek - length)
+                entry = (length << 8) | symbol
+                for pad in range(1 << (peek - length)):
+                    table[base + pad] = entry
         decode_map = {(length, code): symbol
                       for symbol, (code, length) in codes.items()}
-        reader = BitReader(data[4 + 256:])
+        body = data[4 + 256:]
         out = bytearray()
-        code = 0
-        length = 0
+        append = out.append
+        acc = 0
+        bits = 0
+        position = 0
+        body_len = len(body)
         while len(out) < original_length:
-            code = (code << 1) | reader.read_bit()
-            length += 1
-            if length > _MAX_CODE_LENGTH:
-                raise CorruptStreamError("invalid Huffman codeword")
-            symbol = decode_map.get((length, code))
-            if symbol is not None:
-                out.append(symbol)
-                code = 0
-                length = 0
+            if bits < peek:
+                take = body_len - position
+                if take > 6:
+                    take = 6
+                if take:
+                    acc = ((acc & ((1 << bits) - 1)) << (take * 8)) \
+                        | int.from_bytes(body[position:position + take],
+                                         "big")
+                    position += take
+                    bits += take * 8
+            if bits >= peek:
+                entry = table[(acc >> (bits - peek)) & ((1 << peek) - 1)]
+            else:
+                entry = table[((acc & ((1 << bits) - 1))
+                               << (peek - bits)) & ((1 << peek) - 1)]
+            length = entry >> 8
+            if entry and length <= bits:
+                bits -= length
+                append(entry & 0xFF)
+                continue
+            # Long code, or the stream ran dry mid-codeword: replay
+            # the historical bit-by-bit walk for exact error parity.
+            code = 0
+            length = 0
+            while True:
+                if not bits:
+                    if position < body_len:
+                        acc = body[position]
+                        position += 1
+                        bits = 8
+                    else:
+                        raise CorruptStreamError("bit stream exhausted")
+                bits -= 1
+                code = (code << 1) | ((acc >> bits) & 1)
+                length += 1
+                if length > _MAX_CODE_LENGTH:
+                    raise CorruptStreamError("invalid Huffman codeword")
+                symbol = decode_map.get((length, code))
+                if symbol is not None:
+                    append(symbol)
+                    break
         return bytes(out)

@@ -20,12 +20,9 @@ Match search uses hash chains on 3-byte prefixes so compressing a
 from __future__ import annotations
 
 import struct
-from collections import defaultdict, deque
-from typing import Deque, Dict
 
 from repro import accel
 from repro.compress.base import Codec
-from repro.compress.bitio import BitReader, BitWriter
 from repro.errors import CorruptStreamError
 
 
@@ -48,80 +45,71 @@ class Lz77Codec(Codec):
         self._max_chain = max_chain
 
     def compress(self, data: bytes) -> bytes:
-        writer = BitWriter()
-        chains: Dict[bytes, Deque[int]] = defaultdict(
-            lambda: deque(maxlen=self._max_chain))
-        # One backend fetch and one aggregate metric per compress call;
-        # the per-position search then calls the kernel directly.
-        match_lengths = accel.active().match_lengths
-        accel.record("match_lengths", len(data))
-        position = 0
-        length = len(data)
-        while position < length:
-            match_length, match_offset = self._find_match(
-                data, position, chains, match_lengths)
-            if match_length >= self._min_match:
-                writer.write_bit(1)
-                writer.write_bits(match_offset - 1, self._window_bits)
-                writer.write_bits(match_length - self._min_match,
-                                  self._length_bits)
-                for covered in range(match_length):
-                    self._index(data, position + covered, chains)
-                position += match_length
-            else:
-                writer.write_bit(0)
-                writer.write_bits(data[position], 8)
-                self._index(data, position, chains)
-                position += 1
-        return struct.pack(">I", length) + writer.getvalue()
+        # Hash-chain search, greedy tokenisation and bit packing all
+        # run as accel kernels; the stream layout is unchanged.
+        values, widths = accel.lz77_tokens(
+            data, self._window_bits, self._length_bits,
+            self._min_match, self._max_chain)
+        return struct.pack(">I", len(data)) + accel.bitpack(values, widths)
 
     def decompress(self, data: bytes) -> bytes:
         if len(data) < 4:
             raise CorruptStreamError("LZ77 stream truncated")
         (original_length,) = struct.unpack_from(">I", data, 0)
-        reader = BitReader(data[4:])
+        body = data[4:]
+        window_bits = self._window_bits
+        length_bits = self._length_bits
+        window_mask = (1 << window_bits) - 1
+        length_mask = (1 << length_bits) - 1
+        min_match = self._min_match
+        # Worst-case token: a match (1 + window + length bits) or a
+        # literal (9 bits), whichever is wider.
+        token_bits = max(1 + window_bits + length_bits, 9)
         out = bytearray()
+        append = out.append
+        # Inline bit cursor (see XMatchProCodec.decompress): one
+        # refill per token, exhaustion checks per field exactly where
+        # the historical per-field reads raised.
+        acc = 0
+        bits = 0
+        position = 0
+        body_len = len(body)
         while len(out) < original_length:
-            if reader.read_bit():
-                offset = reader.read_bits(self._window_bits) + 1
-                run = reader.read_bits(self._length_bits) + self._min_match
+            if bits < token_bits:
+                take = body_len - position
+                if take > 6:
+                    take = 6
+                if take:
+                    acc = ((acc & ((1 << bits) - 1)) << (take * 8)) \
+                        | int.from_bytes(body[position:position + take],
+                                         "big")
+                    position += take
+                    bits += take * 8
+            if not bits:
+                raise CorruptStreamError("bit stream exhausted")
+            bits -= 1
+            if (acc >> bits) & 1:  # match token
+                if window_bits > bits:
+                    raise CorruptStreamError("bit stream exhausted")
+                bits -= window_bits
+                offset = ((acc >> bits) & window_mask) + 1
+                if length_bits > bits:
+                    raise CorruptStreamError("bit stream exhausted")
+                bits -= length_bits
+                run = ((acc >> bits) & length_mask) + min_match
                 start = len(out) - offset
                 if start < 0:
                     raise CorruptStreamError(
                         f"LZ77 back-reference beyond start (offset {offset})"
                     )
-                for step in range(run):
-                    out.append(out[start + step])  # may self-overlap
+                if offset >= run:
+                    out += out[start:start + run]
+                else:
+                    for step in range(run):
+                        append(out[start + step])  # self-overlapping
             else:
-                out.append(reader.read_bits(8))
+                if bits < 8:
+                    raise CorruptStreamError("bit stream exhausted")
+                bits -= 8
+                append((acc >> bits) & 0xFF)
         return bytes(out)
-
-    def _find_match(self, data: bytes, position: int,
-                    chains: Dict[bytes, Deque[int]], match_lengths):
-        """Best (length, offset) for a match starting at ``position``."""
-        if position + self._min_match > len(data):
-            return 0, 0
-        key = data[position:position + self._min_match]
-        best_length = 0
-        best_offset = 0
-        window_start = position - self._window
-        limit = min(self._max_match, len(data) - position)
-        # Most-recent candidates first; the kernel stops measuring
-        # after the first candidate reaching the limit, matching the
-        # historical inline scan's early break.
-        candidates = [candidate
-                      for candidate in reversed(chains.get(key, ()))
-                      if candidate >= window_start]
-        if not candidates:
-            return 0, 0
-        for candidate, run in zip(
-                candidates, match_lengths(data, candidates, position, limit)):
-            if run > best_length:
-                best_length = run
-                best_offset = position - candidate
-        return best_length, best_offset
-
-    def _index(self, data: bytes, position: int,
-               chains: Dict[bytes, Deque[int]]) -> None:
-        if position + self._min_match <= len(data):
-            chains[data[position:position + self._min_match]].append(position)

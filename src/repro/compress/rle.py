@@ -44,24 +44,9 @@ class RleCodec(Codec):
         out = bytearray(struct.pack(">I", len(data)))
         out.append(len(tail))
         out += tail
-
-        # The run scan is the hot loop; the accel kernel returns the
-        # maximal equal-word run lengths covering the stream, and the
-        # emit loop below only slices one representative word per run.
-        runs = accel.equal_word_runs(data, word_count)
-        index = 0
-        literals: list = []
-        for run in runs:
-            word = data[index * 4:index * 4 + 4]
-            if run >= _MIN_RUN:
-                self._flush_literals(out, literals)
-                self._emit_run(out, word, run)
-            else:
-                literals.append(word)
-                if len(literals) == _MAX_LITERALS:
-                    self._flush_literals(out, literals)
-            index += run
-        self._flush_literals(out, literals)
+        # Run scan and record emission both run in the accel kernel;
+        # the record format (see the module docstring) is unchanged.
+        out += accel.rle_records(data, word_count)
         return bytes(out)
 
     def decompress(self, data: bytes) -> bytes:
@@ -116,31 +101,3 @@ class RleCodec(Codec):
                 f"RLE output length {len(out)} != declared {original_length}"
             )
         return bytes(out)
-
-    @staticmethod
-    def _flush_literals(out: bytearray, literals: list) -> None:
-        while literals:
-            chunk = literals[:_MAX_LITERALS]
-            del literals[:_MAX_LITERALS]
-            out.append(len(chunk) - 1)
-            for word in chunk:
-                out += word
-
-    @staticmethod
-    def _emit_run(out: bytearray, word: bytes, run: int) -> None:
-        while run >= _MIN_RUN:
-            base = min(run, _MAX_BASE_RUN)
-            out.append(0x80 + (base - _MIN_RUN))
-            remaining = run - base
-            if base == _MAX_BASE_RUN:
-                # Extension bytes: keep emitting 0xFF while more remain.
-                while remaining >= 0xFF:
-                    out.append(0xFF)
-                    remaining -= 0xFF
-                out.append(remaining)
-                remaining = 0
-            out += word
-            run = remaining
-        if run == 1:
-            out.append(0)  # single literal record
-            out += word

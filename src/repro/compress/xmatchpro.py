@@ -32,7 +32,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import accel
 from repro.compress.base import Codec
-from repro.compress.bitio import BitReader, BitWriter
 from repro.errors import CorruptStreamError
 
 _ZERO_TUPLE = b"\x00\x00\x00\x00"
@@ -41,20 +40,26 @@ _RUN_CHUNK_MAX = (1 << _RUN_CHUNK_BITS) - 1
 
 # Match-type static code: mask bit i set => byte i matched.
 # (code, length) pairs; prefix-free by construction (see tests).
-_MASK_CODES: Dict[int, Tuple[int, int]] = {
-    0b1111: (0b0, 1),
-    0b1110: (0b1000, 4),
-    0b1101: (0b1001, 4),
-    0b1011: (0b1010, 4),
-    0b0111: (0b1011, 4),
-    0b1100: (0b11000, 5),
-    0b1010: (0b11001, 5),
-    0b1001: (0b11010, 5),
-    0b0110: (0b11011, 5),
-    0b0101: (0b11100, 5),
-    0b0011: (0b11101, 5),
-}
+# The table is owned by the accel package (the encoder kernel derives
+# its scoring tables from it); this is the same object.
+_MASK_CODES: Dict[int, Tuple[int, int]] = accel.XMATCH_MASK_CODES
 _MIN_MATCH_BYTES = 2
+
+# Decoder peek table: the match-type code is at most 5 bits, so one
+# 5-bit window lookup replaces the bit-by-bit prefix walk.  ``None``
+# marks the two unassigned 5-bit patterns (selectors 6 and 7 under
+# the ``11`` prefix).
+_MASK_PEEK: List[Optional[Tuple[int, int]]] = [None] * 32
+for _mask, (_code, _length) in _MASK_CODES.items():
+    for _pad in range(1 << (5 - _length)):
+        _MASK_PEEK[(_code << (5 - _length)) | _pad] = (_mask, _length)
+del _mask, _code, _length, _pad
+
+# Unmatched-byte positions per match mask, in stream order.
+_LITERAL_LANES: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(index for index in range(4) if not (mask >> index) & 1)
+    for mask in range(16)
+)
 
 
 def _index_bits(dictionary_size: int) -> int:
@@ -81,103 +86,13 @@ class XMatchProCodec(Codec):
         tuple_count = len(data) // 4
         tail = data[tuple_count * 4:]
         header = struct.pack(">I", len(data)) + bytes([len(tail)]) + tail
-
-        # Zero runs dominate configuration payloads; the accel kernel
-        # finds every maximal zero-tuple run up front, so the coding
-        # loop jumps over them without touching the words.  The loop
-        # only ever reaches a zero tuple at its run's start (it
-        # consumes whole runs and stops non-zero scans at the first
-        # zero word), so a start-keyed dict covers every case.  Each
-        # token is emitted with a single write_bits call (prefix,
-        # payload and literals packed into one integer) — the hot
-        # loop does no per-bit work.
-        starts, lengths = accel.zero_word_runs(data, tuple_count)
-        zero_runs = dict(zip(starts, lengths))
-        writer = BitWriter()
-        write_bits = writer.write_bits
-        dictionary: List[bytes] = []
-        index = 0
-        while index < tuple_count:
-            run = zero_runs.get(index)
-            if run is not None:
-                token = 0b10
-                width = 2
-                remaining = run
-                while remaining >= _RUN_CHUNK_MAX:
-                    token = (token << _RUN_CHUNK_BITS) | _RUN_CHUNK_MAX
-                    width += _RUN_CHUNK_BITS
-                    remaining -= _RUN_CHUNK_MAX
-                token = (token << _RUN_CHUNK_BITS) | remaining
-                width += _RUN_CHUNK_BITS
-                write_bits(token, width)
-                index += run
-                continue
-            word = data[index * 4:index * 4 + 4]
-            location, mask = self._best_match(dictionary, word)
-            if location is not None and mask is not None:
-                code, length = _MASK_CODES[mask]
-                # Leading 0 prefix bit is the extra width bit.
-                token = (location << length) | code
-                width = 1 + _index_bits(len(dictionary)) + length
-                for byte_index in range(4):
-                    if not (mask >> byte_index) & 1:
-                        token = (token << 8) | word[byte_index]
-                        width += 8
-                write_bits(token, width)
-                self._update_hit(dictionary, location, word)
-            else:
-                write_bits((0b11 << 32) | int.from_bytes(word, "big"), 34)
-                self._insert(dictionary, word)
-            index += 1
-        return header + writer.getvalue()
-
-    def _best_match(self, dictionary: List[bytes],
-                    word: bytes) -> Tuple[Optional[int], Optional[int]]:
-        best_location: Optional[int] = None
-        best_mask: Optional[int] = None
-        best_score = -1
-        mask_codes = _MASK_CODES
-        for location, entry in enumerate(dictionary):
-            if entry == word:
-                # Full match scores 31 bits saved — strictly above any
-                # partial match, and earlier locations win ties, so the
-                # first full match is always the answer.
-                return location, 0b1111
-            mask = 0
-            matched = 0
-            for byte_index in range(4):
-                if entry[byte_index] == word[byte_index]:
-                    mask |= 1 << byte_index
-                    matched += 1
-            if matched < _MIN_MATCH_BYTES or mask not in mask_codes:
-                continue
-            # Score: coded bits saved; prefer more matched bytes, then
-            # earlier (cheaper, more recently used) locations.
-            score = matched * 8 - mask_codes[mask][1]
-            if score > best_score:
-                best_score = score
-                best_location = location
-                best_mask = mask
-        return best_location, best_mask
-
-    def _update_hit(self, dictionary: List[bytes], location: int,
-                    word: bytes) -> None:
-        del dictionary[location]
-        dictionary.insert(0, word)
-
-    def _insert(self, dictionary: List[bytes], word: bytes) -> None:
-        dictionary.insert(0, word)
-        if len(dictionary) > self._capacity:
-            dictionary.pop()
-
-    @staticmethod
-    def _write_run(writer: BitWriter, run: int) -> None:
-        # Chunked counter: 0xFF chunks mean "255 and continue".
-        remaining = run
-        while remaining >= _RUN_CHUNK_MAX:
-            writer.write_bits(_RUN_CHUNK_MAX, _RUN_CHUNK_BITS)
-            remaining -= _RUN_CHUNK_MAX
-        writer.write_bits(remaining, _RUN_CHUNK_BITS)
+        # The whole coding loop — zero-run skip, dictionary search,
+        # move-to-front update — lives in the accel kernel, which
+        # returns the token stream as typed arrays; one bit-pack call
+        # turns it into the (digest-pinned) historical byte stream.
+        values, widths = accel.xmatch_tokens(data, tuple_count,
+                                             self._capacity)
+        return header + accel.bitpack(values, widths)
 
     # -- decompression -------------------------------------------------
 
@@ -191,65 +106,126 @@ class XMatchProCodec(Codec):
         tail = data[5:5 + tail_length]
         if len(tail) != tail_length:
             raise CorruptStreamError("truncated tail")
-        reader = BitReader(data[5 + tail_length:])
-
+        body = data[5 + tail_length:]
         body_length = original_length - tail_length
+
+        # Inline bit cursor: ``acc`` holds at least ``bits`` valid low
+        # bits (higher bits are stale and masked off on refill).  One
+        # refill per loop covers any fixed-layout token — a miss is 34
+        # bits, a match at most 1 + 6 + 5 + 16 = 28 — so the token
+        # parse runs without per-field reader calls; zero runs refill
+        # per 8-bit chunk.  Exhaustion checks mirror the historical
+        # per-field reads exactly (same error, same point of failure).
+        mask_peek = _MASK_PEEK
+        literal_bytes = _LITERAL_LANES
+        index_width = [_index_bits(size) if size else 1
+                       for size in range(self._capacity + 1)]
+        index_mask = [(1 << width) - 1 for width in index_width]
+        from_bytes = int.from_bytes
         out = bytearray()
         dictionary: List[bytes] = []
+        acc = 0
+        bits = 0
+        position = 0
+        body_len = len(body)
         while len(out) < body_length:
-            if reader.read_bit() == 0:
-                if not dictionary:
+            if bits < 42:
+                take = body_len - position
+                if take > 6:
+                    take = 6
+                if take:
+                    acc = ((acc & ((1 << bits) - 1)) << (take * 8)) \
+                        | from_bytes(body[position:position + take],
+                                     "big")
+                    position += take
+                    bits += take * 8
+            if not bits:
+                raise CorruptStreamError("bit stream exhausted")
+            bits -= 1
+            if not (acc >> bits) & 1:  # '0': dictionary match
+                size = len(dictionary)
+                if not size:
                     raise CorruptStreamError("match against empty dictionary")
-                location = reader.read_bits(_index_bits(len(dictionary)))
-                if location >= len(dictionary):
+                width = index_width[size]
+                if width > bits:
+                    raise CorruptStreamError("bit stream exhausted")
+                bits -= width
+                location = (acc >> bits) & index_mask[size]
+                if location >= size:
                     raise CorruptStreamError(
                         f"dictionary location {location} out of range"
                     )
-                mask = self._read_mask(reader)
-                entry = dictionary[location]
-                word = bytearray(4)
-                for byte_index in range(4):
-                    if (mask >> byte_index) & 1:
-                        word[byte_index] = entry[byte_index]
-                    else:
-                        word[byte_index] = reader.read_bits(8)
-                word_bytes = bytes(word)
+                if bits >= 5:
+                    peek = (acc >> (bits - 5)) & 0b11111
+                else:
+                    peek = (acc & ((1 << bits) - 1)) << (5 - bits)
+                entry = mask_peek[peek]
+                if entry is None:
+                    # Both unassigned patterns start '11'; the decoder
+                    # only reaches the 3-bit selector with 5 bits left.
+                    if bits < 5:
+                        raise CorruptStreamError("bit stream exhausted")
+                    raise CorruptStreamError(
+                        f"invalid match-type code {peek & 0b111}"
+                    )
+                mask, width = entry
+                if width > bits:
+                    raise CorruptStreamError("bit stream exhausted")
+                bits -= width
+                matched = dictionary[location]
+                if mask == 0b1111:
+                    word_bytes = matched
+                else:
+                    word = bytearray(matched)
+                    for byte_index in literal_bytes[mask]:
+                        if bits < 8:
+                            raise CorruptStreamError("bit stream exhausted")
+                        bits -= 8
+                        word[byte_index] = (acc >> bits) & 0xFF
+                    word_bytes = bytes(word)
                 out += word_bytes
-                self._update_hit(dictionary, location, word_bytes)
+                del dictionary[location]
+                dictionary.insert(0, word_bytes)
             else:
-                if reader.read_bit() == 0:  # '10' zero run
-                    run = self._read_run(reader)
+                if not bits:
+                    raise CorruptStreamError("bit stream exhausted")
+                bits -= 1
+                if not (acc >> bits) & 1:  # '10': zero run
+                    run = 0
+                    while True:
+                        if bits < 8:
+                            take = body_len - position
+                            if take > 6:
+                                take = 6
+                            if take:
+                                acc = ((acc & ((1 << bits) - 1))
+                                       << (take * 8)) \
+                                    | from_bytes(
+                                        body[position:position + take],
+                                        "big")
+                                position += take
+                                bits += take * 8
+                            if bits < 8:
+                                raise CorruptStreamError(
+                                    "bit stream exhausted")
+                        bits -= 8
+                        chunk = (acc >> bits) & 0xFF
+                        run += chunk
+                        if chunk != _RUN_CHUNK_MAX:
+                            break
+                    if run == 0:
+                        raise CorruptStreamError("zero-length zero run")
                     out += _ZERO_TUPLE * run
-                else:  # '11' miss
-                    word_bytes = reader.read_bytes(4)
+                else:  # '11': miss
+                    if bits < 32:
+                        raise CorruptStreamError("bit stream exhausted")
+                    bits -= 32
+                    word_bytes = ((acc >> bits)
+                                  & 0xFFFFFFFF).to_bytes(4, "big")
                     out += word_bytes
-                    self._insert(dictionary, word_bytes)
+                    dictionary.insert(0, word_bytes)
+                    if len(dictionary) > self._capacity:
+                        dictionary.pop()
         if len(out) != body_length:
             raise CorruptStreamError("X-MatchPRO length mismatch")
         return bytes(out) + tail
-
-    @staticmethod
-    def _read_mask(reader: BitReader) -> int:
-        if reader.read_bit() == 0:
-            return 0b1111
-        if reader.read_bit() == 0:
-            # '10' + 2 bits: the four 3-byte masks.
-            return (0b1110, 0b1101, 0b1011, 0b0111)[reader.read_bits(2)]
-        # '11' + 3 bits: the six 2-byte masks.
-        selector = reader.read_bits(3)
-        table = (0b1100, 0b1010, 0b1001, 0b0110, 0b0101, 0b0011)
-        if selector >= len(table):
-            raise CorruptStreamError(f"invalid match-type code {selector}")
-        return table[selector]
-
-    @staticmethod
-    def _read_run(reader: BitReader) -> int:
-        run = 0
-        while True:
-            chunk = reader.read_bits(_RUN_CHUNK_BITS)
-            run += chunk
-            if chunk != _RUN_CHUNK_MAX:
-                break
-        if run == 0:
-            raise CorruptStreamError("zero-length zero run")
-        return run

@@ -164,7 +164,7 @@ class UReC:
                                   words_out=len(output_words)):
                 decomp_ps = self._decompressor.clock.cycles_duration(
                     self._decompressor.stream_cycles(len(output_words)))
-                icap_ps = self._icap.absorb(output_words)
+                icap_ps = self._icap.absorb(output_words, packed=original)
                 # The pipeline is paced by its slower side.
                 yield Delay(max(decomp_ps, icap_ps))
         finally:

@@ -66,10 +66,15 @@ class Bram:
                 f"BRAM capacity of {self.capacity.words} words "
                 f"({self.capacity})"
             )
-        for index, word in enumerate(words):
-            if not 0 <= word < (1 << 32):
-                raise HardwareModelError(f"word {word:#x} is not 32-bit")
-            self._words[offset + index] = word
+        if words:
+            # Bulk range check; only walk per-word to name the first
+            # offender (identical error to the historical loop).
+            if min(words) < 0 or max(words) >> 32:
+                for word in words:
+                    if not 0 <= word < (1 << 32):
+                        raise HardwareModelError(
+                            f"word {word:#x} is not 32-bit")
+            self._words[offset:offset + len(words)] = words
         self.valid_words = max(self.valid_words, offset + len(words))
 
     def preload_cycles(self, words: int) -> int:

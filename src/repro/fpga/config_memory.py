@@ -117,14 +117,17 @@ class ConfigurationLogic:
             return
         self._header_word(word)
 
-    def feed_words(self, words: Sequence[int]) -> None:
+    def feed_words(self, words: Sequence[int],
+                   packed: Optional[bytes] = None) -> None:
         """Feed a chunk of the stream; semantically per-word.
 
         FDRI frame payloads (which dominate every bitstream) and
         skipped NOP payloads take a bulk path that consumes the
         largest safe span per iteration instead of one word; the
         state machine, frame writes, and CRC accumulation are
-        bit-identical to the word loop.
+        bit-identical to the word loop.  ``packed``, when given, is
+        the big-endian serialization of ``words``; the FDRI bulk path
+        then folds the CRC from byte slices instead of re-packing.
         """
         index = 0
         total = len(words)
@@ -135,7 +138,10 @@ class ConfigurationLogic:
                     and self._far is not None
                     and self._idcode_checked):
                 take = min(self._remaining, total - index)
-                self._frame_data_block(words[index:index + take])
+                self._frame_data_block(
+                    words[index:index + take],
+                    None if packed is None
+                    else packed[index * 4:(index + take) * 4])
                 self._remaining -= take
                 if self._remaining == 0:
                     self._state = _State.IDLE
@@ -286,14 +292,18 @@ class ConfigurationLogic:
         elif command is Command.WCFG:
             self._frame_buffer.clear()
 
-    def _frame_data_block(self, block: Sequence[int]) -> None:
+    def _frame_data_block(self, block: Sequence[int],
+                          packed: Optional[bytes] = None) -> None:
         """Bulk FDRI data: one CRC fold, frame-sized memory writes.
 
         Only entered once the per-word path's preconditions (WCFG
         command, FAR set, IDCODE checked) are established; violations
         still surface through :meth:`_frame_data_word`.
         """
-        self._crc.update_block(int(ConfigRegister.FDRI), block)
+        if packed is None:
+            self._crc.update_block(int(ConfigRegister.FDRI), block)
+        else:
+            self._crc.update_block_bytes(int(ConfigRegister.FDRI), packed)
         device = self.memory.device
         frame_words = device.frame_words
         buffer = self._frame_buffer

@@ -69,6 +69,13 @@ class DcmSettings:
         return f_in.scaled(self.multiplier, self.divisor)
 
 
+#: Memo for :func:`best_settings` — the search is a pure function of
+#: the three frequencies, and DyCloGen retunes hit the same handful of
+#: operating points over and over (the hardware analogue is literally
+#: a lookup ROM).
+_BEST_SETTINGS_CACHE: dict = {}
+
+
 def best_settings(f_in: Frequency, target: Frequency,
                   fout_max: Frequency = FOUT_MAX) -> DcmSettings:
     """The (M, D) pair whose output is closest to ``target``.
@@ -76,8 +83,14 @@ def best_settings(f_in: Frequency, target: Frequency,
     Exhaustive search of the legal space (DyCloGen does the same in a
     small lookup ROM).  Ties prefer the smaller multiplier (lower VCO
     stress / jitter).  Raises when no legal pair lands within the DFS
-    window.
+    window.  Results are memoised: the search is pure in the three
+    frequencies and :class:`DcmSettings` is frozen, so the cached
+    object is safe to share.
     """
+    cache_key = (f_in.hertz, target.hertz, fout_max.hertz)
+    cached = _BEST_SETTINGS_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     best: Optional[Tuple[int, int, DcmSettings]] = None
     for multiplier in range(M_RANGE[0], M_RANGE[1] + 1):
         for divisor in range(D_RANGE[0], D_RANGE[1] + 1):
@@ -94,6 +107,7 @@ def best_settings(f_in: Frequency, target: Frequency,
             f"no DCM setting reaches {target} from {f_in} within "
             f"[{FOUT_MIN}, {fout_max}]"
         )
+    _BEST_SETTINGS_CACHE[cache_key] = best[2]
     return best[2]
 
 

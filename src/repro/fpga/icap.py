@@ -117,17 +117,23 @@ class Icap:
         return duration
 
     def absorb(self, words: Sequence[int],
-               words_per_cycle: float = 1.0) -> int:
+               words_per_cycle: float = 1.0,
+               packed: Optional[bytes] = None) -> int:
         """Accept actual configuration words: timing + integrity.
 
         Returns the burst duration like :meth:`accept_burst` and folds
         the words into the port's running CRC so a run can be verified
-        bit-exact against the source bitstream.
+        bit-exact against the source bitstream.  A caller that already
+        holds the big-endian serialization of ``words`` (the UReC
+        decompression path produces bytes first) passes it as
+        ``packed`` to skip the re-pack; it must equal
+        ``words_to_bytes(words)``.
         """
         duration = self.accept_burst(len(words), words_per_cycle)
-        self._crc = zlib.crc32(words_to_bytes(words), self._crc)
+        self._crc = zlib.crc32(words_to_bytes(words) if packed is None
+                               else packed, self._crc)
         if self.config_logic is not None:
-            self.config_logic.feed_words(words)
+            self.config_logic.feed_words(words, packed=packed)
         return duration
 
     def readback(self, origin, frame_count: int):

@@ -22,6 +22,21 @@ Cancelled handles stay in the heap until their timestamp is reached,
 but the kernel counts them and lazily compacts the heap when more
 than half of it is dead, so missions that schedule-and-cancel in a
 loop do not grow the queue without bound.
+
+**Now-bucket fast path.**  Dense event storms — a controller that
+reacts to an event by scheduling more work *at the same instant*
+(zero-delay waits, combinational ripple) — would pay a heap push and
+pop per event even though every one of them fires at the current
+time.  While :meth:`run` is dispatching, events scheduled exactly at
+``now`` are therefore diverted to a plain FIFO list (a one-slot time
+wheel), consumed with a cursor instead of heap sifts.  Ordering stays
+exactly the historical (time, sequence) total order: every entry
+already queued for ``now`` predates (has a lower sequence number
+than) every bucket entry, so the dispatch loop prefers the drain
+stack / heap head while its timestamp equals ``now`` and only then
+consumes the bucket in FIFO order.  The bucket is always empty
+outside :meth:`run`; if a callback raises, the remnant is merged back
+into the heap so no event is lost.
 """
 
 from __future__ import annotations
@@ -52,8 +67,15 @@ class Simulator:
         #: empty outside :meth:`run`; new events scheduled while
         #: running land on the heap and interleave by (time, seq).
         self._drain: List[_Entry] = []
+        #: Same-instant FIFO (the "now bucket"): events scheduled at
+        #: exactly ``now`` while :meth:`run` dispatches land here and
+        #: are consumed with :attr:`_bucket_pos` as a cursor — no heap
+        #: traffic for same-timestamp storms.  Empty outside ``run``.
+        self._bucket: List[_Entry] = []
+        self._bucket_pos = 0
         self._running = False
         self._cancelled_in_queue = 0
+        self._cancelled_in_bucket = 0
         #: Optional kernel observer (``repro.obs.KernelObserver``
         #: protocol: ``run_started``/``event_fired``/``run_finished``).
         #: ``run()`` selects a separate dispatch loop when one is
@@ -70,7 +92,9 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (not cancelled) events still queued."""
         return (len(self._queue) + len(self._drain)
-                - self._cancelled_in_queue)
+                - self._cancelled_in_queue
+                + len(self._bucket) - self._bucket_pos
+                - self._cancelled_in_bucket)
 
     def at(self, time_ps: int, callback: Callback) -> "ScheduledEvent":
         """Schedule ``callback`` at absolute time ``time_ps``."""
@@ -80,8 +104,12 @@ class Simulator:
                 f"already {self._now} ps"
             )
         handle = ScheduledEvent(time_ps, callback, self)
-        heapq.heappush(self._queue,
-                       (time_ps, self._sequence, handle, callback))
+        if self._running and time_ps == self._now:
+            handle.in_bucket = True
+            self._bucket.append((time_ps, self._sequence, handle, callback))
+        else:
+            heapq.heappush(self._queue,
+                           (time_ps, self._sequence, handle, callback))
         self._sequence += 1
         return handle
 
@@ -103,8 +131,11 @@ class Simulator:
                 f"cannot schedule at t={time_ps} ps: simulation time is "
                 f"already {self._now} ps"
             )
-        heapq.heappush(self._queue,
-                       (time_ps, self._sequence, None, callback))
+        if self._running and time_ps == self._now:
+            self._bucket.append((time_ps, self._sequence, None, callback))
+        else:
+            heapq.heappush(self._queue,
+                           (time_ps, self._sequence, None, callback))
         self._sequence += 1
 
     def call_after(self, delay_ps: int, callback: Callback) -> None:
@@ -138,14 +169,28 @@ class Simulator:
                 f"is already {self._now} ps"
             )
         self._sequence += len(entries)
+        count = len(entries)
+        if self._running:
+            # Mid-run, same-instant entries take the now bucket (their
+            # sequence numbers already order them after everything
+            # queued, so FIFO append preserves the total order).
+            now = self._now
+            same_instant = [entry for entry in entries if entry[0] == now]
+            if same_instant:
+                self._bucket.extend(same_instant)
+                entries = [entry for entry in entries if entry[0] != now]
+                if not entries:
+                    return count
         queue = self._queue
-        if queue:
+        if queue or self._running:
+            # Mid-run the drain loop holds an alias to the queue list,
+            # so it must be extended in place, never rebound.
             queue.extend(entries)
             heapq.heapify(queue)
         else:
             self._queue = entries
             heapq.heapify(self._queue)
-        return len(entries)
+        return count
 
     def run(self, until_ps: Optional[int] = None) -> int:
         """Run events until the queue drains or ``until_ps`` is reached.
@@ -170,9 +215,27 @@ class Simulator:
         finally:
             queue = self._queue
             drain = self._drain
+            bucket = self._bucket
+            dirty = False
             if drain:
                 queue.extend(drain)
                 drain.clear()
+                dirty = True
+            if bucket:
+                # Only reachable when a callback raised mid-storm: the
+                # unconsumed remnant goes back on the heap so the
+                # events survive (the bucket is a run-local structure).
+                for entry in bucket[self._bucket_pos:]:
+                    handle = entry[2]
+                    if handle is not None:
+                        handle.in_bucket = False
+                    queue.append(entry)
+                bucket.clear()
+                self._bucket_pos = 0
+                self._cancelled_in_queue += self._cancelled_in_bucket
+                self._cancelled_in_bucket = 0
+                dirty = True
+            if dirty:
                 heapq.heapify(queue)
             self._running = False
             if observer is not None:
@@ -183,9 +246,40 @@ class Simulator:
         """The unobserved dispatch loop — the kernel's hot path."""
         queue = self._queue
         drain = self._drain
+        bucket = self._bucket
         pop = heapq.heappop
         while True:
-            if drain:
+            if bucket:
+                # Same-instant storm: anything already queued for the
+                # current instant predates every bucket entry, so the
+                # drain stack / heap head wins while its timestamp
+                # equals ``now``; then the bucket drains FIFO.  No
+                # ``until_ps`` check — every candidate fires at ``now``.
+                now = self._now
+                if drain and drain[-1][0] == now:
+                    if queue and queue[0] < drain[-1]:
+                        entry = pop(queue)
+                    else:
+                        entry = drain.pop()
+                elif queue and queue[0][0] == now:
+                    entry = pop(queue)
+                else:
+                    pos = self._bucket_pos
+                    entry = bucket[pos]
+                    pos += 1
+                    if pos == len(bucket):
+                        bucket.clear()
+                        pos = 0
+                    self._bucket_pos = pos
+                    handle = entry[2]
+                    if handle is not None:
+                        if handle.cancelled:
+                            self._cancelled_in_bucket -= 1
+                            continue
+                        handle.fired = True
+                    entry[3]()
+                    continue
+            elif drain:
                 entry = drain[-1]
                 if queue and queue[0] < entry:
                     # A callback scheduled something earlier than
@@ -229,9 +323,40 @@ class Simulator:
         """
         queue = self._queue
         drain = self._drain
+        bucket = self._bucket
         pop = heapq.heappop
         while True:
-            if drain:
+            if bucket:
+                now = self._now
+                if drain and drain[-1][0] == now:
+                    if queue and queue[0] < drain[-1]:
+                        entry = pop(queue)
+                    else:
+                        entry = drain.pop()
+                elif queue and queue[0][0] == now:
+                    entry = pop(queue)
+                else:
+                    pos = self._bucket_pos
+                    entry = bucket[pos]
+                    pos += 1
+                    if pos == len(bucket):
+                        bucket.clear()
+                        pos = 0
+                    self._bucket_pos = pos
+                    handle = entry[2]
+                    if handle is not None:
+                        if handle.cancelled:
+                            self._cancelled_in_bucket -= 1
+                            continue
+                        handle.fired = True
+                    entry[3]()
+                    observer.event_fired(
+                        self._now,
+                        len(queue) + len(drain) - self._cancelled_in_queue
+                        + len(bucket) - self._bucket_pos
+                        - self._cancelled_in_bucket)
+                    continue
+            elif drain:
                 entry = drain[-1]
                 if queue and queue[0] < entry:
                     entry = queue[0]
@@ -259,7 +384,9 @@ class Simulator:
             entry[3]()
             observer.event_fired(
                 self._now,
-                len(queue) + len(drain) - self._cancelled_in_queue)
+                len(queue) + len(drain) - self._cancelled_in_queue
+                + len(bucket) - self._bucket_pos
+                - self._cancelled_in_bucket)
 
     def run_until_idle(self) -> int:
         """Drain every pending event; convenience alias of :meth:`run`."""
@@ -283,13 +410,19 @@ class Simulator:
             return True
         return False
 
-    def _note_cancelled(self) -> None:
+    def _note_cancelled(self, handle: "ScheduledEvent") -> None:
         """Bookkeeping hook called by :meth:`ScheduledEvent.cancel`.
 
         When more than half of a non-trivial queue is dead weight, the
         heap is rebuilt without the cancelled entries (lazy
         compaction), bounding memory for schedule-and-cancel loops.
+        Bucket-resident handles only bump their own counter — the
+        bucket drains within the current instant, so it never needs
+        compaction.
         """
+        if handle.in_bucket:
+            self._cancelled_in_bucket += 1
+            return
         self._cancelled_in_queue += 1
         queue = self._queue
         drain = self._drain
@@ -309,7 +442,8 @@ class Simulator:
 class ScheduledEvent:
     """Handle returned by :meth:`Simulator.at`; supports cancellation."""
 
-    __slots__ = ("time_ps", "_callback", "cancelled", "fired", "_sim")
+    __slots__ = ("time_ps", "_callback", "cancelled", "fired", "_sim",
+                 "in_bucket")
 
     def __init__(self, time_ps: int, callback: Callback,
                  sim: Optional[Simulator] = None) -> None:
@@ -318,6 +452,10 @@ class ScheduledEvent:
         self.cancelled = False
         self.fired = False
         self._sim = sim
+        #: True while the entry lives in the kernel's now bucket (set
+        #: by :meth:`Simulator.at`, cleared if merged back to the heap)
+        #: so cancellation bookkeeping hits the right counter.
+        self.in_bucket = False
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
@@ -325,7 +463,7 @@ class ScheduledEvent:
             return
         self.cancelled = True
         if self._sim is not None:
-            self._sim._note_cancelled()
+            self._sim._note_cancelled(self)
 
     def fire(self) -> None:
         if self.cancelled or self.fired:

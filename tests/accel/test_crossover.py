@@ -1,0 +1,164 @@
+"""Crossover sentinels: the numpy backend delegates exactly as measured.
+
+Every numpy kernel either carries a size threshold below which the
+pure implementation wins, or delegates permanently because the
+list/bytes -> ndarray conversion never pays for itself.  These tests
+wrap the pure kernels in call recorders and pin the dispatch decision:
+
+* below its crossover a kernel hands the call to pure,
+* at/above the crossover it takes the vectorised path (pure untouched),
+* the permanent delegates (``chunk_words``, ``words_to_bytes``,
+  ``huffman_code_table``) hand over at *every* size — the regression
+  this file exists to prevent is a backend being selected at a size
+  where it loses.
+"""
+
+# The sentinel wrappers must patch the pure module directly, and the
+# dispatch decisions under test live in the numpy module.
+# repro-lint: disable=B804
+
+import pytest
+
+from repro import accel
+from repro.accel import pure
+from repro.accel.plan import SynthesisPlan
+
+pytestmark = pytest.mark.skipif(not accel.numpy_available(),
+                                reason="numpy backend not installed")
+
+
+@pytest.fixture
+def numpy_backend():
+    from repro.accel import numpy_backend
+    return numpy_backend
+
+
+def _sentinel(monkeypatch, name):
+    """Wrap ``pure.<name>`` so calls are recorded but still answered."""
+    original = getattr(pure, name)
+    calls = []
+
+    def wrapper(*args, **kwargs):
+        calls.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(pure, name, wrapper)
+    return calls
+
+
+def _plan(words):
+    plan = SynthesisPlan(41)
+    remaining = words
+    index = 0
+    while remaining:
+        take = min(41, remaining)
+        plan.fill(0xDEAD0000 | index, take)
+        remaining -= take
+        index += 1
+    return plan
+
+
+_BIG_DATA = bytes(range(256)) * 72      # 18432 bytes / 4608 words
+_HUFF_CODES, _HUFF_LENGTHS = pure.huffman_code_table(
+    [1 if symbol < 8 else 0 for symbol in range(256)])
+
+# (pure kernel name, below-crossover args, at/above-crossover args):
+# args are passed identically to the numpy kernel and to the pure
+# reference, so the above-crossover result can be checked against
+# pure without trusting the recorder.
+_CASES = [
+    ("crc32c",
+     (b"\x5a" * 100, 0),
+     (_BIG_DATA, 0)),
+    ("bytes_to_words",
+     (b"\x5a" * 100,),
+     (_BIG_DATA,)),
+    ("synthesize_payload",
+     (_plan(41),),
+     (_plan(4920),)),
+    ("equal_word_runs",
+     (b"\x11" * 64, 16),
+     (_BIG_DATA, 4608)),
+    ("zero_word_runs",
+     (b"\x00" * 64, 16),
+     (_BIG_DATA, 4608)),
+    ("match_lengths",
+     (_BIG_DATA, [0, 1, 2], 512, 8),
+     (_BIG_DATA, list(range(64)), 4096, 32)),
+    ("bitpack",
+     ([1] * 8, [8] * 8),
+     (list(range(64)), [8] * 64)),
+    ("xmatch_tokens",
+     (b"\xab\xcd\xef\x01" * 16, 16, 8),
+     (_BIG_DATA, 4608, 8)),
+    ("lz77_tokens",
+     (b"\x42" * 100, 8, 4, 3, 8),
+     (_BIG_DATA, 8, 4, 3, 8)),
+    ("huffman_pack",
+     (bytes(value & 7 for value in range(100)),
+      _HUFF_CODES, _HUFF_LENGTHS),
+     (bytes(value & 7 for value in range(2048)),
+      _HUFF_CODES, _HUFF_LENGTHS)),
+    ("rle_records",
+     (b"\x11\x22\x33\x44" * 16, 16),
+     (_BIG_DATA, 4608)),
+]
+
+
+@pytest.mark.parametrize("name,below_args,above_args", _CASES,
+                         ids=[case[0] for case in _CASES])
+def test_thresholded_kernel_crossover(numpy_backend, monkeypatch,
+                                      name, below_args, above_args):
+    reference = getattr(pure, name)
+    want_above = reference(*above_args)
+    kernel = getattr(numpy_backend, name)
+    calls = _sentinel(monkeypatch, name)
+
+    kernel(*below_args)
+    assert calls, f"{name} must delegate to pure below its crossover"
+
+    calls.clear()
+    got_above = kernel(*above_args)
+    assert not calls, \
+        f"{name} must take the vectorised path at/above its crossover"
+    # The vectorised path still has to agree with the reference.
+    assert got_above == want_above
+
+
+def test_lz77_wide_match_window_delegates(numpy_backend, monkeypatch):
+    # min_match > 8 exceeds the vectorised prefix-hash width, so the
+    # kernel must hand even large payloads back to pure.
+    calls = _sentinel(monkeypatch, "lz77_tokens")
+    numpy_backend.lz77_tokens(_BIG_DATA, 8, 6, 9, 8)
+    assert calls
+
+
+@pytest.mark.parametrize("size", [0, 3, 16, 256, 4096])
+def test_chunk_words_delegates_at_every_size(numpy_backend,
+                                             monkeypatch, size):
+    # Regression sentinel: vectorised chunking lost to the pure
+    # implementation at every measured size (the list -> ndarray
+    # conversion dominates), so the numpy backend must never select
+    # its own path for this kernel.
+    calls = _sentinel(monkeypatch, "chunk_words")
+    numpy_backend.chunk_words(list(range(size)), 0, 41)
+    assert calls, f"chunk_words must delegate to pure at size {size}"
+
+
+@pytest.mark.parametrize("size", [0, 8, 512, 8192])
+def test_words_to_bytes_delegates_at_every_size(numpy_backend,
+                                                monkeypatch, size):
+    calls = _sentinel(monkeypatch, "words_to_bytes")
+    numpy_backend.words_to_bytes([0x01020304] * size)
+    assert calls, f"words_to_bytes must delegate to pure at size {size}"
+
+
+def test_huffman_code_table_always_delegates(numpy_backend, monkeypatch):
+    # The input is a fixed 256-bin histogram; the heap build is too
+    # small for vectorisation to ever pay.
+    calls = _sentinel(monkeypatch, "huffman_code_table")
+    histogram = [0] * 256
+    histogram[0] = 90
+    histogram[7] = 10
+    numpy_backend.huffman_code_table(histogram)
+    assert calls

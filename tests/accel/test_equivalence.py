@@ -34,6 +34,11 @@ def vectorised(monkeypatch):
     monkeypatch.setattr(numpy_backend, "_SYNTH_MIN_WORDS", 0)
     monkeypatch.setattr(numpy_backend, "_SCAN_MIN_WORDS", 0)
     monkeypatch.setattr(numpy_backend, "_MATCH_MIN_WORK", 0)
+    monkeypatch.setattr(numpy_backend, "_XMATCH_MIN_WORDS", 0)
+    monkeypatch.setattr(numpy_backend, "_BITPACK_MIN_TOKENS", 0)
+    monkeypatch.setattr(numpy_backend, "_LZ77_MIN_BYTES", 0)
+    monkeypatch.setattr(numpy_backend, "_HUFF_MIN_BYTES", 0)
+    monkeypatch.setattr(numpy_backend, "_RLE_MIN_WORDS", 0)
     return numpy_backend
 
 
@@ -152,3 +157,126 @@ def test_generator_digest_identical_across_backends():
                                       seed=2012).file_bytes
         digests[name] = hashlib.sha256(blob).hexdigest()
     assert digests["pure"] == digests["numpy"]
+
+
+# -- compressor-stack kernels ------------------------------------------
+
+# (value, width) token streams as the codecs emit them: widths up to
+# the 58-bit ceiling of the X-MatchPRO zero-run chunks, values always
+# fitting their width.
+tokens = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=58),
+              st.integers(min_value=0, max_value=(1 << 58) - 1)),
+    max_size=200,
+).map(lambda pairs: (
+    [value & ((1 << width) - 1) for width, value in pairs],
+    [width for width, _ in pairs],
+))
+
+
+@quick
+@given(tokens)
+def test_bitpack_matches(vectorised, stream):
+    values, widths = stream
+    assert vectorised.bitpack(values, widths) == \
+        pure.bitpack(values, widths)
+
+
+def test_bitpack_boundaries(vectorised):
+    assert vectorised.bitpack([], []) == pure.bitpack([], []) == b""
+    assert vectorised.bitpack([1], [1]) == pure.bitpack([1], [1])
+    assert vectorised.bitpack([0], [0]) == pure.bitpack([0], [0]) == b""
+    # Width-skewed stream: one huge token between many tiny ones.
+    values = [1, (1 << 58) - 1, 0, 3]
+    widths = [1, 58, 7, 2]
+    assert vectorised.bitpack(values, widths) == pure.bitpack(values,
+                                                              widths)
+
+
+@quick
+@given(words, st.binary(max_size=3),
+       st.integers(min_value=2, max_value=64))
+def test_xmatch_tokens_match(vectorised, values, tail, capacity):
+    data = pure.words_to_bytes(values) + tail
+    got = vectorised.xmatch_tokens(data, len(values), capacity)
+    want = pure.xmatch_tokens(data, len(values), capacity)
+    assert got == want
+
+
+def test_xmatch_tokens_boundaries(vectorised):
+    for data in (b"", b"\x00" * 64, b"\xAB\xCD\xEF\x01" * 16):
+        got = vectorised.xmatch_tokens(data, len(data) // 4, 8)
+        want = pure.xmatch_tokens(data, len(data) // 4, 8)
+        assert got == want
+
+
+@quick
+@given(st.binary(max_size=2048),
+       st.integers(min_value=4, max_value=12),
+       st.integers(min_value=2, max_value=6),
+       st.integers(min_value=2, max_value=5),
+       st.integers(min_value=1, max_value=16))
+def test_lz77_tokens_match(vectorised, data, window_bits, length_bits,
+                           min_match, max_chain):
+    got = vectorised.lz77_tokens(data, window_bits, length_bits,
+                                 min_match, max_chain)
+    want = pure.lz77_tokens(data, window_bits, length_bits,
+                            min_match, max_chain)
+    assert got == want
+
+
+def test_lz77_tokens_boundaries(vectorised):
+    for data in (b"", b"\x42", b"\x00" * 512, bytes(range(256)) * 4):
+        assert vectorised.lz77_tokens(data, 8, 4, 3, 8) == \
+            pure.lz77_tokens(data, 8, 4, 3, 8)
+
+
+@quick
+@given(st.lists(st.integers(min_value=0, max_value=10_000),
+                min_size=256, max_size=256))
+def test_huffman_code_table_matches(vectorised, histogram):
+    if not any(histogram):
+        histogram[0] = 1  # at least one symbol present
+    assert vectorised.huffman_code_table(histogram) == \
+        pure.huffman_code_table(histogram)
+
+
+@quick
+@given(st.binary(min_size=1, max_size=2048))
+def test_huffman_pack_matches(vectorised, data):
+    histogram = [0] * 256
+    for byte in data:
+        histogram[byte] += 1
+    codes, lengths = pure.huffman_code_table(histogram)
+    assert vectorised.huffman_pack(data, codes, lengths) == \
+        pure.huffman_pack(data, codes, lengths)
+
+
+def test_huffman_pack_boundaries(vectorised):
+    for data in (b"\x00", b"\x00" * 300, bytes(range(256))):
+        histogram = [0] * 256
+        for byte in data:
+            histogram[byte] += 1
+        codes, lengths = pure.huffman_code_table(histogram)
+        assert vectorised.huffman_pack(data, codes, lengths) == \
+            pure.huffman_pack(data, codes, lengths)
+
+
+@quick
+@given(words, st.binary(max_size=3))
+def test_rle_records_match(vectorised, values, tail):
+    data = pure.words_to_bytes(values) + tail
+    assert vectorised.rle_records(data, len(values)) == \
+        pure.rle_records(data, len(values))
+
+
+def test_rle_records_boundaries(vectorised):
+    cases = (
+        b"",                          # empty
+        b"\x01\x02\x03\x04",          # single word
+        b"\xAA\xBB\xCC\xDD" * 200,    # one long all-equal run
+        b"\x00\x00\x00\x00" * 129,    # exactly the base-run ceiling
+    )
+    for data in cases:
+        assert vectorised.rle_records(data, len(data) // 4) == \
+            pure.rle_records(data, len(data) // 4)

@@ -1,0 +1,58 @@
+"""Mode-ii runs tick the accel counters for every compressor kernel.
+
+One system run per decompressor-library entry, under each installed
+backend, with the metrics registry live: the compress-offline path
+must report nonzero ``accel.<backend>.<kernel>.calls`` for the
+kernels that codec dispatches.  Together the four codecs cover all
+six compressor-stack kernels, so a kernel silently bypassing the
+dispatch facade (and its ``record`` call) fails here.
+"""
+
+import pytest
+
+from repro import accel, obs
+from repro.bitstream.generator import generate_bitstream
+from repro.core.system import UPaRCSystem
+from repro.core.urec import OperationMode
+from repro.units import DataSize
+
+#: Kernels each codec's compress path dispatches during mode ii.
+#: Huffman's pure encoder fuses encode+pack, so it ticks its own
+#: ``huffman_pack`` kernel rather than the generic ``bitpack``.
+EXPECTED_KERNELS = {
+    "x-matchpro": ("xmatch_tokens", "bitpack"),
+    "lz77": ("lz77_tokens", "bitpack"),
+    "huffman": ("huffman_code_table", "huffman_pack"),
+    "farm-rle": ("rle_records",),
+}
+
+BACKENDS = ["pure"] + (["numpy"] if accel.numpy_available() else [])
+
+
+def _bitstream():
+    return generate_bitstream(size=DataSize.from_kb(6.5), seed=2012)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(EXPECTED_KERNELS))
+def test_mode_ii_run_ticks_compressor_kernels(backend, name):
+    with accel.using(backend):
+        with obs.observed(metrics=True) as observation:
+            system = UPaRCSystem(decompressor=name)
+            result = system.run(_bitstream(),
+                                mode=OperationMode.COMPRESSED)
+    assert result.mode == "compressed"
+    counters = observation.registry.snapshot()["counters"]
+    for kernel in EXPECTED_KERNELS[name]:
+        calls = counters.get(f"accel.{backend}.{kernel}.calls", 0)
+        assert calls > 0, \
+            f"{name} compress did not dispatch {kernel} ({backend})"
+        assert counters.get(f"accel.{backend}.{kernel}.bytes", 0) > 0
+
+
+def test_expected_kernel_map_covers_every_new_kernel():
+    covered = {kernel for kernels in EXPECTED_KERNELS.values()
+               for kernel in kernels}
+    assert covered == {"xmatch_tokens", "bitpack", "lz77_tokens",
+                       "huffman_code_table", "huffman_pack",
+                       "rle_records"}

@@ -259,3 +259,172 @@ def test_cancel_during_run_skips_event(sim):
     sim.at(30, lambda: fired.append("after"))
     sim.run()
     assert fired == ["after"]
+
+
+# -- now-bucket fast path ----------------------------------------------
+# Events scheduled at exactly ``now`` while run() dispatches divert to
+# a FIFO bucket instead of the heap.  The tests below pin the ordering
+# contract: heap/drain entries at the current instant predate every
+# bucket entry, and within the bucket scheduling order is fire order.
+
+
+def test_same_instant_storm_fires_fifo(sim):
+    order = []
+
+    def storm():
+        order.append("head")
+        for label in "abc":
+            sim.at(10, lambda label=label: order.append(label))
+        # Cascade: a bucket callback appending more same-instant work.
+        sim.at(10, lambda: sim.at(10, lambda: order.append("tail")))
+
+    sim.at(10, storm)
+    sim.run()
+    assert order == ["head", "a", "b", "c", "tail"]
+    assert sim.now == 10
+    assert sim.pending_events == 0
+
+
+def test_pre_queued_same_time_precedes_bucket(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        # Lands in the bucket, but the pre-queued "second" at the same
+        # instant carries a lower sequence and must fire before it.
+        sim.at(10, lambda: order.append("bucketed"))
+
+    sim.at(10, first)
+    sim.at(10, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "bucketed"]
+
+
+def test_bucket_respects_until_bound(sim):
+    order = []
+
+    def storm():
+        order.append("now")
+        sim.at(10, lambda: order.append("same-instant"))
+        sim.at(11, lambda: order.append("next-instant"))
+
+    sim.at(10, storm)
+    sim.run(until_ps=10)
+    # The same-instant event is inside the inclusive bound; the later
+    # one is not.
+    assert order == ["now", "same-instant"]
+    assert sim.pending_events == 1
+    sim.run()
+    assert order == ["now", "same-instant", "next-instant"]
+
+
+def test_cancel_inside_bucket(sim):
+    order = []
+
+    def storm():
+        victim = sim.at(10, lambda: order.append("victim"))
+        sim.at(10, lambda: order.append("kept"))
+        victim.cancel()
+        assert sim.pending_events == 1
+
+    sim.at(10, storm)
+    sim.run()
+    assert order == ["kept"]
+    assert sim.pending_events == 0
+
+
+def test_pending_events_counts_bucket_mid_run(sim):
+    depths = []
+
+    def storm():
+        for _ in range(3):
+            sim.at(10, lambda: depths.append(sim.pending_events))
+
+    sim.at(10, storm)
+    sim.run()
+    # Each bucket callback sees the ones still queued behind it.
+    assert depths == [2, 1, 0]
+
+
+def test_schedule_batch_partitions_same_instant_mid_run(sim):
+    order = []
+
+    def storm():
+        order.append("head")
+        count = sim.schedule_batch([
+            (10, lambda: order.append("bucket-a")),
+            (25, lambda: order.append("heap")),
+            (10, lambda: order.append("bucket-b")),
+        ])
+        assert count == 3
+        assert sim.pending_events == 3
+
+    sim.at(10, storm)
+    sim.run()
+    assert order == ["head", "bucket-a", "bucket-b", "heap"]
+
+
+def test_exception_merges_bucket_remnant_into_queue(sim):
+    order = []
+
+    def storm():
+        sim.at(10, lambda: order.append("survivor-a"))
+        victim = sim.at(10, lambda: order.append("victim"))
+        sim.at(10, lambda: order.append("survivor-b"))
+        victim.cancel()
+        raise RuntimeError("boom")
+
+    sim.at(10, storm)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # The undispatched bucket entries survive the abort on the heap...
+    assert sim.pending_events == 2
+    sim.run()
+    # ...and fire later in their original FIFO order, minus the
+    # cancellation recorded while they sat in the bucket.
+    assert order == ["survivor-a", "survivor-b"]
+    assert sim.pending_events == 0
+
+
+class _RecordingObserver:
+    def __init__(self):
+        self.fired = []
+
+    def run_started(self, time_ps: int, pending: int) -> None:
+        pass
+
+    def run_finished(self, time_ps: int, pending: int) -> None:
+        pass
+
+    def event_fired(self, time_ps: int, depth: int) -> None:
+        self.fired.append((time_ps, depth))
+
+
+def test_observed_drain_matches_unobserved_for_storm():
+    def build(simulator, order):
+        def storm():
+            order.append("head")
+            for label in "abc":
+                simulator.at(10, lambda label=label: order.append(label))
+            simulator.at(20, lambda: order.append("later"))
+
+        simulator.at(10, storm)
+        simulator.at(10, lambda: order.append("queued"))
+
+    plain_order = []
+    plain = Simulator()
+    build(plain, plain_order)
+    plain.run()
+
+    observed_order = []
+    observed = Simulator()
+    observed.observer = _RecordingObserver()
+    build(observed, observed_order)
+    observed.run()
+
+    assert observed_order == plain_order
+    assert len(observed.observer.fired) == len(plain_order)
+    # Depth reported to the observer is the true pending count after
+    # each dispatch, bucket share included.
+    assert [depth for _, depth in observed.observer.fired] == \
+        [5, 4, 3, 2, 1, 0]
