@@ -194,6 +194,11 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return run_obs(args)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.sanitize.cli import run_sanitize
+    return run_sanitize(args)
+
+
 def _cmd_energy(args: argparse.Namespace) -> None:
     comparison = energy_comparison()
     rows = [
@@ -221,6 +226,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "sweep": _cmd_sweep,
     "obs": _cmd_obs,
+    "sanitize": _cmd_sanitize,
 }
 
 #: Commands that accept --trace/--metrics: the run executes inside
@@ -264,6 +270,14 @@ def build_parser() -> argparse.ArgumentParser:
             from repro.obs.cli import add_obs_arguments
             add_obs_arguments(sub)
             continue
+        if name == "sanitize":
+            sub = subparsers.add_parser(
+                name, help="run scripts under the dynamic race & "
+                           "determinism sanitizers (exit 0 clean, "
+                           "1 findings, 2 usage error)")
+            from repro.sanitize.cli import add_sanitize_arguments
+            add_sanitize_arguments(sub)
+            continue
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
         if name in _OBSERVABLE:
             sub.add_argument("--trace", default=None, metavar="FILE",
@@ -272,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--metrics", action="store_true",
                              help="collect the metrics registry and "
                                   "print it after the run")
+            sub.add_argument("--sanitize", action="store_true",
+                             help="run under the dynamic race & "
+                                  "determinism sanitizers (implies a "
+                                  "seeded re-run; findings fail the "
+                                  "command)")
         if name == "table3":
             sub.add_argument("--size-kb", type=float, default=216.5,
                              help="bitstream size (default 216.5)")
@@ -303,12 +322,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
             if name == "table3":
                 command(argparse.Namespace(size_kb=216.5))
-            elif name in ("report", "validate", "lint", "sweep", "obs"):
+            elif name in ("report", "validate", "lint", "sweep", "obs",
+                          "sanitize"):
                 continue  # 'all' already prints every table
             else:
                 command(args)
         return 0
     command = _COMMANDS[args.command]
+    if getattr(args, "sanitize", False) and args.command in _OBSERVABLE:
+        from repro.sanitize.cli import run_sanitized_command
+        return run_sanitized_command(command, args, args.command)
     trace_file = getattr(args, "trace", None)
     want_metrics = bool(getattr(args, "metrics", False)) \
         and args.command in _OBSERVABLE

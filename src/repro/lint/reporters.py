@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 from pathlib import PurePosixPath
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.lint.registry import all_rules
 from repro.lint.violations import Violation
@@ -57,11 +57,16 @@ def format_json(violations: Sequence[Violation], files_checked: int) -> str:
 
 
 def format_sarif(violations: Sequence[Violation],
-                 files_checked: int) -> str:
+                 files_checked: int,
+                 extra_rules: Optional[Dict[str, tuple]] = None,
+                 tool_name: str = "repro.lint") -> str:
     """SARIF 2.1.0 report — what CI uploads for inline PR annotation.
 
     Deterministic: rules sorted by id, results in violation order,
-    keys sorted, paths posix-normalized.
+    keys sorted, paths posix-normalized.  ``extra_rules`` maps rule
+    ids to ``(name, shortDescription)`` for rules that live outside
+    the lint registry — the dynamic S9xx sanitizer rules report
+    through the same SARIF surface with their own ``tool_name``.
     """
     from repro.lint.analyzer import ANALYZER_VERSION
 
@@ -69,7 +74,9 @@ def format_sarif(violations: Sequence[Violation],
     rules = []
     registry = all_rules()
     for rule_id in rule_ids:
-        if rule_id in registry:
+        if extra_rules is not None and rule_id in extra_rules:
+            name, text = extra_rules[rule_id]
+        elif rule_id in registry:
             checker = registry[rule_id]
             name, text = checker.rule_name, checker.rationale
         else:
@@ -108,7 +115,7 @@ def format_sarif(violations: Sequence[Violation],
         "runs": [{
             "tool": {
                 "driver": {
-                    "name": "repro.lint",
+                    "name": tool_name,
                     "version": ANALYZER_VERSION,
                     "rules": rules,
                 },

@@ -26,23 +26,37 @@ from repro.lint.fix import insert_statement_fix
 from repro.lint.registry import ProjectChecker, register
 from repro.lint.summaries import FunctionSummary, ModuleSummary
 
-#: Submodule names whose joint presence marks a backend package.
-PURE, NUMPY = "pure", "numpy_backend"
+#: The semantic-reference submodule every backend package must have.
+PURE = "pure"
+#: Registered implementation submodules that mirror the reference.
+#: ``native_backend`` is the ROADMAP phase-3 native backend — listed
+#: now so its package is held to the contract from its first commit.
+NUMPY = "numpy_backend"
+NATIVE = "native_backend"
+IMPL_BACKENDS = (NUMPY, NATIVE)
+
+
+def is_backend_package(index, pkg: str) -> bool:
+    """A package with a ``pure`` reference and >= 1 implementation."""
+    if f"{pkg}.{PURE}" not in index.modules:
+        return False
+    return any(f"{pkg}.{impl}" in index.modules
+               for impl in IMPL_BACKENDS)
 
 
 def backend_package_of(index, module_name: str) -> Optional[str]:
     """The backend package a module belongs to, if any.
 
-    ``pkg.pure`` / ``pkg.numpy_backend`` / ``pkg`` itself all map to
-    ``pkg`` when the index knows both backend submodules.
+    ``pkg.pure`` / ``pkg.numpy_backend`` / ``pkg.native_backend`` /
+    ``pkg`` itself all map to ``pkg`` when the index knows the pure
+    reference plus at least one implementation submodule.
     """
     candidates = [module_name]
     head, _, tail = module_name.rpartition(".")
-    if tail in (PURE, NUMPY):
+    if tail == PURE or tail in IMPL_BACKENDS:
         candidates.append(head)
     for pkg in candidates:
-        if f"{pkg}.{PURE}" in index.modules \
-                and f"{pkg}.{NUMPY}" in index.modules:
+        if is_backend_package(index, pkg):
             return pkg
     return None
 
@@ -78,8 +92,9 @@ class _BackendChecker(ProjectChecker):
             return None, None
         if name == f"{pkg}.{PURE}":
             return PURE, pkg
-        if name == f"{pkg}.{NUMPY}":
-            return NUMPY, pkg
+        for impl in IMPL_BACKENDS:
+            if name == f"{pkg}.{impl}":
+                return impl, pkg
         if name == pkg:
             return "dispatch", pkg
         return None, pkg
@@ -99,9 +114,9 @@ class BackendSignatureDrift(_BackendChecker):
     rule_id = "B801"
     rule_name = "backend-signature-drift"
     rationale = (
-        "The numpy backend must mirror every public pure kernel with "
-        "an identical signature; drift means the dispatch layer calls "
-        "the two backends differently and the byte-identity "
+        "Every implementation backend must mirror every public pure "
+        "kernel with an identical signature; drift means the dispatch "
+        "layer calls the backends differently and the byte-identity "
         "equivalence suite no longer tests what production runs."
     )
 
@@ -109,31 +124,35 @@ class BackendSignatureDrift(_BackendChecker):
         role, pkg = self._role()
         if role == PURE:
             self._check_pure_side(node, pkg)
-        elif role == NUMPY:
-            self._check_numpy_side(node, pkg)
+        elif role in IMPL_BACKENDS:
+            self._check_impl_side(node, pkg)
 
     def _check_pure_side(self, tree: ast.Module, pkg: str) -> None:
-        numpy_mod = self._sibling(pkg, NUMPY)
+        impl_mods = [self._sibling(pkg, impl) for impl in IMPL_BACKENDS
+                     if f"{pkg}.{impl}" in self.index.modules]
         for definition in self._top_level_functions(tree):
             if definition.name.startswith("_"):
                 continue
             reference = self.module.functions.get(
                 f"{self.module.module}.{definition.name}")
-            counterpart = numpy_mod.functions.get(
-                f"{numpy_mod.module}.{definition.name}")
             if reference is None:
                 continue
-            if counterpart is None:
-                self.report(definition, (
-                    f"kernel '{definition.name}' has no counterpart in "
-                    f"{pkg}.{NUMPY}; the backends have drifted apart"))
-            elif _param_names(counterpart) != _param_names(reference):
-                self.report(definition, (
-                    f"kernel '{definition.name}' signature drift: pure "
-                    f"reference takes {_param_names(reference)} but "
-                    f"{pkg}.{NUMPY} takes {_param_names(counterpart)}"))
+            for impl_mod in impl_mods:
+                counterpart = impl_mod.functions.get(
+                    f"{impl_mod.module}.{definition.name}")
+                if counterpart is None:
+                    self.report(definition, (
+                        f"kernel '{definition.name}' has no counterpart "
+                        f"in {impl_mod.module}; the backends have "
+                        f"drifted apart"))
+                elif _param_names(counterpart) != _param_names(reference):
+                    self.report(definition, (
+                        f"kernel '{definition.name}' signature drift: "
+                        f"pure reference takes {_param_names(reference)} "
+                        f"but {impl_mod.module} takes "
+                        f"{_param_names(counterpart)}"))
 
-    def _check_numpy_side(self, tree: ast.Module, pkg: str) -> None:
+    def _check_impl_side(self, tree: ast.Module, pkg: str) -> None:
         pure_mod = self._sibling(pkg, PURE)
         pure_names = {k.name for k in public_kernels(pure_mod)}
         for definition in self._top_level_functions(tree):
@@ -229,10 +248,10 @@ class BackendBypass(_BackendChecker):
 
     def _check_target(self, node: ast.AST, target: str) -> None:
         head, _, tail = target.rpartition(".")
-        if tail not in (PURE, NUMPY) or not head:
+        if (tail != PURE and tail not in IMPL_BACKENDS) or not head:
             return
-        if f"{head}.{PURE}" not in self.index.modules \
-                or f"{head}.{NUMPY}" not in self.index.modules:
+        if not is_backend_package(self.index, head) \
+                or f"{head}.{tail}" not in self.index.modules:
             return
         if self._outside(head):
             self.report(node, (

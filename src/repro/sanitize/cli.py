@@ -1,0 +1,215 @@
+"""``python -m repro sanitize`` — run scripts under the sanitizers.
+
+Each target script (default: the whole ``examples/`` corpus) is
+executed three ways:
+
+1. once under the :class:`~repro.sanitize.race.RaceSanitizer`
+   (S901/S902 happens-before race detection);
+2. once unperturbed and once per ``--seeds`` entry under the
+   :class:`~repro.sanitize.determinism.DeterminismSanitizer`
+   (S903 order-divergence via digest diffing);
+3. the static R701–R704 rules run over the same files and the
+   findings are cross-validated (confirmed / dynamic-only /
+   static-only).
+
+Exit codes follow the lint CLI: 0 clean, 1 unjustified findings,
+2 usage error.  ``--justify FILE`` suppresses known-benign findings
+(one ``Type.attr``, ``S901:Type.attr`` or scenario-name entry per
+line, ``#`` comments); justified findings are reported but do not
+fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import os
+import runpy
+import sys
+from contextlib import redirect_stdout
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.sanitize.crossval import (
+    cross_validate,
+    format_crossval_text,
+    format_sanitize_sarif,
+    static_race_findings,
+)
+from repro.sanitize.determinism import DeterminismSanitizer
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def add_sanitize_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*",
+        help="scripts to run under the sanitizers (default: every "
+             "script in examples/)")
+    parser.add_argument(
+        "--seeds", default="1,2,3", metavar="N[,N...]",
+        help="perturbation seeds for the determinism pass "
+             "(default: 1,2,3)")
+    parser.add_argument(
+        "--no-reads", action="store_true",
+        help="skip read tracking (S902); writes-only is faster")
+    parser.add_argument(
+        "--no-determinism", action="store_true",
+        help="skip the perturbed re-runs (race pass only)")
+    parser.add_argument(
+        "--no-crossval", action="store_true",
+        help="skip the static R701-R704 cross-validation")
+    parser.add_argument(
+        "--justify", default=None, metavar="FILE",
+        help="file of justified findings (Type.attr, S901:Type.attr "
+             "or scenario-name entries; '#' comments)")
+    parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="write dynamic findings as SARIF 2.1.0 to FILE")
+
+
+def _default_scripts() -> List[str]:
+    examples = os.path.join(os.getcwd(), "examples")
+    if not os.path.isdir(examples):
+        return []
+    return [os.path.join(examples, name)
+            for name in sorted(os.listdir(examples))
+            if name.endswith(".py")]
+
+
+def _load_justified(path: Optional[str]) -> Tuple[str, ...]:
+    if path is None:
+        return ()
+    entries: List[str] = []
+    with open(path) as handle:
+        for line in handle:
+            entry = line.split("#", 1)[0].strip()
+            if entry:
+                entries.append(entry)
+    return tuple(entries)
+
+
+def _parse_seeds(raw: str) -> Tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in raw.split(",") if part)
+    except ValueError:
+        raise SystemExit(EXIT_USAGE)
+
+
+def _run_script(path: str) -> None:
+    """Execute a script as ``__main__`` with a neutral argv."""
+    saved_argv = sys.argv
+    sys.argv = [path]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+def run_sanitize(args: argparse.Namespace) -> int:
+    scripts = [os.path.abspath(path) for path in args.paths] \
+        or _default_scripts()
+    if not scripts:
+        print("repro sanitize: no scripts to run (no paths given and "
+              "no examples/ directory)", file=sys.stderr)
+        return EXIT_USAGE
+    for script in scripts:
+        if not os.path.isfile(script):
+            print(f"repro sanitize: no such file: {script}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        justified = _load_justified(args.justify)
+    except OSError as exc:
+        print(f"repro sanitize: cannot read justify file: {exc}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    seeds = _parse_seeds(args.seeds)
+
+    all_findings: List[Any] = []
+    root = os.getcwd()
+    for script in scripts:
+        name = os.path.relpath(script, root)
+        findings = sanitize_script(
+            script, seeds=() if args.no_determinism else seeds,
+            track_reads=not args.no_reads, justified=justified)
+        all_findings.extend(findings)
+        unjustified = [finding for finding in findings
+                       if not finding.justified]
+        status = "clean" if not unjustified \
+            else f"{len(unjustified)} finding(s)"
+        print(f"sanitize {name}: {status}")
+        for finding in findings:
+            marker = " [justified]" if finding.justified else ""
+            print(f"  {finding.describe()}{marker}")
+
+    if not args.no_crossval:
+        static = static_race_findings(scripts)
+        report = cross_validate(all_findings, static)
+        print()
+        print(format_crossval_text(report))
+
+    if args.sarif:
+        payload = format_sanitize_sarif(all_findings, len(scripts),
+                                        root=root)
+        with open(args.sarif, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"\nsarif: {len(all_findings)} finding(s) -> {args.sarif}")
+
+    unjustified_total = sum(1 for finding in all_findings
+                            if not finding.justified)
+    total_label = "finding" if unjustified_total == 1 else "findings"
+    print(f"\nsanitize: {unjustified_total} unjustified {total_label} "
+          f"across {len(scripts)} scenario(s)")
+    return EXIT_FINDINGS if unjustified_total else EXIT_CLEAN
+
+
+def sanitize_script(script: str, seeds: Sequence[int],
+                    track_reads: bool = True,
+                    justified: Tuple[str, ...] = ()) -> List[Any]:
+    """Run one script under both sanitizers; return its findings."""
+    from repro.sanitize import sanitized
+
+    findings: List[Any] = []
+    with sanitized(track_reads=track_reads,
+                   justified=justified) as sanitizer:
+        with redirect_stdout(io.StringIO()):
+            _run_script(script)
+    findings.extend(sanitizer.findings)
+    if seeds:
+        determinism = DeterminismSanitizer(seeds=tuple(seeds),
+                                           justified=justified)
+        determinism.check(lambda: _run_script(script),
+                          name=os.path.basename(script))
+        findings.extend(determinism.findings)
+    return findings
+
+
+def run_sanitized_command(command: Any, args: argparse.Namespace,
+                          label: str) -> int:
+    """Back the ``--sanitize`` flag on table/figure commands.
+
+    Runs ``command(args)`` under the race sanitizer plus a seeded
+    determinism check, prints any findings, and turns them into a
+    non-zero exit code.
+    """
+    from repro.sanitize import sanitized
+
+    with sanitized() as sanitizer:
+        result = command(args)
+    findings: List[Any] = list(sanitizer.findings)
+    determinism = DeterminismSanitizer(seeds=(1,))
+    determinism.check(lambda: command(args), name=label)
+    findings.extend(determinism.findings)
+    for finding in findings:
+        print(f"sanitize: {finding.describe()}")
+    unjustified = sum(1 for finding in findings
+                      if not finding.justified)
+    if unjustified:
+        print(f"sanitize: {unjustified} unjustified finding(s) in "
+              f"{label}")
+        return EXIT_FINDINGS
+    print(f"sanitize: {label} clean "
+          f"({len(determinism.seeds)} perturbation seed(s))")
+    return int(result) if result is not None else EXIT_CLEAN

@@ -1,0 +1,171 @@
+"""Static ↔ dynamic cross-validation of race findings.
+
+The static R701–R704 rules and the dynamic S901–S903 sanitizers look
+at the same defect class from opposite sides: one approximates
+happens-before from source text, the other measures it on a real
+execution.  This module runs the static race rules over the files a
+scenario exercised, matches each dynamic finding's schedule/spawn
+sites against the static violations, and classifies the union:
+
+* **confirmed** — a static violation whose site a dynamic finding
+  hit: the approximation was right, the race is real.
+* **dynamic-only** — the sanitizer caught a race the static rules
+  missed: a static false negative, and a candidate lint fixture.
+* **static-only** — a static violation no dynamic finding touched:
+  either a false positive or simply a path the scenario never
+  exercised (the report cannot distinguish; a human must).
+
+Dynamic findings convert to :class:`~repro.lint.violations.Violation`
+records so the text/JSON/SARIF reporters — and CI's SARIF upload —
+serve both analyses through one surface.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.analyzer import collect_files, lint_files
+from repro.lint.reporters import format_sarif
+from repro.lint.violations import Violation
+
+#: The static rules the sanitizers dynamically test.
+RACE_RULE_IDS = ("R701", "R702", "R703", "R704")
+
+#: SARIF metadata for the dynamic rules (they live outside the lint
+#: registry; see ``format_sarif``'s ``extra_rules``).
+SANITIZE_RULE_METADATA: Dict[str, tuple] = {
+    "S901": ("dynamic-write-write-race",
+             "two happens-before-unordered same-instant callbacks "
+             "both wrote the attribute"),
+    "S902": ("dynamic-read-write-race",
+             "a read and a write of the attribute in the same "
+             "instant are not ordered by happens-before"),
+    "S903": ("dynamic-order-divergence",
+             "run output diverged under a legal seeded perturbation "
+             "of same-instant event order"),
+}
+
+#: A dynamic site within this many lines of a static violation counts
+#: as the same finding (static rules report on the *second* schedule
+#: call of a pair; dynamic sites are each task's own schedule call).
+_LINE_TOLERANCE = 3
+
+
+@dataclass
+class CrossValidationReport:
+    """Classified union of one scenario's static + dynamic findings."""
+
+    confirmed: List[Tuple[Any, Violation]] = field(default_factory=list)
+    dynamic_only: List[Any] = field(default_factory=list)
+    static_only: List[Violation] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return {
+            "confirmed": len(self.confirmed),
+            "dynamic_only": len(self.dynamic_only),
+            "static_only": len(self.static_only),
+        }
+
+
+def static_race_findings(paths: Sequence[str]) -> List[Violation]:
+    """Run only the R701–R704 rules over the given files/directories."""
+    files = collect_files([str(path) for path in paths])
+    return lint_files(files, select=RACE_RULE_IDS)
+
+
+def cross_validate(dynamic_findings: Sequence[Any],
+                   static_violations: Sequence[Violation],
+                   ) -> CrossValidationReport:
+    """Match dynamic findings against static race violations by site."""
+    report = CrossValidationReport()
+    matched_static: set = set()
+    for finding in dynamic_findings:
+        sites = [(os.path.abspath(path), line)
+                 for path, line in getattr(finding, "crossval_sites", ())
+                 if path and not path.startswith("<")]
+        match: Optional[Violation] = None
+        for violation in static_violations:
+            static_path = os.path.abspath(violation.path)
+            for path, line in sites:
+                if path == static_path \
+                        and abs(line - violation.line) <= _LINE_TOLERANCE:
+                    match = violation
+                    break
+            if match is not None:
+                break
+        if match is not None:
+            matched_static.add(id(match))
+            report.confirmed.append((finding, match))
+        else:
+            report.dynamic_only.append(finding)
+    for violation in static_violations:
+        if id(violation) not in matched_static:
+            report.static_only.append(violation)
+    return report
+
+
+def findings_to_violations(findings: Sequence[Any],
+                           root: Optional[str] = None) -> List[Violation]:
+    """Convert dynamic findings to lint ``Violation`` records.
+
+    Each finding anchors at its first concrete source site (relative
+    to ``root`` when given) so SARIF consumers can annotate the line
+    that scheduled one side of the race.
+    """
+    violations: List[Violation] = []
+    for finding in findings:
+        path, line = "<dynamic>", 1
+        for candidate_path, candidate_line \
+                in getattr(finding, "crossval_sites", ()):
+            if candidate_path and not candidate_path.startswith("<"):
+                path, line = candidate_path, candidate_line
+                break
+        else:
+            scenario = getattr(finding, "scenario", None)
+            if scenario:
+                path = scenario
+        if root is not None and os.path.isabs(path):
+            try:
+                path = os.path.relpath(path, root)
+            except ValueError:
+                pass
+        violations.append(Violation(path=path, line=line, col=0,
+                                    rule_id=finding.rule_id,
+                                    message=finding.describe()))
+    return violations
+
+
+def format_sanitize_sarif(findings: Sequence[Any],
+                          files_checked: int,
+                          root: Optional[str] = None) -> str:
+    """SARIF 2.1.0 for dynamic findings (shared lint reporter)."""
+    return format_sarif(findings_to_violations(findings, root=root),
+                        files_checked,
+                        extra_rules=SANITIZE_RULE_METADATA,
+                        tool_name="repro.sanitize")
+
+
+def format_crossval_text(report: CrossValidationReport) -> str:
+    """Human-readable cross-validation matrix."""
+    lines = ["static <-> dynamic cross-validation:"]
+    counts = report.counts
+    lines.append(f"  confirmed    : {counts['confirmed']:3d}  "
+                 "(static finding reproduced dynamically)")
+    lines.append(f"  dynamic-only : {counts['dynamic_only']:3d}  "
+                 "(static false negative -> candidate fixture)")
+    lines.append(f"  static-only  : {counts['static_only']:3d}  "
+                 "(candidate false positive or unexercised path)")
+    for finding, violation in report.confirmed:
+        lines.append(f"    [confirmed] {violation.rule_id} "
+                     f"{violation.path}:{violation.line} <- "
+                     f"{finding.rule_id}")
+    for finding in report.dynamic_only:
+        lines.append(f"    [dynamic-only] {finding.describe()}")
+    for violation in report.static_only:
+        lines.append(f"    [static-only] {violation.rule_id} "
+                     f"{violation.path}:{violation.line} "
+                     f"{violation.message}")
+    return "\n".join(lines)

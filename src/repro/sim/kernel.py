@@ -54,6 +54,27 @@ _Entry = Tuple[int, int, Optional["ScheduledEvent"], Callback]
 #: Below this queue size compaction is pointless (the heap is tiny).
 _COMPACT_MIN_EVENTS = 64
 
+#: Process-wide hook called with every newly constructed
+#: :class:`Simulator` — how ``repro.sanitize`` attaches its dynamic
+#: checkers to simulators it never sees being built (an example script
+#: constructing a system deep inside a library call).  ``None`` (the
+#: default) costs one attribute load per construction.
+_construction_hook: Optional[Callable[["Simulator"], None]] = None
+
+
+def set_construction_hook(
+        hook: Optional[Callable[["Simulator"], None]],
+) -> Optional[Callable[["Simulator"], None]]:
+    """Install (or clear, with ``None``) the construction hook.
+
+    Returns the previously installed hook so callers can restore it —
+    the ``repro.sanitize`` context managers nest this way.
+    """
+    global _construction_hook
+    previous = _construction_hook
+    _construction_hook = hook
+    return previous
+
 
 class Simulator:
     """Deterministic discrete-event simulator with picosecond time."""
@@ -82,6 +103,24 @@ class Simulator:
         #: attached, so the unobserved hot path carries no per-event
         #: branch for it.
         self.observer = None
+        #: Optional dynamic sanitizer (``repro.sanitize`` protocol:
+        #: ``on_schedule(sim, time_ps, callback, kind) -> callback``).
+        #: Consulted at *scheduling* time only — it wraps callbacks to
+        #: observe execution, so the dispatch loops stay untouched.
+        self.sanitizer = None
+        #: Optional ``random.Random`` enabling seeded tie-break
+        #: perturbation (``repro.sanitize.determinism``).  When set,
+        #: same-instant event order is legally shuffled: heap entries
+        #: get a randomised high field above the unique sequence
+        #: number, now-bucket entries insert at a random not-yet-
+        #: consumed position.  Cross-instant order, uniqueness of the
+        #: ``(time, seq)`` prefix, and the scheduler-before-scheduled
+        #: guarantee are all preserved — only the FIFO tie-break among
+        #: unordered same-time events varies.  ``None`` (the default)
+        #: keeps the historical deterministic scheduling order.
+        self._perturb = None
+        if _construction_hook is not None:
+            _construction_hook(self)
 
     @property
     def now(self) -> int:
@@ -103,13 +142,28 @@ class Simulator:
                 f"cannot schedule at t={time_ps} ps: simulation time is "
                 f"already {self._now} ps"
             )
+        if self.sanitizer is not None:
+            callback = self.sanitizer.on_schedule(self, time_ps,
+                                                  callback, "at")
         handle = ScheduledEvent(time_ps, callback, self)
+        sequence = self._sequence
+        perturb = self._perturb
         if self._running and time_ps == self._now:
             handle.in_bucket = True
-            self._bucket.append((time_ps, self._sequence, handle, callback))
+            entry = (time_ps, sequence, handle, callback)
+            if perturb is None:
+                self._bucket.append(entry)
+            else:
+                # Any not-yet-consumed slot is a legal position: the
+                # cursor has already moved past the running entry.
+                self._bucket.insert(
+                    perturb.randint(self._bucket_pos, len(self._bucket)),
+                    entry)
         else:
+            if perturb is not None:
+                sequence = (perturb.getrandbits(32) << 40) | sequence
             heapq.heappush(self._queue,
-                           (time_ps, self._sequence, handle, callback))
+                           (time_ps, sequence, handle, callback))
         self._sequence += 1
         return handle
 
@@ -131,11 +185,24 @@ class Simulator:
                 f"cannot schedule at t={time_ps} ps: simulation time is "
                 f"already {self._now} ps"
             )
+        if self.sanitizer is not None:
+            callback = self.sanitizer.on_schedule(self, time_ps,
+                                                  callback, "call_at")
+        sequence = self._sequence
+        perturb = self._perturb
         if self._running and time_ps == self._now:
-            self._bucket.append((time_ps, self._sequence, None, callback))
+            entry = (time_ps, sequence, None, callback)
+            if perturb is None:
+                self._bucket.append(entry)
+            else:
+                self._bucket.insert(
+                    perturb.randint(self._bucket_pos, len(self._bucket)),
+                    entry)
         else:
+            if perturb is not None:
+                sequence = (perturb.getrandbits(32) << 40) | sequence
             heapq.heappush(self._queue,
-                           (time_ps, self._sequence, None, callback))
+                           (time_ps, sequence, None, callback))
         self._sequence += 1
 
     def call_after(self, delay_ps: int, callback: Callback) -> None:
@@ -155,11 +222,26 @@ class Simulator:
         method dispatch — the cheapest way to pre-seed a large event
         storm.
         """
-        entries: List[_Entry] = [
-            (time_ps, sequence, None, callback)
-            for sequence, (time_ps, callback)
-            in enumerate(events, self._sequence)
-        ]
+        if self.sanitizer is not None:
+            sanitizer = self.sanitizer
+            events = [(time_ps,
+                       sanitizer.on_schedule(self, time_ps, callback,
+                                             "batch"))
+                      for time_ps, callback in events]
+        perturb = self._perturb
+        if perturb is None:
+            entries: List[_Entry] = [
+                (time_ps, sequence, None, callback)
+                for sequence, (time_ps, callback)
+                in enumerate(events, self._sequence)
+            ]
+        else:
+            entries = [
+                (time_ps, (perturb.getrandbits(32) << 40) | sequence,
+                 None, callback)
+                for sequence, (time_ps, callback)
+                in enumerate(events, self._sequence)
+            ]
         if not entries:
             return 0
         earliest = min(entries)[0]
@@ -177,7 +259,14 @@ class Simulator:
             now = self._now
             same_instant = [entry for entry in entries if entry[0] == now]
             if same_instant:
-                self._bucket.extend(same_instant)
+                if perturb is None:
+                    self._bucket.extend(same_instant)
+                else:
+                    for entry in same_instant:
+                        self._bucket.insert(
+                            perturb.randint(self._bucket_pos,
+                                            len(self._bucket)),
+                            entry)
                 entries = [entry for entry in entries if entry[0] != now]
                 if not entries:
                     return count

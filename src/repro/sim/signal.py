@@ -5,6 +5,20 @@ subscribe to changes; hardware models use this for the Start/Finish/EN
 handshakes the paper describes.  :class:`Event` is a one-shot
 synchronization point (a "rising edge that happens once"), used by
 processes that wait for completion notifications.
+
+Both notification loops tolerate callbacks that mutate the listener
+list mid-notification: an observer unsubscribed while a change is
+being delivered is *not* called for that change, an observer added
+while one is being delivered only sees the next change, and a waiter
+registered while an event is triggering fires exactly once.  A raising
+waiter no longer loses the waiters queued after it.
+
+When a dynamic sanitizer is attached to the simulator
+(``sim.sanitizer``, see :mod:`repro.sanitize`), registration and
+delivery report the trigger→waiter / set→observer synchronization
+edges so the happens-before tracker can order callbacks that
+communicate through an :class:`Event` or :class:`Signal` rather than
+through the scheduler.
 """
 
 from __future__ import annotations
@@ -36,8 +50,19 @@ class Signal:
             return
         self._value = value
         self.change_count += 1
-        for observer in list(self._observers):
-            observer(value, self._sim.now)
+        observers = self._observers
+        sanitizer = self._sim.sanitizer
+        # Snapshot, then re-check membership per delivery: an observer
+        # unsubscribed by an earlier callback of this very notification
+        # must not see the change, and one subscribed mid-notification
+        # only sees the next change (it is absent from the snapshot).
+        for observer in tuple(observers):
+            if observer not in observers:
+                continue
+            if sanitizer is not None:
+                sanitizer.deliver(self, observer, value, self._sim.now)
+            else:
+                observer(value, self._sim.now)
 
     def pulse(self, active: Any = 1, idle: Any = 0) -> None:
         """Drive ``active`` then immediately return to ``idle``.
@@ -51,6 +76,8 @@ class Signal:
     def observe(self, observer: Observer) -> Callable[[], None]:
         """Register a change observer; returns an unsubscribe closure."""
         self._observers.append(observer)
+        if self._sim.sanitizer is not None:
+            self._sim.sanitizer.on_subscribe(self, observer)
 
         def unsubscribe() -> None:
             if observer in self._observers:
@@ -90,9 +117,18 @@ class Event:
         self.triggered = True
         self.payload = payload
         self.trigger_time = self._sim.now
-        waiters, self._waiters = self._waiters, []
-        for waiter in waiters:
-            waiter(self)
+        sanitizer = self._sim.sanitizer
+        # Drain in FIFO order, consuming from the live list: a waiter
+        # that raises leaves the ones behind it still queued (state
+        # stays inspectable), and a waiter added mid-drain runs
+        # immediately via add_waiter's triggered branch, never twice.
+        waiters = self._waiters
+        while waiters:
+            waiter = waiters.pop(0)
+            if sanitizer is not None:
+                sanitizer.deliver(self, waiter, self)
+            else:
+                waiter(self)
 
     def add_waiter(self, callback: Callable[["Event"], None]) -> None:
         """Call ``callback(event)`` at trigger time (immediately if done)."""
@@ -100,6 +136,8 @@ class Event:
             callback(self)
         else:
             self._waiters.append(callback)
+            if self._sim.sanitizer is not None:
+                self._sim.sanitizer.on_subscribe(self, callback)
 
     def __repr__(self) -> str:
         state = "triggered" if self.triggered else "pending"

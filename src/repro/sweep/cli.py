@@ -50,6 +50,10 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics", action="store_true",
                         help="collect per-worker metrics registries, "
                              "merge them and print the roll-up")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the grid under the dynamic race "
+                             "sanitizer (forces -j 1: instrumentation "
+                             "is in-process; findings fail the sweep)")
 
 
 def _result_rows(results: List[SweepResult]) -> List[List[object]]:
@@ -68,9 +72,22 @@ def _result_rows(results: List[SweepResult]) -> List[List[object]]:
 def run_sweep(args: argparse.Namespace) -> int:
     grid = GRIDS[args.grid]
     cache_dir = None if args.no_cache else args.cache_dir
-    engine = SweepEngine(grid, jobs=args.jobs, cache_dir=cache_dir,
+    sanitize = getattr(args, "sanitize", False)
+    jobs = args.jobs
+    if sanitize:
+        # The sanitizer instruments classes in this process; worker
+        # processes would escape it, and a sanitized sweep must also
+        # actually execute every cell rather than replay the cache.
+        jobs = 1
+        cache_dir = None
+    engine = SweepEngine(grid, jobs=jobs, cache_dir=cache_dir,
                          collect_metrics=getattr(args, "metrics", False))
-    results = engine.run()
+    if sanitize:
+        from repro.sanitize import sanitized
+        with sanitized() as sanitizer:
+            results = engine.run()
+    else:
+        results = engine.run()
 
     value_header = ("MB/s" if grid.workload == "reconfigure"
                     else "ratio %")
@@ -104,4 +121,12 @@ def run_sweep(args: argparse.Namespace) -> int:
 
     failed = [result.key for result in results
               if result.workload == "reconfigure" and not result.verified]
+    if sanitize:
+        unjustified = [finding for finding in sanitizer.findings
+                       if not finding.justified]
+        for finding in unjustified:
+            print(f"sanitize: {finding.describe()}")
+        print(f"sanitize: {len(unjustified)} unjustified finding(s)")
+        if unjustified:
+            return 1
     return 1 if failed else 0

@@ -1,0 +1,8 @@
+"""B804 seeds: direct imports of the native backend module."""
+
+from native_drift_pkg import native_backend
+from native_drift_pkg.native_backend import pack_words
+
+
+def use():
+    return native_backend, pack_words

@@ -1,0 +1,25 @@
+"""Fixture: pure + *native* backend package with seeded B-rule gaps.
+
+No ``numpy_backend`` submodule on purpose — the package must be
+recognised from the pure reference plus the third registered
+implementation name alone.
+"""
+
+from native_drift_pkg import pure as _pure
+
+
+def record(kernel, data_bytes: int):
+    pass
+
+
+def pack_words(words):
+    record("pack_words", len(words))
+    return _pure.pack_words(words)
+
+
+def scan_runs(data, count):
+    # B803: dispatch without a record() call.
+    return _pure.scan_runs(data, count)
+
+
+# B802: crc_fold has no dispatch function at all.

@@ -1,0 +1,15 @@
+"""Drifted native backend for the third-backend fixture."""
+
+
+def pack_words(words, order):
+    # B801: extra parameter drifts from the pure reference.
+    return bytes(words)
+
+
+def scan_runs(data, count):
+    return [count for _ in data]
+
+
+def turbo_kernel(x):
+    # B801: no pure reference implementation exists.
+    return x

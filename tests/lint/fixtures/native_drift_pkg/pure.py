@@ -1,0 +1,13 @@
+"""Pure reference kernels for the native-backend drift fixture."""
+
+
+def pack_words(words):
+    return bytes(words)
+
+
+def crc_fold(data, crc=0):
+    return crc ^ len(data)
+
+
+def scan_runs(data, count):
+    return [count for _ in data]

@@ -166,3 +166,70 @@ def test_imports_inside_the_backend_package_are_sanctioned():
     # __init__.py imports its own pure submodule — that is the
     # dispatch layer doing its job, not a bypass.
     assert "B804" not in found
+
+
+# -- third registered backend (native, ROADMAP phase 3) ----------------
+
+def _native_files():
+    return _pkg_files("native_drift_pkg") + [FIXTURES / "native_consumer.py"]
+
+
+def test_native_backend_package_is_recognised_without_numpy():
+    import ast
+
+    from repro.lint.project import ProjectIndex, module_name_for
+    from repro.lint.rules.backend import backend_package_of
+    from repro.lint.summaries import summarize_module
+
+    index = ProjectIndex([
+        summarize_module(ast.parse(path.read_text()),
+                         module_name_for(str(path)), str(path))
+        for path in _pkg_files("native_drift_pkg")])
+    for module in ("native_drift_pkg", "native_drift_pkg.pure",
+                   "native_drift_pkg.native_backend"):
+        assert backend_package_of(index, module) == "native_drift_pkg"
+    # The name alone is not enough: no pure reference, no package.
+    assert backend_package_of(index,
+                              "elsewhere.native_backend") is None
+
+
+def test_native_backend_drift_flags_every_seed():
+    found = _by_rule(lint_files(_native_files()))
+    b801 = {(v.path.rsplit("/", 1)[-1], v.line) for v in found["B801"]}
+    assert b801 == {("pure.py", 4), ("pure.py", 8),
+                    ("native_backend.py", 13)}
+    messages = " | ".join(v.message for v in found["B801"])
+    assert "native_drift_pkg.native_backend" in messages
+    assert "signature drift" in messages
+    assert "no counterpart" in messages
+    assert "no pure reference" in messages
+
+    [b802] = found["B802"]
+    assert b802.path.endswith("pure.py") and "crc_fold" in b802.message
+
+    [b803] = found["B803"]
+    assert b803.path.endswith("__init__.py")
+    assert "scan_runs" in b803.message
+
+    assert [v.line for v in found["B804"]] == [3, 4]
+    assert all(v.path.endswith("native_consumer.py")
+               for v in found["B804"])
+
+
+def test_mixed_three_backend_package_checks_both_impls(tmp_path):
+    # A package carrying numpy_backend AND native_backend gets B801
+    # checked against each implementation independently.
+    pkg = tmp_path / "mixed_pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "pure.py").write_text("def k(a):\n    return a\n")
+    (pkg / "numpy_backend.py").write_text("def k(a):\n    return a\n")
+    (pkg / "native_backend.py").write_text(
+        "def k(a, b):\n    return a\n")
+
+    found = _by_rule(lint_files(sorted(pkg.rglob("*.py"))))
+    # numpy mirrors k exactly; only the native signature drifted.
+    [b801] = found["B801"]
+    assert b801.path.endswith("pure.py")
+    assert "native_backend" in b801.message
+    assert "numpy_backend" not in b801.message

@@ -1,0 +1,113 @@
+"""``python -m repro sanitize`` CLI: exit codes, SARIF, justification."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+CLEAN_SCRIPT = """\
+from repro.sim import Simulator
+
+sim = Simulator()
+acc = []
+for value in (3, 1, 2):
+    sim.call_at(100, lambda value=value: acc.append(value))
+sim.run()
+print(sorted(acc))
+"""
+
+def run_cli(*argv, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "sanitize", *argv],
+        capture_output=True, text=True, env=env, cwd=str(cwd))
+
+
+@pytest.fixture
+def clean_script(tmp_path):
+    path = tmp_path / "clean_scenario.py"
+    path.write_text(CLEAN_SCRIPT)
+    return path
+
+
+@pytest.fixture
+def racy_script(tmp_path):
+    # Print the *order-dependent* accumulation so the determinism pass
+    # sees divergent stdout under perturbation.
+    path = tmp_path / "racy_scenario.py"
+    path.write_text(textwrap.dedent("""\
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        acc = []
+        for value in (3, 1, 2):
+            sim.call_at(100, lambda value=value: acc.append(value))
+        sim.run()
+        print(acc)
+    """))
+    return path
+
+
+def test_clean_script_exits_zero(clean_script, tmp_path):
+    result = run_cli(str(clean_script), cwd=tmp_path)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+    assert "0 unjustified findings" in result.stdout
+
+
+def test_divergent_script_exits_one(racy_script, tmp_path):
+    result = run_cli(str(racy_script), "--seeds", "1,2,3,4,5,6,7,8",
+                     cwd=tmp_path)
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert "S903" in result.stdout
+
+
+def test_justify_file_downgrades_findings(racy_script, tmp_path):
+    justify = tmp_path / "justify.txt"
+    justify.write_text("# known order-dependence\nracy_scenario.py\n")
+    result = run_cli(str(racy_script), "--seeds", "1,2,3,4,5,6,7,8",
+                     "--justify", str(justify), cwd=tmp_path)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "[justified]" in result.stdout
+
+
+def test_no_determinism_skips_the_perturbed_runs(racy_script, tmp_path):
+    result = run_cli(str(racy_script), "--no-determinism", cwd=tmp_path)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_sarif_output_is_written(racy_script, tmp_path):
+    sarif = tmp_path / "out.sarif"
+    result = run_cli(str(racy_script), "--seeds", "1,2,3,4,5,6,7,8",
+                     "--sarif", str(sarif), cwd=tmp_path)
+    assert result.returncode == 1
+    payload = json.loads(sarif.read_text())
+    [run] = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "repro.sanitize"
+    assert any(res["ruleId"] == "S903" for res in run["results"])
+
+
+def test_missing_script_is_a_usage_error(tmp_path):
+    result = run_cli(str(tmp_path / "nope.py"), cwd=tmp_path)
+    assert result.returncode == 2
+    assert "no such file" in result.stderr
+
+
+def test_no_scripts_anywhere_is_a_usage_error(tmp_path):
+    result = run_cli(cwd=tmp_path)  # no examples/ in tmp_path
+    assert result.returncode == 2
+
+
+def test_crossval_section_prints_by_default(clean_script, tmp_path):
+    result = run_cli(str(clean_script), cwd=tmp_path)
+    assert "cross-validation" in result.stdout
+    no_crossval = run_cli(str(clean_script), "--no-crossval",
+                          cwd=tmp_path)
+    assert "cross-validation" not in no_crossval.stdout

@@ -1,0 +1,119 @@
+"""Static <-> dynamic cross-validation over the race_pkg fixture.
+
+The acceptance test for the whole sanitize stack: running the lint
+suite's seeded R702 fixture under the dynamic sanitizer must produce a
+finding whose schedule sites land on the statically reported line, so
+``cross_validate`` classifies the pair as *confirmed*.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sanitize import (
+    CrossValidationReport,
+    cross_validate,
+    findings_to_violations,
+    format_crossval_text,
+    format_sanitize_sarif,
+    sanitized,
+    static_race_findings,
+)
+from repro.sim import Simulator
+
+FIXTURES = Path(__file__).resolve().parents[1] / "lint" / "fixtures"
+RACER = FIXTURES / "race_pkg" / "racer.py"
+
+
+@pytest.fixture
+def race_controller():
+    """Import the lint fixture's Controller as a real class."""
+    sys.path.insert(0, str(FIXTURES))
+    try:
+        from race_pkg.racer import Controller
+        yield Controller
+    finally:
+        sys.path.remove(str(FIXTURES))
+        for name in [m for m in sys.modules if m.startswith("race_pkg")]:
+            del sys.modules[name]
+
+
+def _dynamic_findings(race_controller):
+    with sanitized(auto_instrument=False) as sanitizer:
+        sim = Simulator()
+        controller = sanitizer.watch(race_controller(sim))
+        controller.sample()
+        sim.run()
+    return sanitizer.findings
+
+
+def test_sanitizer_reproduces_the_seeded_r702_fixture(race_controller):
+    findings = _dynamic_findings(race_controller)
+    assert any(f.attr == "backlog" and f.rule_id in ("S901", "S902")
+               for f in findings)
+
+
+def test_cross_validation_confirms_the_static_r702(race_controller):
+    dynamic = _dynamic_findings(race_controller)
+    static = static_race_findings([RACER])
+    assert any(v.rule_id == "R702" for v in static)
+
+    report = cross_validate(dynamic, static)
+    confirmed_rules = {violation.rule_id
+                       for _finding, violation in report.confirmed}
+    assert "R702" in confirmed_rules
+    # sample() exercised nothing else: every other static finding
+    # stays on the static-only side, nothing is dynamic-only.
+    assert report.dynamic_only == []
+    assert len(report.static_only) == len(static) - len(report.confirmed)
+    assert report.counts["confirmed"] == len(report.confirmed) >= 1
+
+
+def test_unexercised_static_findings_stay_static_only():
+    static = static_race_findings([RACER])
+    report = cross_validate([], static)
+    assert report.confirmed == []
+    assert report.static_only == static
+
+
+def test_findings_convert_to_violations_with_relative_paths(
+        race_controller):
+    dynamic = _dynamic_findings(race_controller)
+    violations = findings_to_violations(dynamic, root=str(FIXTURES))
+    assert violations
+    for violation in violations:
+        assert violation.rule_id.startswith("S9")
+        assert not violation.path.startswith("/")
+        assert violation.line >= 1
+
+
+def test_sanitize_sarif_is_valid_and_carries_rule_metadata(
+        race_controller):
+    dynamic = _dynamic_findings(race_controller)
+    payload = json.loads(format_sanitize_sarif(dynamic, 1))
+    [run] = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "repro.sanitize"
+    rule_ids = {rule["id"]
+                for rule in run["tool"]["driver"]["rules"]}
+    assert rule_ids <= {"S901", "S902", "S903"}
+    assert run["results"]
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+
+
+def test_crossval_text_matrix_mentions_every_bucket(race_controller):
+    dynamic = _dynamic_findings(race_controller)
+    static = static_race_findings([RACER])
+    text = format_crossval_text(cross_validate(dynamic, static))
+    assert "confirmed" in text
+    assert "dynamic-only" in text
+    assert "static-only" in text
+    assert "[confirmed] R702" in text
+
+
+def test_empty_report_counts():
+    report = CrossValidationReport()
+    assert report.counts == {"confirmed": 0, "dynamic_only": 0,
+                             "static_only": 0}

@@ -86,3 +86,93 @@ def test_waiter_added_after_trigger_fires_immediately(sim):
     seen = []
     event.add_waiter(lambda ev: seen.append(ev.payload))
     assert seen == ["x"]
+
+
+# -- mutation during notification (regression: the notify loops used
+# -- to iterate the live list, skipping or double-firing listeners) ----
+
+def test_unsubscribe_of_later_observer_mid_notify_skips_it(sim):
+    signal = Signal(sim, "s")
+    seen = []
+
+    def first(value, time):
+        seen.append(("first", value))
+        unsubscribe_second()
+
+    unsubscribe_first = signal.observe(first)
+    unsubscribe_second = signal.observe(
+        lambda value, time: seen.append(("second", value)))
+    signal.set(1)
+    # second was unsubscribed by first *during* this notification and
+    # must not see the change it was removed for.
+    assert seen == [("first", 1)]
+    signal.set(2)
+    assert seen == [("first", 1), ("first", 2)]
+    unsubscribe_first()
+
+
+def test_self_unsubscribe_mid_notify_keeps_later_observers(sim):
+    signal = Signal(sim, "s")
+    seen = []
+
+    def once(value, time):
+        seen.append(("once", value))
+        unsubscribe_once()
+
+    unsubscribe_once = signal.observe(once)
+    signal.observe(lambda value, time: seen.append(("steady", value)))
+    signal.set(1)
+    signal.set(2)
+    # the self-removal must not shift the iteration past "steady".
+    assert seen == [("once", 1), ("steady", 1), ("steady", 2)]
+
+
+def test_observer_subscribed_mid_notify_sees_only_next_change(sim):
+    signal = Signal(sim, "s")
+    seen = []
+
+    def subscriber(value, time):
+        seen.append(("outer", value))
+        if value == 1:
+            signal.observe(
+                lambda v, t: seen.append(("inner", v)))
+
+    signal.observe(subscriber)
+    signal.set(1)
+    assert seen == [("outer", 1)]  # inner absent from the snapshot
+    signal.set(2)
+    assert seen == [("outer", 1), ("outer", 2), ("inner", 2)]
+
+
+def test_raising_waiter_does_not_lose_queued_waiters(sim):
+    event = Event(sim, "done")
+    seen = []
+
+    def bad(ev):
+        raise RuntimeError("waiter failed")
+
+    event.add_waiter(bad)
+    event.add_waiter(lambda ev: seen.append("after"))
+    with pytest.raises(RuntimeError, match="waiter failed"):
+        event.trigger("x")
+    # the event did trigger; the surviving waiter is still queued and
+    # a late add_waiter fires immediately rather than being lost.
+    assert event.triggered
+    event.add_waiter(lambda ev: seen.append("late"))
+    assert seen == ["late"]
+
+
+def test_waiter_added_mid_drain_fires_exactly_once(sim):
+    event = Event(sim, "done")
+    seen = []
+
+    def chaining(ev):
+        seen.append("chaining")
+        ev.add_waiter(lambda e: seen.append("added-mid-drain"))
+
+    event.add_waiter(chaining)
+    event.add_waiter(lambda ev: seen.append("second"))
+    event.trigger()
+    # the mid-drain registration fired immediately (triggered branch)
+    # and exactly once, and the pre-registered waiters kept FIFO order.
+    assert seen == ["chaining", "added-mid-drain", "second"]

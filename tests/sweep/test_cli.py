@@ -37,3 +37,16 @@ def test_cached_rerun_reports_all_hits(tmp_path, capsys):
     capsys.readouterr()
     assert main(["sweep", "smoke", "--cache-dir", cache_dir]) == 0
     assert "4 hits, 0 misses" in capsys.readouterr().out
+
+
+def test_sweep_sanitize_forces_serial_uncached_and_passes(tmp_path,
+                                                          capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["sweep", "smoke", "-j", "4", "--cache-dir", cache_dir,
+                 "--sanitize"]) == 0
+    out = capsys.readouterr().out
+    # workers would escape instrumentation and cache hits would skip
+    # execution entirely, so --sanitize overrides both.
+    assert "-j 1" in out
+    assert "cache off" in out
+    assert "sanitize: 0 unjustified" in out
