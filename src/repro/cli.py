@@ -199,6 +199,11 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return run_sanitize(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.cli import run_serve
+    return run_serve(args)
+
+
 def _cmd_energy(args: argparse.Namespace) -> None:
     comparison = energy_comparison()
     rows = [
@@ -227,6 +232,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "obs": _cmd_obs,
     "sanitize": _cmd_sanitize,
+    "serve": _cmd_serve,
 }
 
 #: Commands that accept --trace/--metrics: the run executes inside
@@ -278,6 +284,13 @@ def build_parser() -> argparse.ArgumentParser:
             from repro.sanitize.cli import add_sanitize_arguments
             add_sanitize_arguments(sub)
             continue
+        if name == "serve":
+            sub = subparsers.add_parser(
+                name, help="drive a simulated FPGA fleet against an "
+                           "open-loop request stream (run | bench)")
+            from repro.serve.cli import add_serve_arguments
+            add_serve_arguments(sub)
+            continue
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
         if name in _OBSERVABLE:
             sub.add_argument("--trace", default=None, metavar="FILE",
@@ -323,7 +336,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if name == "table3":
                 command(argparse.Namespace(size_kb=216.5))
             elif name in ("report", "validate", "lint", "sweep", "obs",
-                          "sanitize"):
+                          "sanitize", "serve"):
                 continue  # 'all' already prints every table
             else:
                 command(args)

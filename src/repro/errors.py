@@ -80,3 +80,11 @@ class PolicyError(ReproError):
 
 class CalibrationError(ReproError):
     """A power-model calibration table is malformed or out of range."""
+
+
+class FleetError(ControllerError):
+    """A fleet board or its bitstream library was misused."""
+
+
+class ServeError(ReproError):
+    """A serve spec, workload, or scheduler policy is invalid."""

@@ -32,6 +32,7 @@ from repro.fpga.area import (
     MODULE_INVENTORIES,
     slices_for,
 )
+from repro.fpga.fleet import BitstreamLibrary, FleetBoard, ModuleImage
 
 __all__ = [
     "Icap",
@@ -51,4 +52,7 @@ __all__ = [
     "SlicePacker",
     "MODULE_INVENTORIES",
     "slices_for",
+    "BitstreamLibrary",
+    "FleetBoard",
+    "ModuleImage",
 ]

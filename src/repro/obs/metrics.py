@@ -225,6 +225,36 @@ class MetricsRegistry:
             histogram.total += state["total"]
             histogram.count += state["count"]
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another live registry into this one, wall flags kept.
+
+        Same algebra as :meth:`merge_snapshot` — counters and
+        histograms add, gauges keep the maximum — but over instrument
+        objects, so wall metrics merge too (each instrument keeps its
+        own ``wall`` flag).  Iteration is over sorted names, so the
+        set of instruments this registry ends up creating (and hence
+        its serialised form) is independent of the order in which the
+        other registry created them — the property that lets per-board
+        ``serve.*`` registries merge identically across worker counts.
+        """
+        for name in sorted(other._counters):
+            source = other._counters[name]
+            self.counter(name, wall=source.wall).inc(source.value)
+        for name in sorted(other._gauges):
+            source = other._gauges[name]
+            self.gauge(name, wall=source.wall).high_water(source.value)
+        for name in sorted(other._histograms):
+            source = other._histograms[name]
+            histogram = self.histogram(name, bounds=source.bounds,
+                                       wall=source.wall)
+            if histogram.bounds != source.bounds:
+                raise ValueError(f"histogram {name!r}: bucket bounds "
+                                 f"differ between merged registries")
+            for index, count in enumerate(source.counts):
+                histogram.counts[index] += count
+            histogram.total += source.total
+            histogram.count += source.count
+
     # -- reporting ----------------------------------------------------
 
     def rows(self, include_wall: bool = True) -> List[List[object]]:
@@ -272,6 +302,9 @@ class NullRegistry:
 
     def snapshot(self, include_wall: bool = False) -> Dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, other: Any) -> None:
+        pass
 
     def rows(self, include_wall: bool = True) -> List[List[object]]:
         return []

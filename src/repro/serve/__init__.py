@@ -1,0 +1,84 @@
+"""Fleet serving: a scheduler for many boards under live traffic.
+
+The paper evaluates one controller reconfiguring one region; this
+package scales that model out to an *Algorithm-On-Demand* fleet —
+N boards (each an ICAP + controller + bitstream library,
+:class:`repro.fpga.FleetBoard`) served against an open-loop stream of
+reconfiguration requests on one simulation kernel:
+
+* :mod:`repro.serve.spec`      — declarative :class:`RequestSpec` /
+  :class:`TenantSpec` / :class:`ServeSpec` with canonical keys;
+* :mod:`repro.serve.workload`  — seeded Poisson / burst / diurnal
+  arrival generation, strictly increasing picosecond arrivals;
+* :mod:`repro.serve.fleet`     — fleet construction and *measured*
+  per-module service times (one full controller run each);
+* :mod:`repro.serve.admission` — bounded queues, explicit
+  backpressure, deterministic worst-first shedding;
+* :mod:`repro.serve.scheduler` — weighted deficit-round-robin
+  fairness, earliest-deadline override, same-module batching;
+* :mod:`repro.serve.service`   — the event-driven pump (order-
+  independent under same-instant perturbation: S903-clean);
+* :mod:`repro.serve.slo`       — latency percentiles, throughput,
+  goodput, miss/shed rates; digest-pinned canonical JSON;
+* :mod:`repro.serve.bench`     — SLO curves across load levels via
+  the sweep engine's process fan-out;
+* :mod:`repro.serve.cli`       — ``python -m repro serve``.
+
+Every number is sim-time deterministic: repeat runs, both accel
+backends, any ``-j``, and any legal same-instant event reordering
+produce byte-identical SLO reports.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    SHED_INFEASIBLE,
+    SHED_QUEUE_FULL,
+)
+from repro.serve.bench import DEFAULT_LOADS, bench_serve, render_bench
+from repro.serve.fleet import ServiceTimeTable, build_fleet
+from repro.serve.scheduler import Batch, FairScheduler
+from repro.serve.service import (
+    CompletionRecord,
+    FleetService,
+    ServeOutcome,
+    ShedRecord,
+)
+from repro.serve.slo import SLOReport, build_report, percentile
+from repro.serve.spec import (
+    ARRIVAL_MODELS,
+    DEFAULT_CATALOG,
+    DEFAULT_TENANTS,
+    RequestSpec,
+    ServeSpec,
+    TenantSpec,
+    request_stream_digest,
+)
+from repro.serve.workload import generate_requests
+
+__all__ = [
+    "AdmissionController",
+    "ARRIVAL_MODELS",
+    "Batch",
+    "CompletionRecord",
+    "DEFAULT_CATALOG",
+    "DEFAULT_LOADS",
+    "DEFAULT_TENANTS",
+    "FairScheduler",
+    "FleetService",
+    "RequestSpec",
+    "SHED_INFEASIBLE",
+    "SHED_QUEUE_FULL",
+    "SLOReport",
+    "ServeOutcome",
+    "ServeSpec",
+    "ServiceTimeTable",
+    "ShedRecord",
+    "TenantSpec",
+    "bench_serve",
+    "build_fleet",
+    "build_report",
+    "generate_requests",
+    "percentile",
+    "render_bench",
+    "request_stream_digest",
+]

@@ -1,0 +1,156 @@
+"""Admission control: bounded queues, deterministic shedding.
+
+The admission controller owns the serve queues — one sorted list per
+tenant — and is the only component that drops work.  Policy is
+*insert-then-enforce*: an arriving request is always inserted in its
+tenant's queue first, then the per-tenant bound and the global bound
+are enforced by shedding the **worst** queued request (highest
+:attr:`~repro.serve.spec.RequestSpec.sort_key`, i.e. lowest urgency).
+A new urgent request therefore displaces queued background work
+rather than being turned away by it.
+
+Every decision is a pure function of queue contents, so shedding is
+deterministic: ties cannot occur (``sort_key`` ends in the unique
+request id) and global-bound victims are compared by
+``(sort_key, tenant name)``.
+
+Backpressure is explicit: :attr:`AdmissionController.backpressure`
+reports when total depth crosses the high-water mark (80% of the
+global bound), and the service mirrors it into the
+``serve.queue.backpressure`` gauge so an operator can see saturation
+before sheds start.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.serve.spec import RequestSpec, ServeSpec
+
+__all__ = ["AdmissionController", "SHED_INFEASIBLE", "SHED_QUEUE_FULL"]
+
+#: Shed because a queue bound was exceeded.
+SHED_QUEUE_FULL = "queue_full"
+#: Shed because the deadline cannot be met even if dispatched now.
+SHED_INFEASIBLE = "infeasible"
+
+#: Queue entry: the sort key first, so ``insort`` keeps tenant queues
+#: ordered by dispatch urgency.
+_Entry = Tuple[Tuple[int, int, int, int], RequestSpec]
+
+
+class AdmissionController:
+    """Bounded per-tenant queues with worst-first shedding."""
+
+    def __init__(self, spec: ServeSpec) -> None:
+        self._spec = spec
+        self._queues: Dict[str, List[_Entry]] = {
+            tenant.name: [] for tenant in spec.tenants}
+        #: Tenant names in deterministic iteration order.
+        self.tenant_names: Tuple[str, ...] = tuple(sorted(self._queues))
+        self._depth = 0
+
+    # -- queue state ---------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Total queued requests across all tenants."""
+        return self._depth
+
+    def tenant_depth(self, tenant: str) -> int:
+        return len(self._queues[tenant])
+
+    @property
+    def backpressure(self) -> bool:
+        """True once depth crosses 80% of the global bound."""
+        return self._depth * 5 >= self._spec.queue_limit * 4
+
+    def head(self, tenant: str) -> Optional[RequestSpec]:
+        """The tenant's most urgent queued request, if any."""
+        queue = self._queues[tenant]
+        return queue[0][1] if queue else None
+
+    def queued(self, tenant: str) -> List[RequestSpec]:
+        """The tenant's queue in dispatch order (copy)."""
+        return [request for _, request in self._queues[tenant]]
+
+    # -- admission -----------------------------------------------------
+
+    def offer(self, request: RequestSpec, now_ps: int,
+              cold_service_ps: int,
+              ) -> List[Tuple[RequestSpec, str]]:
+        """Admit one request; return the resulting shed decisions.
+
+        The shed victim of a bound violation is usually *not* the
+        offered request — insert-then-enforce evicts the worst queued
+        entry, which may be older background work.
+        """
+        if request.tenant not in self._queues:
+            raise ServeError(f"request {request.request_id}: unknown "
+                             f"tenant {request.tenant!r}")
+        if self._spec.shed_infeasible \
+                and now_ps + cold_service_ps > request.deadline_ps:
+            return [(request, SHED_INFEASIBLE)]
+        shed: List[Tuple[RequestSpec, str]] = []
+        queue = self._queues[request.tenant]
+        insort(queue, (request.sort_key, request))
+        self._depth += 1
+        if len(queue) > self._spec.tenant_limit:
+            shed.append((self._evict(request.tenant), SHED_QUEUE_FULL))
+        if self._depth > self._spec.queue_limit:
+            shed.append((self._evict_global(), SHED_QUEUE_FULL))
+        return shed
+
+    def _evict(self, tenant: str) -> RequestSpec:
+        """Drop and return the tenant's worst queued request."""
+        self._depth -= 1
+        return self._queues[tenant].pop()[1]
+
+    def _evict_global(self) -> RequestSpec:
+        """Drop the globally worst request, ties broken by tenant."""
+        victim_tenant = ""
+        victim_key = None
+        for tenant in self.tenant_names:
+            queue = self._queues[tenant]
+            if not queue:
+                continue
+            key = (queue[-1][0], tenant)
+            if victim_key is None or key > victim_key:
+                victim_key = key
+                victim_tenant = tenant
+        if victim_key is None:  # pragma: no cover - depth>0 guarantees
+            raise ServeError("global eviction from empty queues")
+        return self._evict(victim_tenant)
+
+    # -- removal (dispatch and preemption requeue) ---------------------
+
+    def take(self, request: RequestSpec) -> None:
+        """Remove a specific queued request (it is being dispatched)."""
+        queue = self._queues[request.tenant]
+        entry = (request.sort_key, request)
+        for index, candidate in enumerate(queue):
+            if candidate == entry:
+                del queue[index]
+                self._depth -= 1
+                return
+        raise ServeError(f"request {request.request_id} is not queued")
+
+    def match(self, module: str, limit: int,
+              exclude_id: int) -> List[RequestSpec]:
+        """Queued requests for ``module``, most urgent first.
+
+        Scans every tenant queue (they are sorted, so per-tenant order
+        is already dispatch order) and merges by ``sort_key``; used by
+        the scheduler to coalesce a batch.  ``exclude_id`` skips the
+        request that seeded the batch.
+        """
+        found: List[RequestSpec] = []
+        for tenant in self.tenant_names:
+            for _, request in self._queues[tenant]:
+                if request.module == module \
+                        and request.request_id != exclude_id:
+                    found.append(request)
+        found.sort(key=lambda request: request.sort_key)
+        return found[:limit]

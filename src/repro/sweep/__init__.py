@@ -22,7 +22,9 @@ from repro.sweep.cache import ArtifactCache, CacheStats, artifact_key
 from repro.sweep.engine import (
     SweepEngine,
     SweepResult,
+    build_controller,
     execute_spec,
+    fan_out,
     table1_ratios,
     to_bandwidth_points,
 )
@@ -42,7 +44,9 @@ __all__ = [
     "artifact_key",
     "SweepEngine",
     "SweepResult",
+    "build_controller",
     "execute_spec",
+    "fan_out",
     "table1_ratios",
     "to_bandwidth_points",
     "FIG5_GRID",

@@ -101,7 +101,26 @@ def _record_params(spec: RunSpec) -> Dict[str, Any]:
     return params
 
 
-def _build_controller(name: str):
+def fan_out(items: List[Any], worker, jobs: int = 1) -> List[Any]:
+    """Map ``worker`` over ``items``, preserving input order.
+
+    ``jobs <= 1`` (or fewer than two items) runs inline; otherwise the
+    calls fan out across ``jobs`` worker processes.  Like
+    ``ProcessPoolExecutor.map``, results come back in input order, so
+    parallelism never changes what the caller observes — which is why
+    both the sweep engine and ``repro serve bench`` can treat the two
+    paths as interchangeable.  ``worker`` must be picklable
+    (module-level function or :func:`functools.partial` of one).
+    """
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(items) <= 1:
+        return [worker(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(worker, items))
+
+
+def build_controller(name: str):
+    """A fresh controller instance for a sweep/serve controller name."""
     from repro.controllers import (
         BramHwicap,
         Farm,
@@ -119,7 +138,13 @@ def _build_controller(name: str):
         "BRAM_HWICAP": BramHwicap,
         "FaRM": Farm,
     }
-    return factories[name]()
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown controller {name!r}; known: "
+            f"{', '.join(sorted(factories))}") from None
+    return factory()
 
 
 def execute_spec(spec: RunSpec, cache_root: Optional[str] = None,
@@ -142,7 +167,7 @@ def execute_spec(spec: RunSpec, cache_root: Optional[str] = None,
         else:
             from repro.bitstream.generator import generate_bitstream
             bitstream = generate_bitstream(generator_spec)
-        controller = _build_controller(spec.controller)
+        controller = build_controller(spec.controller)
         outcome = controller.reconfigure(
             bitstream, Frequency.from_mhz(spec.frequency_mhz))
         theoretical = Frequency.from_mhz(
@@ -276,11 +301,7 @@ class SweepEngine:
         self.stats = CacheStats()
         self.registry = MetricsRegistry()
         with Timer() as timer:
-            if self.jobs == 1 or len(self._specs) <= 1:
-                outcomes = [worker(spec) for spec in self._specs]
-            else:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    outcomes = list(pool.map(worker, self._specs))
+            outcomes = fan_out(self._specs, worker, jobs=self.jobs)
         self.wall_s = timer.elapsed_s
         profiler = WallProfiler(self.registry)
         results = []

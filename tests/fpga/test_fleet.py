@@ -1,0 +1,118 @@
+"""Fleet boards: module images, bitstream libraries, board state."""
+
+import pytest
+
+from repro.controllers import UparcController
+from repro.errors import FleetError
+from repro.fpga import BitstreamLibrary, FleetBoard, ModuleImage
+from repro.units import Frequency
+
+CATALOG = (
+    ModuleImage("alpha", size_kb=8.0, seed=11),
+    ModuleImage("beta", size_kb=12.0, seed=12),
+)
+
+
+def make_board(board_id=0):
+    return FleetBoard(board_id, UparcController("i"),
+                      BitstreamLibrary(CATALOG))
+
+
+class TestModuleImage:
+    def test_rejects_empty_name(self):
+        with pytest.raises(FleetError):
+            ModuleImage("", size_kb=8.0, seed=1)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(FleetError):
+            ModuleImage("x", size_kb=0.0, seed=1)
+
+    def test_is_hashable_identity(self):
+        assert ModuleImage("x", 8.0, 1) == ModuleImage("x", 8.0, 1)
+        assert len({ModuleImage("x", 8.0, 1),
+                    ModuleImage("x", 8.0, 1)}) == 1
+
+
+class TestBitstreamLibrary:
+    def test_needs_modules(self):
+        with pytest.raises(FleetError):
+            BitstreamLibrary(())
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(FleetError):
+            BitstreamLibrary((ModuleImage("x", 8.0, 1),
+                              ModuleImage("x", 9.0, 2)))
+
+    def test_names_sorted(self):
+        library = BitstreamLibrary((ModuleImage("zeta", 8.0, 1),
+                                    ModuleImage("alpha", 8.0, 2)))
+        assert library.names == ("alpha", "zeta")
+
+    def test_contains_and_len(self):
+        library = BitstreamLibrary(CATALOG)
+        assert "alpha" in library and "gamma" not in library
+        assert len(library) == 2
+
+    def test_unknown_module_raises(self):
+        library = BitstreamLibrary(CATALOG)
+        with pytest.raises(FleetError, match="unknown module"):
+            library.bitstream("gamma")
+
+    def test_bitstream_memoised(self):
+        library = BitstreamLibrary(CATALOG)
+        first = library.bitstream("alpha")
+        assert library.bitstream("alpha") is first
+
+    def test_bitstream_matches_image(self):
+        library = BitstreamLibrary(CATALOG)
+        bitstream = library.bitstream("beta")
+        # The generator rounds to whole configuration frames.
+        assert abs(len(bitstream.raw_bytes) - 12 * 1024) < 256
+        assert bitstream.frame_count > 0
+
+
+class TestFleetBoard:
+    def test_rejects_negative_id(self):
+        with pytest.raises(FleetError):
+            FleetBoard(-1, UparcController("i"),
+                       BitstreamLibrary(CATALOG))
+
+    def test_name(self):
+        assert make_board(3).name == "board3"
+
+    def test_starts_empty(self):
+        board = make_board()
+        assert board.loaded_module is None
+        assert board.reconfigurations == 0
+        assert board.service_generation == 0
+
+    def test_reconfigure_runs_controller(self):
+        board = make_board()
+        result = board.reconfigure("alpha",
+                                   Frequency.from_mhz(362.5))
+        assert result.verified
+        assert result.duration_ps > 0
+        assert board.loaded_module == "alpha"
+        assert board.reconfigurations == 1
+
+    def test_reconfigure_is_deterministic(self):
+        first = make_board().reconfigure("alpha",
+                                         Frequency.from_mhz(362.5))
+        second = make_board().reconfigure("alpha",
+                                          Frequency.from_mhz(362.5))
+        assert first.duration_ps == second.duration_ps
+        assert first.payload_crc == second.payload_crc
+
+    def test_invalidate_bumps_generation(self):
+        board = make_board()
+        board.reconfigure("alpha", Frequency.from_mhz(362.5))
+        generation = board.invalidate()
+        assert generation == 1
+        assert board.service_generation == 1
+        assert board.loaded_module is None
+
+    def test_repr_mentions_load_state(self):
+        board = make_board()
+        assert "<empty>" in repr(board)
+        board.reconfigure("beta", Frequency.from_mhz(362.5))
+        assert "beta" in repr(board)

@@ -1,0 +1,135 @@
+"""Admission control: bounds, worst-first shedding, backpressure."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ServeSpec
+from repro.serve.admission import (
+    AdmissionController,
+    SHED_INFEASIBLE,
+    SHED_QUEUE_FULL,
+)
+from repro.serve.spec import RequestSpec, TenantSpec
+
+COLD_PS = 10_000_000  # 10 us nominal cold service
+
+TENANTS = (
+    TenantSpec("a", 1.0, modules=("aes_core",), priority=1,
+               deadline_us=100.0),
+    TenantSpec("b", 1.0, modules=("aes_core",), priority=3,
+               deadline_us=100.0),
+)
+
+
+def controller(**kwargs):
+    defaults = dict(tenants=TENANTS, queue_limit=8, tenant_limit=4)
+    defaults.update(kwargs)
+    return AdmissionController(ServeSpec(**defaults))
+
+
+def request(request_id, tenant="a", priority=None, arrival_ps: int = 0,
+            deadline_ps: int = 1_000_000_000):
+    priorities = {"a": 1, "b": 3}
+    return RequestSpec(
+        request_id=request_id, tenant=tenant, module="aes_core",
+        arrival_ps=arrival_ps, deadline_ps=deadline_ps,
+        priority=priorities[tenant] if priority is None else priority)
+
+
+def test_admits_and_tracks_depth():
+    admission = controller()
+    assert admission.offer(request(0), 0, COLD_PS) == []
+    assert admission.depth == 1
+    assert admission.tenant_depth("a") == 1
+    assert admission.head("a").request_id == 0
+
+
+def test_unknown_tenant_rejected():
+    admission = controller()
+    bad = RequestSpec(request_id=0, tenant="ghost",
+                      module="aes_core", arrival_ps=0,
+                      deadline_ps=100, priority=1)
+    with pytest.raises(ServeError):
+        admission.offer(bad, 0, COLD_PS)
+
+
+def test_tenant_bound_sheds_worst_of_that_tenant():
+    admission = controller()
+    # Fill tenant a with deadlines 40..10: later offers are *more*
+    # urgent, so each insertion evicts the least urgent survivor.
+    for index, deadline in enumerate((40, 30, 20, 10)):
+        shed = admission.offer(
+            request(index, deadline_ps=deadline * 1_000_000), 0,
+            COLD_PS)
+        assert shed == []
+    shed = admission.offer(
+        request(9, deadline_ps=5_000_000), 0, COLD_PS)
+    assert [(victim.request_id, reason) for victim, reason in shed] \
+        == [(0, SHED_QUEUE_FULL)]  # deadline 40us was the worst
+    assert admission.tenant_depth("a") == 4
+
+
+def test_global_bound_sheds_lowest_urgency_tenant():
+    admission = controller(queue_limit=4, tenant_limit=4)
+    admission.offer(request(0, "a"), 0, COLD_PS)
+    admission.offer(request(1, "a"), 0, COLD_PS)
+    admission.offer(request(2, "b"), 0, COLD_PS)
+    admission.offer(request(3, "b"), 0, COLD_PS)
+    # The global victim is tenant b's tail (priority 3 > priority 1).
+    shed = admission.offer(request(4, "a"), 0, COLD_PS)
+    assert [(victim.request_id, reason) for victim, reason in shed] \
+        == [(3, SHED_QUEUE_FULL)]
+    assert admission.depth == 4
+
+
+def test_infeasible_shed_when_enabled():
+    admission = controller(shed_infeasible=True)
+    hopeless = request(0, deadline_ps=COLD_PS // 2)
+    shed = admission.offer(hopeless, 0, COLD_PS)
+    assert [(victim.request_id, reason) for victim, reason in shed] \
+        == [(0, SHED_INFEASIBLE)]
+    assert admission.depth == 0
+
+
+def test_infeasible_ignored_when_disabled():
+    admission = controller()
+    hopeless = request(0, deadline_ps=COLD_PS // 2)
+    assert admission.offer(hopeless, 0, COLD_PS) == []
+    assert admission.depth == 1
+
+
+def test_take_removes_specific_request():
+    admission = controller()
+    admission.offer(request(0), 0, COLD_PS)
+    admission.offer(request(1), 0, COLD_PS)
+    admission.take(request(0))
+    assert admission.depth == 1
+    assert admission.head("a").request_id == 1
+    with pytest.raises(ServeError):
+        admission.take(request(0))
+
+
+def test_match_merges_tenants_by_urgency():
+    admission = controller()
+    admission.offer(request(0, "b"), 0, COLD_PS)
+    admission.offer(request(1, "a"), 0, COLD_PS)
+    admission.offer(request(2, "a"), 0, COLD_PS)
+    riders = admission.match("aes_core", limit=2, exclude_id=1)
+    # Priority 1 (tenant a) outranks priority 3 (tenant b).
+    assert [r.request_id for r in riders] == [2, 0]
+
+
+def test_backpressure_high_water():
+    admission = controller(queue_limit=10, tenant_limit=10)
+    for index in range(7):
+        admission.offer(request(index), 0, COLD_PS)
+    assert not admission.backpressure
+    admission.offer(request(7), 0, COLD_PS)
+    assert admission.backpressure  # 8/10 >= 80%
+
+
+def test_queued_returns_dispatch_order():
+    admission = controller()
+    admission.offer(request(0, deadline_ps=90_000_000), 0, COLD_PS)
+    admission.offer(request(1, deadline_ps=10_000_000), 0, COLD_PS)
+    assert [r.request_id for r in admission.queued("a")] == [1, 0]

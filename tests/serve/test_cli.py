@@ -1,0 +1,81 @@
+"""The ``repro serve`` command line: run, bench, files, sanitize."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SMALL = ["--requests", "150", "--seed", "5"]
+
+
+def test_run_prints_slo_and_tenant_tables(capsys):
+    assert main(["serve", "run", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "serve --" in out
+    assert "throughput" in out
+    assert "per-tenant" in out
+    for tenant in ("radar", "video", "iot", "batch"):
+        assert tenant in out
+
+
+def test_run_writes_json_report(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    assert main(["serve", "run", *SMALL, "--json", str(path)]) == 0
+    report = json.loads(path.read_text())
+    assert report["requests"] == 150
+    assert report["completed"] + report["shed"] == 150
+    assert str(path) in capsys.readouterr().out
+
+
+def test_run_json_is_replayable(tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    assert main(["serve", "run", *SMALL, "--json", str(first)]) == 0
+    assert main(["serve", "run", *SMALL, "--json", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_run_metrics_table(capsys):
+    assert main(["serve", "run", *SMALL, "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "serve.requests.completed" in out
+    assert "serve.dispatch.cold" in out
+
+
+def test_run_sanitize_clean(capsys):
+    assert main(["serve", "run", "--requests", "120", "--sanitize"]) \
+        == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_bench_curve_and_output(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    assert main(["serve", "bench", *SMALL, "--loads", "2,0.5",
+                 "--output", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "serve bench --" in out
+    assert "300 requests across 2 load levels" in out
+    document = json.loads(path.read_text())
+    assert document["kind"] == "serve-bench"
+    assert document["loads"] == [0.5, 2.0]
+    assert len(document["levels"]) == 2
+    assert "_wall_s" not in document
+
+
+def test_bench_merged_metrics(capsys):
+    assert main(["serve", "bench", *SMALL, "--loads", "0.5",
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "merged serve metrics" in out
+    assert "serve.requests.offered" in out
+
+
+def test_bench_rejects_bad_loads():
+    with pytest.raises(SystemExit):
+        main(["serve", "bench", "--loads", "fast"])
+
+
+def test_serve_requires_subcommand(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve"])

@@ -1,0 +1,240 @@
+"""Fair scheduling: weighted DRR, EDF override, batching, boards."""
+
+import pytest
+
+from repro.controllers import UparcController
+from repro.errors import ServeError
+from repro.fpga import BitstreamLibrary, FleetBoard, ModuleImage
+from repro.serve import ServeSpec
+from repro.serve.admission import AdmissionController
+from repro.serve.scheduler import Batch, FairScheduler
+from repro.serve.spec import RequestSpec, TenantSpec
+
+WARM_PS = 10
+QUANTUM_PS = 100
+FAR_DEADLINE = 1_000_000_000
+
+
+class StubTable:
+    """Service-time table with hand-picked costs (no measurement)."""
+
+    def __init__(self, cold, quantum_ps: int = QUANTUM_PS):
+        self._cold = dict(cold)
+        self.quantum_ps = quantum_ps
+
+    def cold_ps(self, module):
+        return self._cold[module]
+
+    def service_ps(self, module, warm):
+        return WARM_PS if warm else self._cold[module]
+
+
+def make_spec(tenants, **kwargs):
+    defaults = dict(tenants=tenants, queue_limit=64, tenant_limit=64,
+                    batch_limit=1)
+    defaults.update(kwargs)
+    return ServeSpec(**defaults)
+
+
+def make_request(request_id, tenant, module="aes_core", priority=2,
+                 arrival_ps: int = None,
+                 deadline_ps: int = FAR_DEADLINE):
+    return RequestSpec(
+        request_id=request_id, tenant=tenant, module=module,
+        arrival_ps=request_id * 10 if arrival_ps is None
+        else arrival_ps,
+        deadline_ps=deadline_ps, priority=priority)
+
+
+def fill(admission, tenant, count, start_id=0, **kwargs):
+    for index in range(count):
+        request = make_request(start_id + index, tenant, **kwargs)
+        assert admission.offer(request, 0, 0) == []
+
+
+def drain(scheduler, admission, table, rounds):
+    """Run ``rounds`` dispatch+charge cycles; return tenant counts."""
+    counts = {}
+    for _ in range(rounds):
+        batch = scheduler.next_batch(admission)
+        assert batch is not None
+        for request in batch.requests:
+            counts[request.tenant] = counts.get(request.tenant, 0) + 1
+        scheduler.charge(batch, table.cold_ps(batch.module))
+    return counts
+
+
+class TestWeightedDrr:
+    def test_shares_follow_weights(self):
+        # Equal costs, weight 1 vs 2: tenant y earns two dispatches
+        # per ring cycle to x's one.
+        spec = make_spec((
+            TenantSpec("x", 1.0, modules=("aes_core",)),
+            TenantSpec("y", 2.0, modules=("aes_core",)),
+        ))
+        table = StubTable({"aes_core": 100})
+        admission = AdmissionController(spec)
+        scheduler = FairScheduler(spec, table)
+        fill(admission, "x", 20, start_id=0)
+        fill(admission, "y", 20, start_id=100)
+        counts = drain(scheduler, admission, table, rounds=18)
+        assert counts == {"x": 6, "y": 12}
+
+    def test_expensive_head_waits_out_turns(self):
+        # x's module costs 2.5 quanta, so x banks credit across two
+        # turns while y keeps dispatching, then finally affords it.
+        spec = make_spec((
+            TenantSpec("x", 1.0, modules=("fir_filter",)),
+            TenantSpec("y", 1.0, modules=("aes_core",)),
+        ))
+        table = StubTable({"fir_filter": 250, "aes_core": 100})
+        admission = AdmissionController(spec)
+        scheduler = FairScheduler(spec, table)
+        fill(admission, "x", 2, start_id=0, module="fir_filter")
+        fill(admission, "y", 4, start_id=100)
+        order = []
+        for _ in range(3):
+            batch = scheduler.next_batch(admission)
+            order.append(batch.requests[0].tenant)
+            scheduler.charge(batch, table.cold_ps(batch.module))
+        assert order == ["y", "y", "x"]
+
+    def test_idle_tenant_banks_no_credit(self):
+        spec = make_spec((
+            TenantSpec("x", 1.0, modules=("fir_filter",)),
+            TenantSpec("y", 1.0, modules=("aes_core",)),
+        ))
+        table = StubTable({"fir_filter": 250, "aes_core": 100})
+        admission = AdmissionController(spec)
+        scheduler = FairScheduler(spec, table)
+        fill(admission, "x", 1, start_id=0, module="fir_filter")
+        fill(admission, "y", 3, start_id=100)
+        batch = scheduler.next_batch(admission)  # credits x, runs y
+        scheduler.charge(batch, table.cold_ps(batch.module))
+        assert scheduler.deficit("x") == QUANTUM_PS
+        admission.take(admission.head("x"))  # x goes idle
+        # The next round passes over the now-empty x queue and wipes
+        # its banked credit before dispatching y again.
+        batch = scheduler.next_batch(admission)
+        scheduler.charge(batch, table.cold_ps(batch.module))
+        assert batch.requests[0].tenant == "y"
+        assert scheduler.deficit("x") == 0
+
+    def test_idle_queues_yield_none(self):
+        spec = make_spec((
+            TenantSpec("x", 1.0, modules=("aes_core",)),))
+        scheduler = FairScheduler(spec, StubTable({"aes_core": 100}))
+        assert scheduler.next_batch(AdmissionController(spec)) is None
+
+
+class TestDeadlineOverride:
+    def make(self):
+        spec = make_spec((
+            TenantSpec("bulk", 4.0, modules=("aes_core",),
+                       priority=2),
+            TenantSpec("rt", 1.0, modules=("aes_core",), priority=0),
+        ))
+        table = StubTable({"aes_core": 100})
+        return spec, AdmissionController(spec), \
+            FairScheduler(spec, table)
+
+    def test_priority_zero_bypasses_fairness(self):
+        _, admission, scheduler = self.make()
+        fill(admission, "bulk", 4, start_id=0)
+        fill(admission, "rt", 1, start_id=100, priority=0)
+        batch = scheduler.next_batch(admission)
+        assert batch.requests[0].tenant == "rt"
+
+    def test_earliest_deadline_wins_among_urgent(self):
+        _, admission, scheduler = self.make()
+        admission.offer(make_request(0, "rt", priority=0,
+                                     deadline_ps=900_000), 0, 0)
+        admission.offer(make_request(1, "rt", priority=0,
+                                     deadline_ps=500_000), 0, 0)
+        head = scheduler.urgent_head(admission)
+        assert head.request_id == 1
+
+    def test_no_urgent_head_without_priority_zero(self):
+        _, admission, scheduler = self.make()
+        fill(admission, "bulk", 2, start_id=0)
+        assert scheduler.urgent_head(admission) is None
+
+
+class TestBatching:
+    def test_same_module_riders_coalesce_across_tenants(self):
+        spec = make_spec((
+            TenantSpec("x", 1.0, modules=("aes_core",)),
+            TenantSpec("y", 1.0, modules=("aes_core",)),
+        ), batch_limit=3)
+        admission = AdmissionController(spec)
+        scheduler = FairScheduler(spec, StubTable({"aes_core": 100}))
+        admission.offer(make_request(0, "x", arrival_ps=10), 0, 0)
+        admission.offer(make_request(1, "x", arrival_ps=20), 0, 0)
+        admission.offer(make_request(2, "y", arrival_ps=15), 0, 0)
+        admission.offer(make_request(3, "y", arrival_ps=25), 0, 0)
+        batch = scheduler.next_batch(admission)
+        # Head is x's first request; the two most urgent matches ride.
+        assert [r.request_id for r in batch.requests] == [0, 2, 1]
+        assert admission.depth == 1
+
+    def test_different_modules_never_coalesce(self):
+        spec = make_spec((
+            TenantSpec("x", 1.0, modules=("aes_core",)),
+            TenantSpec("y", 1.0, modules=("fir_filter",)),
+        ), batch_limit=4)
+        table = StubTable({"aes_core": 100, "fir_filter": 100})
+        admission = AdmissionController(spec)
+        scheduler = FairScheduler(spec, table)
+        admission.offer(make_request(0, "x"), 0, 0)
+        admission.offer(
+            make_request(1, "y", module="fir_filter"), 0, 0)
+        batch = scheduler.next_batch(admission)
+        assert len(batch.requests) == 1
+
+    def test_charge_splits_evenly_and_may_go_negative(self):
+        spec = make_spec((
+            TenantSpec("x", 1.0, modules=("aes_core",)),
+            TenantSpec("y", 1.0, modules=("aes_core",)),
+        ))
+        scheduler = FairScheduler(spec, StubTable({"aes_core": 100}))
+        batch = Batch(module="aes_core", requests=(
+            make_request(0, "x"), make_request(1, "x"),
+            make_request(2, "y")))
+        scheduler.charge(batch, 90)
+        assert scheduler.deficit("x") == -60
+        assert scheduler.deficit("y") == -30
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ServeError):
+            Batch(module="aes_core", requests=())
+
+
+class TestBoardChoice:
+    CATALOG = (ModuleImage("aes_core", 8.0, 1),)
+
+    def boards(self, count=3):
+        library = BitstreamLibrary(self.CATALOG)
+        return [FleetBoard(board_id, UparcController("i"), library)
+                for board_id in range(count)]
+
+    def test_warm_board_preferred(self):
+        boards = self.boards()
+        boards[2].loaded_module = "aes_core"
+        board, warm = FairScheduler.pick_board(boards, "aes_core")
+        assert (board.board_id, warm) == (2, True)
+
+    def test_choice_is_order_independent(self):
+        boards = self.boards()
+        boards[1].loaded_module = "aes_core"
+        forward = FairScheduler.pick_board(boards, "aes_core")
+        backward = FairScheduler.pick_board(boards[::-1], "aes_core")
+        assert forward == backward
+
+    def test_cold_pick_is_lowest_id(self):
+        board, warm = FairScheduler.pick_board(
+            self.boards()[::-1], "aes_core")
+        assert (board.board_id, warm) == (0, False)
+
+    def test_no_free_board_raises(self):
+        with pytest.raises(ServeError):
+            FairScheduler.pick_board([], "aes_core")

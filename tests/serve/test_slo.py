@@ -1,0 +1,145 @@
+"""SLO reports: nearest-rank percentiles, accounting, digests."""
+
+import json
+
+import pytest
+
+from repro.serve import ServeSpec, build_report
+from repro.serve.admission import SHED_QUEUE_FULL
+from repro.serve.service import (
+    CompletionRecord,
+    ServeOutcome,
+    ShedRecord,
+)
+from repro.serve.slo import percentile
+from repro.serve.spec import RequestSpec, TenantSpec
+
+
+class TestPercentile:
+    def test_nearest_rank_on_round_list(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_nearest_rank_rounds_up(self):
+        assert percentile([10, 20, 30, 40], 50) == 20
+        assert percentile([10, 20, 30, 40], 51) == 30
+        assert percentile([10, 20, 30, 40], 25) == 10
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_is_zero(self):
+        assert percentile([], 95) == 0
+
+    @pytest.mark.parametrize("percent", [0, -5, 101])
+    def test_out_of_range_percent(self, percent):
+        with pytest.raises(ValueError):
+            percentile([1], percent)
+
+
+def crafted_outcome():
+    spec = ServeSpec(tenants=(
+        TenantSpec("a", 1.0, modules=("aes_core",)),
+        TenantSpec("b", 1.0, modules=("aes_core",)),
+    ))
+
+    def request(request_id, tenant, arrival_us, deadline_us):
+        return RequestSpec(
+            request_id=request_id, tenant=tenant, module="aes_core",
+            arrival_ps=arrival_us * 1_000_000,
+            deadline_ps=deadline_us * 1_000_000,
+            priority=2)
+
+    requests = (
+        request(0, "a", 1, 50),
+        request(1, "a", 2, 21),
+        request(2, "b", 3, 100),
+        request(3, "b", 4, 100),
+    )
+    completions = (
+        # Requests 0 and 2 share one batch slot on board 0.
+        CompletionRecord(requests[0], finish_ps=11_000_000,
+                         board_id=0, warm=False, batch_size=2),
+        CompletionRecord(requests[2], finish_ps=11_000_000,
+                         board_id=0, warm=False, batch_size=2),
+        # Request 1 finishes at 32 us against a 21 us deadline.
+        CompletionRecord(requests[1], finish_ps=32_000_000,
+                         board_id=0, warm=True, batch_size=1),
+    )
+    sheds = (ShedRecord(requests[3], SHED_QUEUE_FULL,
+                        time_ps=5_000_000),)
+    return ServeOutcome(spec=spec, requests=requests,
+                        completions=completions, sheds=sheds,
+                        end_ps=40_000_000, preemptions=2,
+                        stale_completions=1)
+
+
+class TestBuildReport:
+    def test_counts(self):
+        report = build_report(crafted_outcome())
+        assert report.requests == 4
+        assert report.completed == 3
+        assert report.shed == 1
+        assert report.shed_by_reason == {SHED_QUEUE_FULL: 1}
+        assert report.deadline_missed == 1
+        assert report.warm_completions == 1
+        assert report.preemptions == 2
+        assert report.stale_completions == 1
+
+    def test_batches_count_distinct_slots(self):
+        assert build_report(crafted_outcome()).batches == 2
+
+    def test_rates(self):
+        report = build_report(crafted_outcome())
+        assert report.makespan_s == pytest.approx(3.2e-5)
+        assert report.throughput_rps == pytest.approx(3 / 3.2e-5)
+        assert report.goodput_rps == pytest.approx(2 / 3.2e-5)
+        assert report.deadline_miss_pct == pytest.approx(100 / 3)
+        assert report.shed_pct == pytest.approx(25.0)
+
+    def test_latency_block(self):
+        latency = build_report(crafted_outcome()).latency_us
+        # Latencies are 8, 10 and 30 us.
+        assert latency == {"p50": 10.0, "p95": 30.0, "p99": 30.0,
+                           "mean": 16.0, "max": 30.0}
+
+    def test_tenant_breakdown(self):
+        tenants = build_report(crafted_outcome()).tenants
+        assert tenants["a"] == {"completed": 2, "shed": 0,
+                                "deadline_missed": 1, "p95_us": 30.0}
+        assert tenants["b"] == {"completed": 1, "shed": 1,
+                                "deadline_missed": 0, "p95_us": 8.0}
+
+    def test_empty_outcome(self):
+        outcome = crafted_outcome()
+        empty = ServeOutcome(spec=outcome.spec,
+                             requests=outcome.requests,
+                             completions=(), sheds=(), end_ps=0,
+                             preemptions=0, stale_completions=0)
+        report = build_report(empty)
+        assert report.throughput_rps == 0.0
+        assert report.latency_us["p99"] == 0.0
+        assert report.deadline_miss_pct == 0.0
+
+
+class TestCanonicalJson:
+    def test_json_round_trips_to_dict(self):
+        report = build_report(crafted_outcome())
+        assert json.loads(report.to_json()) == report.to_dict()
+
+    def test_digest_stable_across_builds(self):
+        first = build_report(crafted_outcome())
+        second = build_report(crafted_outcome())
+        assert first.digest == second.digest
+
+    def test_digest_sensitive_to_content(self):
+        outcome = crafted_outcome()
+        trimmed = ServeOutcome(
+            spec=outcome.spec, requests=outcome.requests,
+            completions=outcome.completions[:-1], sheds=outcome.sheds,
+            end_ps=outcome.end_ps, preemptions=outcome.preemptions,
+            stale_completions=outcome.stale_completions)
+        assert build_report(outcome).digest \
+            != build_report(trimmed).digest

@@ -1,0 +1,90 @@
+"""Workload generation: determinism, monotonicity, model shapes."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ServeSpec, generate_requests
+from repro.serve.spec import TenantSpec
+
+RATE = 50_000.0
+
+
+def spec_for(arrival="poisson", requests=2000, seed=7, **kwargs):
+    return ServeSpec(arrival=arrival, requests=requests, seed=seed,
+                     **kwargs)
+
+
+@pytest.mark.parametrize("arrival", ["poisson", "burst", "diurnal"])
+class TestAllModels:
+    def test_count_and_ids(self, arrival):
+        stream = generate_requests(spec_for(arrival), RATE)
+        assert len(stream) == 2000
+        assert [r.request_id for r in stream] == list(range(2000))
+
+    def test_arrivals_strictly_increase(self, arrival):
+        stream = generate_requests(spec_for(arrival), RATE)
+        assert all(b.arrival_ps > a.arrival_ps
+                   for a, b in zip(stream, stream[1:]))
+
+    def test_deterministic_replay(self, arrival):
+        first = generate_requests(spec_for(arrival), RATE)
+        second = generate_requests(spec_for(arrival), RATE)
+        assert first == second
+
+    def test_seed_changes_stream(self, arrival):
+        base = generate_requests(spec_for(arrival), RATE)
+        other = generate_requests(spec_for(arrival, seed=8), RATE)
+        assert base != other
+
+    def test_deadline_and_priority_follow_tenant(self, arrival):
+        spec = spec_for(arrival)
+        tenants = {tenant.name: tenant for tenant in spec.tenants}
+        for request in generate_requests(spec, RATE)[:200]:
+            tenant = tenants[request.tenant]
+            assert request.priority == tenant.priority
+            assert request.deadline_ps - request.arrival_ps \
+                == round(tenant.deadline_us * 1e6)
+            assert request.module in tenant.modules
+
+
+def test_rate_must_be_positive():
+    with pytest.raises(ServeError):
+        generate_requests(spec_for(), 0.0)
+
+
+def test_mean_rate_close_to_requested():
+    stream = generate_requests(spec_for(requests=20_000), RATE)
+    span_s = stream[-1].arrival_ps / 1e12
+    empirical = len(stream) / span_s
+    assert empirical == pytest.approx(RATE, rel=0.05)
+
+
+def test_tenant_mix_tracks_weights():
+    spec = spec_for(requests=20_000)
+    counts = {tenant.name: 0 for tenant in spec.tenants}
+    for request in generate_requests(spec, RATE):
+        counts[request.tenant] += 1
+    total_weight = sum(t.weight for t in spec.tenants)
+    for tenant in spec.tenants:
+        expected = 20_000 * tenant.weight / total_weight
+        assert counts[tenant.name] == pytest.approx(expected, rel=0.1)
+
+
+def test_burst_has_heavier_tail_than_poisson():
+    """ON/OFF modulation stretches the inter-arrival distribution."""
+    poisson = generate_requests(spec_for("poisson", 5000), RATE)
+    burst = generate_requests(spec_for("burst", 5000), RATE)
+
+    def gap_p99(stream):
+        gaps = sorted(b.arrival_ps - a.arrival_ps
+                      for a, b in zip(stream, stream[1:]))
+        return gaps[int(len(gaps) * 0.99)]
+
+    assert gap_p99(burst) > gap_p99(poisson)
+
+
+def test_single_tenant_stream():
+    tenants = (TenantSpec("only", 1.0, modules=("aes_core",)),)
+    stream = generate_requests(spec_for(tenants=tenants), RATE)
+    assert {request.tenant for request in stream} == {"only"}
+    assert {request.module for request in stream} == {"aes_core"}

@@ -134,3 +134,33 @@ def test_baseline_controller_cell_runs(tmp_path):
     result, _stats = execute_spec(spec, str(tmp_path / "cache"))
     assert result.verified
     assert 0 < result.effective_mbps < result.theoretical_mbps
+
+
+def _square(value):
+    return value * value
+
+
+def test_fan_out_serial_preserves_order():
+    from repro.sweep import fan_out
+    assert fan_out([3, 1, 2], _square, jobs=1) == [9, 1, 4]
+
+
+def test_fan_out_parallel_matches_serial():
+    from repro.sweep import fan_out
+    items = list(range(7))
+    assert fan_out(items, _square, jobs=3) \
+        == fan_out(items, _square, jobs=1)
+
+
+def test_fan_out_single_item_runs_inline():
+    from repro.sweep import fan_out
+    calls = []
+    assert fan_out([5], calls.append, jobs=8) == [None]
+    assert calls == [5]  # an unpicklable worker proves it ran inline
+
+
+def test_build_controller_names():
+    from repro.sweep import build_controller
+    assert build_controller("UPaRC_i").name == "UPaRC_i"
+    with pytest.raises(ReproError):
+        build_controller("bogus")
