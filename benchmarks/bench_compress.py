@@ -1,21 +1,23 @@
-"""Compressor-stack benchmark: per-codec throughput, pure vs numpy.
+"""Compressor-stack benchmark: per-codec throughput per backend.
 
 Times ``compress`` and ``decompress`` for every kernelised codec
 (X-MatchPRO, LZ77, Huffman, RLE) over the payload of a generated
-partial bitstream, under each requested accel backend, and verifies
-on the fly that the compressed streams are byte-identical across
-backends — a throughput number measured on diverging outputs is
-meaningless.
+partial bitstream, under each requested accel backend (pure, numpy,
+and the compiled native extension when built), and verifies on the
+fly that the compressed streams are byte-identical across backends —
+a throughput number measured on diverging outputs is meaningless.
 
 Standalone on purpose (pytest imports this module when collecting
 ``benchmarks/`` but finds no tests): the CI smoke job and the
 committed ``BENCH_compress.json`` both come from::
 
     PYTHONPATH=src python benchmarks/bench_compress.py \
-        --backend both --output BENCH_compress.json
+        --backend all --output BENCH_compress.json
 
 ``--quick`` shrinks the payload and repeats for a smoke-level run;
-``--backend pure`` works on a numpy-free install.
+``--backend all`` times every *installed* backend, so it works on a
+numpy-free or toolchain-free install; ``--backend both`` is the
+historical pure+numpy pair.
 """
 
 from __future__ import annotations
@@ -87,15 +89,15 @@ def run_suite(backends: List[str], size_kb: float,
                 row[backend + "_decompress_mb_s"] = round(
                     payload_mb / decompress_s, 2)
 
-    if len(backends) == 2:
-        pure_name, fast_name = backends
-        for row in codecs.values():
-            row["compress_speedup"] = round(
-                row[pure_name + "_compress_s"]
-                / row[fast_name + "_compress_s"], 2)
-            row["decompress_speedup"] = round(
-                row[pure_name + "_decompress_s"]
-                / row[fast_name + "_decompress_s"], 2)
+    if backends and backends[0] == "pure":
+        for fast_name in backends[1:]:
+            for row in codecs.values():
+                row["compress_speedup_" + fast_name] = round(
+                    row["pure_compress_s"]
+                    / row[fast_name + "_compress_s"], 2)
+                row["decompress_speedup_" + fast_name] = round(
+                    row["pure_decompress_s"]
+                    / row[fast_name + "_decompress_s"], 2)
 
     return {
         "payload_kb": size_kb,
@@ -105,24 +107,44 @@ def run_suite(backends: List[str], size_kb: float,
     }
 
 
+def resolve_backends(choice: str) -> Optional[List[str]]:
+    """Map the ``--backend`` flag to installed backends (None: usage
+    error, already reported)."""
+    if choice == "all":
+        return (["pure"]
+                + (["numpy"] if accel.numpy_available() else [])
+                + (["native"] if accel.native_available() else []))
+    if choice == "both":
+        # Historical pure+numpy pair; degrades to pure-only rather
+        # than failing on a numpy-free install.
+        return ["pure"] + (["numpy"] if accel.numpy_available() else [])
+    if choice == "numpy" and not accel.numpy_available():
+        print("numpy backend requested but numpy is not installed",
+              file=sys.stderr)
+        return None
+    if choice == "native" and not accel.native_available():
+        print("native backend requested but the extension is not "
+              "built (python -m repro.accel._native.build)",
+              file=sys.stderr)
+        return None
+    return [choice]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--backend", choices=("pure", "numpy", "both"),
-                        default="both")
+    parser.add_argument("--backend",
+                        choices=("pure", "numpy", "native", "both",
+                                 "all"),
+                        default="all")
     parser.add_argument("--quick", action="store_true",
                         help="small payload, fewer repeats (CI smoke)")
     parser.add_argument("--output", default=None,
                         help="write the JSON report to this path")
     args = parser.parse_args(argv)
 
-    backends = ["pure", "numpy"] if args.backend == "both" \
-        else [args.backend]
-    if "numpy" in backends and not accel.numpy_available():
-        if args.backend == "numpy":
-            print("numpy backend requested but numpy is not installed",
-                  file=sys.stderr)
-            return 2
-        backends = ["pure"]
+    backends = resolve_backends(args.backend)
+    if backends is None:
+        return 2
 
     size_kb = QUICK_KB if args.quick else PAYLOAD_KB
     repeats = 2 if args.quick else 5

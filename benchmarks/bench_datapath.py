@@ -1,21 +1,23 @@
-"""Datapath kernel benchmark: pure vs numpy backend, byte-checked.
+"""Datapath kernel benchmark across accel backends, byte-checked.
 
-Times every :mod:`repro.accel` kernel pair on realistic inputs (the
+Times every :mod:`repro.accel` kernel on realistic inputs (the
 payload of a generated partial bitstream) plus one end-to-end mode-ii
-reconfiguration, and verifies on the fly that both backends return
-byte-identical results — a speedup measured on diverging outputs is
-meaningless.
+reconfiguration, under each requested backend (pure, numpy, and the
+compiled native extension when built), and verifies on the fly that
+all backends return byte-identical results — a speedup measured on
+diverging outputs is meaningless.
 
 Standalone on purpose (pytest imports this module when collecting
 ``benchmarks/`` but finds no tests): the CI quick job and the
 committed ``BENCH_datapath.json`` both come from::
 
     PYTHONPATH=src python benchmarks/bench_datapath.py \
-        --backend both --output BENCH_datapath.json
+        --backend all --output BENCH_datapath.json
 
 ``--quick`` shrinks payloads and repeats for a smoke-level run;
-``--backend pure`` works on a numpy-free install (it simply skips the
-comparison columns).
+``--backend all`` times every *installed* backend (so it works on a
+numpy-free or toolchain-free install by simply skipping the missing
+columns); ``--backend both`` is the historical pure+numpy pair.
 """
 
 from __future__ import annotations
@@ -148,13 +150,13 @@ def run_suite(backends: List[str], size_kb: float,
                                 max(1, repeats - 1))
             end_to_end[backend + "_s"] = elapsed
 
-    if len(backends) == 2:
-        pure_name, fast_name = backends
-        for row in kernels.values():
-            row["speedup"] = round(
-                row[pure_name + "_s"] / row[fast_name + "_s"], 2)
-        end_to_end["speedup"] = round(
-            end_to_end[pure_name + "_s"] / end_to_end[fast_name + "_s"], 2)
+    if backends and backends[0] == "pure":
+        for fast_name in backends[1:]:
+            for row in kernels.values():
+                row["speedup_" + fast_name] = round(
+                    row["pure_s"] / row[fast_name + "_s"], 2)
+            end_to_end["speedup_" + fast_name] = round(
+                end_to_end["pure_s"] / end_to_end[fast_name + "_s"], 2)
 
     if size_kb == PAYLOAD_KB:
         # Only meaningful at the pinned baseline's payload size.
@@ -171,24 +173,44 @@ def run_suite(backends: List[str], size_kb: float,
     }
 
 
+def resolve_backends(choice: str) -> Optional[List[str]]:
+    """Map the ``--backend`` flag to installed backends (None: usage
+    error, already reported)."""
+    if choice == "all":
+        return (["pure"]
+                + (["numpy"] if accel.numpy_available() else [])
+                + (["native"] if accel.native_available() else []))
+    if choice == "both":
+        # Historical pure+numpy pair; degrades to pure-only rather
+        # than failing on a numpy-free install.
+        return ["pure"] + (["numpy"] if accel.numpy_available() else [])
+    if choice == "numpy" and not accel.numpy_available():
+        print("numpy backend requested but numpy is not installed",
+              file=sys.stderr)
+        return None
+    if choice == "native" and not accel.native_available():
+        print("native backend requested but the extension is not "
+              "built (python -m repro.accel._native.build)",
+              file=sys.stderr)
+        return None
+    return [choice]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--backend", choices=("pure", "numpy", "both"),
-                        default="both")
+    parser.add_argument("--backend",
+                        choices=("pure", "numpy", "native", "both",
+                                 "all"),
+                        default="all")
     parser.add_argument("--quick", action="store_true",
                         help="small payload, fewer repeats (CI smoke)")
     parser.add_argument("--output", default=None,
                         help="write the JSON report to this path")
     args = parser.parse_args(argv)
 
-    backends = ["pure", "numpy"] if args.backend == "both" \
-        else [args.backend]
-    if "numpy" in backends and not accel.numpy_available():
-        if args.backend == "numpy":
-            print("numpy backend requested but numpy is not installed",
-                  file=sys.stderr)
-            return 2
-        backends = ["pure"]
+    backends = resolve_backends(args.backend)
+    if backends is None:
+        return 2
 
     size_kb = QUICK_KB if args.quick else PAYLOAD_KB
     repeats = 2 if args.quick else 5

@@ -1,5 +1,19 @@
 from setuptools import setup, find_packages
 
+# The compiled accel kernels are strictly optional: only wire the
+# cffi build hook in when cffi is importable, so a base install never
+# needs a C toolchain and degrades to the numpy/pure backends.
+try:
+    import cffi  # noqa: F401
+    cffi_kwargs = {
+        "cffi_modules": [
+            "src/repro/accel/_native/build_native.py:ffibuilder",
+        ],
+        "setup_requires": ["cffi>=1.12"],
+    }
+except ImportError:
+    cffi_kwargs = {}
+
 setup(
     name="repro",
     version="1.0.0",
@@ -11,4 +25,5 @@ setup(
     packages=find_packages(where="src"),
     install_requires=["networkx"],
     python_requires=">=3.9",
+    **cffi_kwargs,
 )

@@ -10,7 +10,11 @@ implementations:
 * :mod:`repro.accel.pure` — tuned stdlib Python, always available,
   and the semantic reference;
 * :mod:`repro.accel.numpy_backend` — vectorised numpy, used
-  automatically when numpy is importable.
+  automatically when numpy is importable;
+* :mod:`repro.accel.native_backend` — compiled C (cffi) for the
+  sequential loops numpy cannot vectorise, used automatically when
+  the optional extension is built (``pip install .[native]`` or
+  ``python -m repro.accel._native.build``).
 
 The backends are **byte-identical**: every golden digest, cache key
 and compressed stream is the same whichever backend runs, so backend
@@ -18,8 +22,9 @@ choice is purely a speed decision and never enters sweep cache keys.
 
 Selection precedence: an explicit :func:`select` (the CLI's
 ``--backend`` flag) wins over the ``REPRO_BACKEND`` environment
-variable, which wins over auto-detection (numpy if importable, else
-pure).  Kernel dispatches record ``accel.<backend>.<kernel>.calls`` /
+variable, which wins over auto-detection (native if built, else numpy
+if importable, else pure).  Kernel dispatches record
+``accel.<backend>.<kernel>.calls`` /
 ``.bytes`` counters in the active :mod:`repro.obs` metrics registry,
 so an observed run shows which backend served it and how much data
 each kernel moved.
@@ -56,22 +61,27 @@ __all__ = [
     "crc32c",
     "equal_word_runs",
     "huffman_code_table",
+    "huffman_decode",
     "huffman_pack",
+    "lz77_decode",
     "lz77_tokens",
     "match_lengths",
+    "native_available",
     "numpy_available",
     "record",
+    "rle_decode",
     "rle_records",
     "select",
     "synthesize_payload",
     "using",
     "words_to_bytes",
+    "xmatch_decode",
     "xmatch_tokens",
     "zero_word_runs",
 ]
 
 BACKEND_ENV = "REPRO_BACKEND"
-_BACKEND_NAMES = ("pure", "numpy")
+_BACKEND_NAMES = ("pure", "numpy", "native")
 
 _forced: Optional[str] = None       # select()/CLI override, resolved name
 _active: Optional[ModuleType] = None
@@ -87,11 +97,22 @@ def numpy_available() -> bool:
     return True
 
 
+def native_available() -> bool:
+    """True when the compiled native extension could be loaded."""
+    try:
+        from repro.accel._native import _uparc_native  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
 def available_backends() -> List[str]:
     """Backend names loadable in this environment, pure first."""
     names = ["pure"]
     if numpy_available():
         names.append("numpy")
+    if native_available():
+        names.append("native")
     return names
 
 
@@ -107,6 +128,16 @@ def _load(name: str) -> ModuleType:
                 "(pip install repro-uparc[accel])"
             ) from exc
         return numpy_backend
+    if name == "native":
+        try:
+            from repro.accel import native_backend
+        except ImportError as exc:
+            raise AccelError(
+                "backend 'native' requested but the compiled extension "
+                "is not built (pip install repro-uparc[native] or "
+                "python -m repro.accel._native.build)"
+            ) from exc
+        return native_backend
     raise AccelError(
         f"unknown accel backend {name!r}; "
         f"choose from {('auto',) + _BACKEND_NAMES}"
@@ -129,7 +160,12 @@ def _resolve() -> ModuleType:
                 )
             name = env
     if name is None:
-        name = "numpy" if numpy_available() else "pure"
+        if native_available():
+            name = "native"
+        elif numpy_available():
+            name = "numpy"
+        else:
+            name = "pure"
     module = _load(name)
     _active = module
     _active_name = name
@@ -145,7 +181,7 @@ def active() -> ModuleType:
 
 
 def backend_name() -> str:
-    """Resolved backend name (``pure`` or ``numpy``)."""
+    """Resolved backend name (``pure``, ``numpy`` or ``native``)."""
     if _active is None:
         _resolve()
     return _active_name
@@ -156,7 +192,8 @@ def select(name: Optional[str]) -> str:
 
     ``None`` or ``"auto"`` clears any previous force and re-runs the
     normal precedence (environment variable, then auto-detection).
-    Requesting ``"numpy"`` without numpy installed raises
+    Requesting ``"numpy"`` without numpy installed, or ``"native"``
+    without the compiled extension built, raises
     :class:`~repro.errors.AccelError`.
     """
     global _forced, _active
@@ -339,3 +376,43 @@ def rle_records(data: bytes, word_count: int) -> bytes:
         backend = _resolve()
     record("rle_records", 4 * word_count)
     return backend.rle_records(data, word_count)
+
+
+def xmatch_decode(body: bytes, output_length: int,
+                  capacity: int) -> bytes:
+    """Decode an X-MatchPRO token-stream body (see the pure reference)."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("xmatch_decode", output_length)
+    return backend.xmatch_decode(body, output_length, capacity)
+
+
+def lz77_decode(body: bytes, output_length: int, window_bits: int,
+                length_bits: int, min_match: int) -> bytes:
+    """Decode an LZSS token-stream body."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("lz77_decode", output_length)
+    return backend.lz77_decode(body, output_length, window_bits,
+                               length_bits, min_match)
+
+
+def huffman_decode(body: bytes, output_length: int,
+                   lengths: bytes) -> bytes:
+    """Decode a canonical-Huffman body against a 256-byte length table."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("huffman_decode", output_length)
+    return backend.huffman_decode(body, output_length, lengths)
+
+
+def rle_decode(records: bytes, output_length: int) -> bytes:
+    """Decode a word-RLE record stream (no header)."""
+    backend = _active
+    if backend is None:
+        backend = _resolve()
+    record("rle_decode", output_length)
+    return backend.rle_decode(records, output_length)

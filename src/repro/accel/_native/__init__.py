@@ -1,0 +1,14 @@
+"""Build package for the compiled native kernels.
+
+Holds the C sources (``uparc_kernels.c``), the cffi builder
+(:mod:`repro.accel._native.build_native`) and, once built, the
+compiled extension module ``_uparc_native``.  Importing this package
+must stay free of side effects and third-party imports: the selection
+logic in :func:`repro.accel.native_available` probes for the compiled
+module through here, and that probe has to work (and fail cleanly) on
+a base install without cffi or a C toolchain.
+
+Build in-tree with ``python -m repro.accel._native.build``; installing
+with the ``native`` extra (``pip install repro-uparc[native]``) runs
+the same builder through setuptools' ``cffi_modules`` hook.
+"""

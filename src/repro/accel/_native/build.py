@@ -1,0 +1,31 @@
+"""In-tree build entry point: ``python -m repro.accel._native.build``.
+
+Compiles the ``_uparc_native`` extension and drops it next to the
+package sources, so a source checkout gains the native backend without
+reinstalling.  Requires cffi and a C compiler; the error message for a
+missing toolchain comes from cffi/distutils unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+
+def main() -> int:
+    try:
+        from repro.accel._native.build_native import ffibuilder
+    except ImportError as error:
+        print("native build requires cffi: %s" % error, file=sys.stderr)
+        return 1
+    # set_source names the module repro.accel._native._uparc_native, so
+    # compiling relative to the source root places the artifact inside
+    # this package.
+    here = os.path.dirname(os.path.abspath(__file__))
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    ffibuilder.compile(tmpdir=src_root, verbose=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

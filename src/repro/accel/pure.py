@@ -20,9 +20,9 @@ import heapq
 import struct
 from array import array
 from collections import defaultdict, deque
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import BitstreamFormatError
+from repro.errors import BitstreamFormatError, CorruptStreamError
 
 from repro.accel.plan import COPY, SynthesisPlan
 
@@ -681,3 +681,366 @@ def _rle_flush_literals(out: bytearray, literals: List[bytes]) -> None:
         out.append(len(chunk) - 1)
         for word in chunk:
             out += word
+
+
+# -- bit-serial decoders ----------------------------------------------
+#
+# The decompress loops of the four decompressor-library codecs.  They
+# are sequential by construction (every token's position depends on
+# every previous token), so the numpy backend delegates all four here
+# and the native backend is where they go fast.  Each kernel decodes
+# the *body* of a stream — header parsing and final length policy stay
+# in the codec — and raises :class:`~repro.errors.CorruptStreamError`
+# with the codec's historical messages at the historical points of
+# failure, whichever backend runs.
+
+_XM_ZERO_TUPLE = b"\x00\x00\x00\x00"
+
+#: Decoder peek table for the match-type code: at most 5 bits, so one
+#: 5-bit window lookup replaces the bit-by-bit prefix walk.  ``None``
+#: marks the two unassigned 5-bit patterns (selectors 6 and 7 under
+#: the ``11`` prefix).
+_XM_MASK_PEEK: List[Optional[Tuple[int, int]]] = [None] * 32
+for _mask, (_code, _length) in XMATCH_MASK_CODES.items():
+    for _pad in range(1 << (5 - _length)):
+        _XM_MASK_PEEK[(_code << (5 - _length)) | _pad] = (_mask, _length)
+del _mask, _code, _length, _pad
+
+#: Unmatched-byte positions per match mask, in stream order.
+_XM_LITERAL_LANES: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(index for index in range(4) if not (mask >> index) & 1)
+    for mask in range(16)
+)
+
+
+def xmatch_decode(body: bytes, output_length: int,
+                  capacity: int) -> bytes:
+    """Decode an X-MatchPRO token stream body.
+
+    Inverse of :func:`xmatch_tokens` + :func:`bitpack`:
+    ``output_length`` is the word-aligned body length (original length
+    minus the raw tail the codec stores in its header).  The returned
+    bytes may overshoot ``output_length`` when the final zero-run
+    token is oversized — the codec's length-mismatch policy decides
+    what that means, so the overshoot is returned as-is.
+
+    The inline bit cursor holds at least ``bits`` valid low bits of
+    ``acc`` (higher bits are stale and masked off on refill).  One
+    refill per loop covers any fixed-layout token — a miss is 34 bits,
+    a match at most 1 + 6 + 5 + 16 = 28 — so the token parse runs
+    without per-field reader calls; zero runs refill per 8-bit chunk.
+    Exhaustion checks mirror the historical per-field reads exactly
+    (same error, same point of failure).
+    """
+    mask_peek = _XM_MASK_PEEK
+    literal_bytes = _XM_LITERAL_LANES
+    index_width = [_xmatch_index_bits(size) if size else 1
+                   for size in range(capacity + 1)]
+    index_mask = [(1 << width) - 1 for width in index_width]
+    from_bytes = int.from_bytes
+    out = bytearray()
+    dictionary: List[bytes] = []
+    acc = 0
+    bits = 0
+    position = 0
+    body_len = len(body)
+    while len(out) < output_length:
+        if bits < 42:
+            take = body_len - position
+            if take > 6:
+                take = 6
+            if take:
+                acc = ((acc & ((1 << bits) - 1)) << (take * 8)) \
+                    | from_bytes(body[position:position + take], "big")
+                position += take
+                bits += take * 8
+        if not bits:
+            raise CorruptStreamError("bit stream exhausted")
+        bits -= 1
+        if not (acc >> bits) & 1:  # '0': dictionary match
+            size = len(dictionary)
+            if not size:
+                raise CorruptStreamError("match against empty dictionary")
+            width = index_width[size]
+            if width > bits:
+                raise CorruptStreamError("bit stream exhausted")
+            bits -= width
+            location = (acc >> bits) & index_mask[size]
+            if location >= size:
+                raise CorruptStreamError(
+                    f"dictionary location {location} out of range"
+                )
+            if bits >= 5:
+                peek = (acc >> (bits - 5)) & 0b11111
+            else:
+                peek = (acc & ((1 << bits) - 1)) << (5 - bits)
+            entry = mask_peek[peek]
+            if entry is None:
+                # Both unassigned patterns start '11'; the decoder
+                # only reaches the 3-bit selector with 5 bits left.
+                if bits < 5:
+                    raise CorruptStreamError("bit stream exhausted")
+                raise CorruptStreamError(
+                    f"invalid match-type code {peek & 0b111}"
+                )
+            mask, width = entry
+            if width > bits:
+                raise CorruptStreamError("bit stream exhausted")
+            bits -= width
+            matched = dictionary[location]
+            if mask == 0b1111:
+                word_bytes = matched
+            else:
+                word = bytearray(matched)
+                for byte_index in literal_bytes[mask]:
+                    if bits < 8:
+                        raise CorruptStreamError("bit stream exhausted")
+                    bits -= 8
+                    word[byte_index] = (acc >> bits) & 0xFF
+                word_bytes = bytes(word)
+            out += word_bytes
+            del dictionary[location]
+            dictionary.insert(0, word_bytes)
+        else:
+            if not bits:
+                raise CorruptStreamError("bit stream exhausted")
+            bits -= 1
+            if not (acc >> bits) & 1:  # '10': zero run
+                run = 0
+                while True:
+                    if bits < 8:
+                        take = body_len - position
+                        if take > 6:
+                            take = 6
+                        if take:
+                            acc = ((acc & ((1 << bits) - 1))
+                                   << (take * 8)) \
+                                | from_bytes(
+                                    body[position:position + take],
+                                    "big")
+                            position += take
+                            bits += take * 8
+                        if bits < 8:
+                            raise CorruptStreamError(
+                                "bit stream exhausted")
+                    bits -= 8
+                    chunk = (acc >> bits) & 0xFF
+                    run += chunk
+                    if chunk != _XM_RUN_MAX:
+                        break
+                if run == 0:
+                    raise CorruptStreamError("zero-length zero run")
+                out += _XM_ZERO_TUPLE * run
+            else:  # '11': miss
+                if bits < 32:
+                    raise CorruptStreamError("bit stream exhausted")
+                bits -= 32
+                word_bytes = ((acc >> bits)
+                              & 0xFFFFFFFF).to_bytes(4, "big")
+                out += word_bytes
+                dictionary.insert(0, word_bytes)
+                if len(dictionary) > capacity:
+                    dictionary.pop()
+    return bytes(out)
+
+
+def lz77_decode(body: bytes, output_length: int, window_bits: int,
+                length_bits: int, min_match: int) -> bytes:
+    """Decode an LZSS token stream body (inverse of
+    :func:`lz77_tokens` + :func:`bitpack`).
+
+    Copies are resolved against the growing output, byte-serially for
+    self-overlapping matches.  A corrupt final match may overshoot
+    ``output_length``; the overshoot is returned as-is (the codec has
+    no trailing length policy for LZ77).
+    """
+    window_mask = (1 << window_bits) - 1
+    length_mask = (1 << length_bits) - 1
+    # Worst-case token: a match (1 + window + length bits) or a
+    # literal (9 bits), whichever is wider.
+    token_bits = max(1 + window_bits + length_bits, 9)
+    out = bytearray()
+    append = out.append
+    acc = 0
+    bits = 0
+    position = 0
+    body_len = len(body)
+    while len(out) < output_length:
+        if bits < token_bits:
+            take = body_len - position
+            if take > 6:
+                take = 6
+            if take:
+                acc = ((acc & ((1 << bits) - 1)) << (take * 8)) \
+                    | int.from_bytes(body[position:position + take],
+                                     "big")
+                position += take
+                bits += take * 8
+        if not bits:
+            raise CorruptStreamError("bit stream exhausted")
+        bits -= 1
+        if (acc >> bits) & 1:  # match token
+            if window_bits > bits:
+                raise CorruptStreamError("bit stream exhausted")
+            bits -= window_bits
+            offset = ((acc >> bits) & window_mask) + 1
+            if length_bits > bits:
+                raise CorruptStreamError("bit stream exhausted")
+            bits -= length_bits
+            run = ((acc >> bits) & length_mask) + min_match
+            start = len(out) - offset
+            if start < 0:
+                raise CorruptStreamError(
+                    f"LZ77 back-reference beyond start (offset {offset})"
+                )
+            if offset >= run:
+                out += out[start:start + run]
+            else:
+                for step in range(run):
+                    append(out[start + step])  # self-overlapping
+        else:
+            if bits < 8:
+                raise CorruptStreamError("bit stream exhausted")
+            bits -= 8
+            append((acc >> bits) & 0xFF)
+    return bytes(out)
+
+
+_HUF_MAX_CODE_LENGTH = 32
+_HUF_PEEK_BITS = 12  # primary decode-table window
+
+
+def huffman_decode(body: bytes, output_length: int,
+                   lengths: bytes) -> bytes:
+    """Decode a canonical-Huffman body against a 256-byte length table.
+
+    ``lengths[symbol]`` is the code length declared in the stream
+    header (0 = absent symbol); codewords are reassigned canonically
+    in ``(length, symbol)`` order, exactly as the encoder assigned
+    them.  A declared table whose short codes overflow their own bit
+    width (an over-subscribed Kraft sum — only possible in a corrupt
+    stream) is rejected as corrupt.
+    """
+    ordered = sorted((lengths[symbol], symbol)
+                     for symbol in range(256) if lengths[symbol])
+    if not ordered:
+        raise CorruptStreamError("empty Huffman table for non-empty data")
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for length, symbol in ordered:
+        code <<= (length - previous_length)
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    # Primary table: the next ``peek`` bits (zero-padded near the
+    # stream end — canonical codes are prefix-free, so a lookup that
+    # lands on a code no longer than the real bits left is
+    # unambiguous) index straight to ``(length << 8) | symbol``.
+    # Codes longer than the window (rare: implies > 2^12 spread in
+    # symbol frequencies) fall back to the historical bit-by-bit walk
+    # over the (length, code) map.
+    max_length = ordered[-1][0]
+    peek = min(_HUF_PEEK_BITS, max_length)
+    table = [0] * (1 << peek)
+    for symbol, (code, length) in codes.items():
+        if length <= peek:
+            if code >> length:
+                raise CorruptStreamError("invalid Huffman code table")
+            base = code << (peek - length)
+            entry = (length << 8) | symbol
+            for pad in range(1 << (peek - length)):
+                table[base + pad] = entry
+    decode_map = {(length, code): symbol
+                  for symbol, (code, length) in codes.items()}
+    out = bytearray()
+    append = out.append
+    acc = 0
+    bits = 0
+    position = 0
+    body_len = len(body)
+    while len(out) < output_length:
+        if bits < peek:
+            take = body_len - position
+            if take > 6:
+                take = 6
+            if take:
+                acc = ((acc & ((1 << bits) - 1)) << (take * 8)) \
+                    | int.from_bytes(body[position:position + take],
+                                     "big")
+                position += take
+                bits += take * 8
+        if bits >= peek:
+            entry = table[(acc >> (bits - peek)) & ((1 << peek) - 1)]
+        else:
+            entry = table[((acc & ((1 << bits) - 1))
+                           << (peek - bits)) & ((1 << peek) - 1)]
+        length = entry >> 8
+        if entry and length <= bits:
+            bits -= length
+            append(entry & 0xFF)
+            continue
+        # Long code, or the stream ran dry mid-codeword: replay the
+        # historical bit-by-bit walk for exact error parity.
+        code = 0
+        length = 0
+        while True:
+            if not bits:
+                if position < body_len:
+                    acc = body[position]
+                    position += 1
+                    bits = 8
+                else:
+                    raise CorruptStreamError("bit stream exhausted")
+            bits -= 1
+            code = (code << 1) | ((acc >> bits) & 1)
+            length += 1
+            if length > _HUF_MAX_CODE_LENGTH:
+                raise CorruptStreamError("invalid Huffman codeword")
+            symbol = decode_map.get((length, code))
+            if symbol is not None:
+                append(symbol)
+                break
+    return bytes(out)
+
+
+def rle_decode(records: bytes, output_length: int) -> bytes:
+    """Decode a word-RLE record stream (inverse of :func:`rle_records`).
+
+    Decodes until ``output_length`` bytes are produced or the records
+    run out; anything after that is container padding (e.g. the
+    Manager word-aligns compressed payloads in BRAM) and must be
+    ignored.  An oversized final run may overshoot ``output_length``;
+    the codec's trailing length check decides what that means.
+    """
+    out = bytearray()
+    position = 0
+    record_len = len(records)
+    while position < record_len and len(out) < output_length:
+        control = records[position]
+        position += 1
+        if control < _RLE_MAX_LITERALS:
+            count = control + 1
+            need = count * 4
+            chunk = records[position:position + need]
+            if len(chunk) != need:
+                raise CorruptStreamError("truncated literal record")
+            out += chunk
+            position += need
+        else:
+            run = (control - 0x80) + _RLE_MIN_RUN
+            if run == _RLE_MAX_BASE_RUN:
+                while True:
+                    if position >= record_len:
+                        raise CorruptStreamError("truncated run extension")
+                    extension = records[position]
+                    position += 1
+                    run += extension
+                    if extension != 0xFF:
+                        break
+            word = records[position:position + 4]
+            if len(word) != 4:
+                raise CorruptStreamError("truncated run word")
+            position += 4
+            out += word * run
+    return bytes(out)

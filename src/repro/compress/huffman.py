@@ -18,28 +18,12 @@ from __future__ import annotations
 
 import struct
 from collections import Counter
-from typing import Dict, Tuple
 
 from repro import accel
 from repro.compress.base import Codec
 from repro.errors import CorruptStreamError
 
 _MAX_CODE_LENGTH = 32
-_PEEK_BITS = 12  # primary decode-table window
-
-
-def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
-    """Assign canonical codewords: returns symbol -> (code, length)."""
-    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
-    codes: Dict[int, Tuple[int, int]] = {}
-    code = 0
-    previous_length = 0
-    for symbol, length in ordered:
-        code <<= (length - previous_length)
-        codes[symbol] = (code, length)
-        code += 1
-        previous_length = length
-    return codes
 
 
 class HuffmanCodec(Codec):
@@ -71,76 +55,12 @@ class HuffmanCodec(Codec):
         (original_length,) = struct.unpack_from(">I", data, 0)
         if original_length == 0:
             return b""
-        lengths = {symbol: data[4 + symbol]
-                   for symbol in range(256) if data[4 + symbol]}
-        if not lengths:
+        table = data[4:4 + 256]
+        if not any(table):
             raise CorruptStreamError("empty Huffman table for non-empty data")
-        codes = _canonical_codes(lengths)
-        # Primary table: the next ``peek`` bits (zero-padded near the
-        # stream end — canonical codes are prefix-free, so a lookup
-        # that lands on a code no longer than the real bits left is
-        # unambiguous) index straight to ``(length << 8) | symbol``.
-        # Codes longer than the window (rare: implies > 2^12 spread in
-        # symbol frequencies) fall back to the historical bit-by-bit
-        # walk over the (length, code) map.
-        max_length = max(length for _, length in codes.values())
-        peek = min(_PEEK_BITS, max_length)
-        table = [0] * (1 << peek)
-        for symbol, (code, length) in codes.items():
-            if length <= peek:
-                base = code << (peek - length)
-                entry = (length << 8) | symbol
-                for pad in range(1 << (peek - length)):
-                    table[base + pad] = entry
-        decode_map = {(length, code): symbol
-                      for symbol, (code, length) in codes.items()}
-        body = data[4 + 256:]
-        out = bytearray()
-        append = out.append
-        acc = 0
-        bits = 0
-        position = 0
-        body_len = len(body)
-        while len(out) < original_length:
-            if bits < peek:
-                take = body_len - position
-                if take > 6:
-                    take = 6
-                if take:
-                    acc = ((acc & ((1 << bits) - 1)) << (take * 8)) \
-                        | int.from_bytes(body[position:position + take],
-                                         "big")
-                    position += take
-                    bits += take * 8
-            if bits >= peek:
-                entry = table[(acc >> (bits - peek)) & ((1 << peek) - 1)]
-            else:
-                entry = table[((acc & ((1 << bits) - 1))
-                               << (peek - bits)) & ((1 << peek) - 1)]
-            length = entry >> 8
-            if entry and length <= bits:
-                bits -= length
-                append(entry & 0xFF)
-                continue
-            # Long code, or the stream ran dry mid-codeword: replay
-            # the historical bit-by-bit walk for exact error parity.
-            code = 0
-            length = 0
-            while True:
-                if not bits:
-                    if position < body_len:
-                        acc = body[position]
-                        position += 1
-                        bits = 8
-                    else:
-                        raise CorruptStreamError("bit stream exhausted")
-                bits -= 1
-                code = (code << 1) | ((acc >> bits) & 1)
-                length += 1
-                if length > _MAX_CODE_LENGTH:
-                    raise CorruptStreamError("invalid Huffman codeword")
-                symbol = decode_map.get((length, code))
-                if symbol is not None:
-                    append(symbol)
-                    break
-        return bytes(out)
+        # Canonical code reassignment, the peek-table build and the
+        # bit-serial decode loop all run as the ``huffman_decode``
+        # accel kernel; every backend raises the same errors at the
+        # same points of failure.
+        return accel.huffman_decode(data[4 + 256:], original_length,
+                                    table)

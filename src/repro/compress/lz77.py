@@ -56,60 +56,9 @@ class Lz77Codec(Codec):
         if len(data) < 4:
             raise CorruptStreamError("LZ77 stream truncated")
         (original_length,) = struct.unpack_from(">I", data, 0)
-        body = data[4:]
-        window_bits = self._window_bits
-        length_bits = self._length_bits
-        window_mask = (1 << window_bits) - 1
-        length_mask = (1 << length_bits) - 1
-        min_match = self._min_match
-        # Worst-case token: a match (1 + window + length bits) or a
-        # literal (9 bits), whichever is wider.
-        token_bits = max(1 + window_bits + length_bits, 9)
-        out = bytearray()
-        append = out.append
-        # Inline bit cursor (see XMatchProCodec.decompress): one
-        # refill per token, exhaustion checks per field exactly where
-        # the historical per-field reads raised.
-        acc = 0
-        bits = 0
-        position = 0
-        body_len = len(body)
-        while len(out) < original_length:
-            if bits < token_bits:
-                take = body_len - position
-                if take > 6:
-                    take = 6
-                if take:
-                    acc = ((acc & ((1 << bits) - 1)) << (take * 8)) \
-                        | int.from_bytes(body[position:position + take],
-                                         "big")
-                    position += take
-                    bits += take * 8
-            if not bits:
-                raise CorruptStreamError("bit stream exhausted")
-            bits -= 1
-            if (acc >> bits) & 1:  # match token
-                if window_bits > bits:
-                    raise CorruptStreamError("bit stream exhausted")
-                bits -= window_bits
-                offset = ((acc >> bits) & window_mask) + 1
-                if length_bits > bits:
-                    raise CorruptStreamError("bit stream exhausted")
-                bits -= length_bits
-                run = ((acc >> bits) & length_mask) + min_match
-                start = len(out) - offset
-                if start < 0:
-                    raise CorruptStreamError(
-                        f"LZ77 back-reference beyond start (offset {offset})"
-                    )
-                if offset >= run:
-                    out += out[start:start + run]
-                else:
-                    for step in range(run):
-                        append(out[start + step])  # self-overlapping
-            else:
-                if bits < 8:
-                    raise CorruptStreamError("bit stream exhausted")
-                bits -= 8
-                append((acc >> bits) & 0xFF)
-        return bytes(out)
+        # Token decode (bit cursor, copy resolution against the
+        # growing output) runs as the ``lz77_decode`` accel kernel;
+        # every backend raises the same errors at the same points.
+        return accel.lz77_decode(data[4:], original_length,
+                                 self._window_bits, self._length_bits,
+                                 self._min_match)

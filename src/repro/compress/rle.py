@@ -64,38 +64,11 @@ class RleCodec(Codec):
 
         # Decode until the declared body length is reached; anything
         # after that is container padding (e.g. the Manager word-aligns
-        # compressed payloads in BRAM) and must be ignored.
+        # compressed payloads in BRAM) and must be ignored.  The record
+        # walk is the ``rle_decode`` accel kernel; every backend raises
+        # the same truncation errors at the same points.
         body_length = original_length - tail_length
-        out = bytearray()
-        while position < len(data) and len(out) < body_length:
-            control = data[position]
-            position += 1
-            if control < _MAX_LITERALS:
-                count = control + 1
-                need = count * 4
-                chunk = data[position:position + need]
-                if len(chunk) != need:
-                    raise CorruptStreamError("truncated literal record")
-                out += chunk
-                position += need
-            else:
-                run = (control - 0x80) + _MIN_RUN
-                if run == _MAX_BASE_RUN:
-                    while True:
-                        if position >= len(data):
-                            raise CorruptStreamError("truncated run extension")
-                        extension = data[position]
-                        position += 1
-                        run += extension
-                        if extension != 0xFF:
-                            break
-                word = data[position:position + 4]
-                if len(word) != 4:
-                    raise CorruptStreamError("truncated run word")
-                position += 4
-                out += word * run
-
-        out += tail
+        out = accel.rle_decode(data[position:], body_length) + tail
         if len(out) != original_length:
             raise CorruptStreamError(
                 f"RLE output length {len(out)} != declared {original_length}"

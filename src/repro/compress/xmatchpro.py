@@ -28,7 +28,7 @@ Stream layout::
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro import accel
 from repro.compress.base import Codec
@@ -40,34 +40,11 @@ _RUN_CHUNK_MAX = (1 << _RUN_CHUNK_BITS) - 1
 
 # Match-type static code: mask bit i set => byte i matched.
 # (code, length) pairs; prefix-free by construction (see tests).
-# The table is owned by the accel package (the encoder kernel derives
-# its scoring tables from it); this is the same object.
+# The table is owned by the accel package (both the encoder and the
+# decoder kernels derive their tables from it); this is the same
+# object.
 _MASK_CODES: Dict[int, Tuple[int, int]] = accel.XMATCH_MASK_CODES
 _MIN_MATCH_BYTES = 2
-
-# Decoder peek table: the match-type code is at most 5 bits, so one
-# 5-bit window lookup replaces the bit-by-bit prefix walk.  ``None``
-# marks the two unassigned 5-bit patterns (selectors 6 and 7 under
-# the ``11`` prefix).
-_MASK_PEEK: List[Optional[Tuple[int, int]]] = [None] * 32
-for _mask, (_code, _length) in _MASK_CODES.items():
-    for _pad in range(1 << (5 - _length)):
-        _MASK_PEEK[(_code << (5 - _length)) | _pad] = (_mask, _length)
-del _mask, _code, _length, _pad
-
-# Unmatched-byte positions per match mask, in stream order.
-_LITERAL_LANES: Tuple[Tuple[int, ...], ...] = tuple(
-    tuple(index for index in range(4) if not (mask >> index) & 1)
-    for mask in range(16)
-)
-
-
-def _index_bits(dictionary_size: int) -> int:
-    """Phased-binary width for indices 0..dictionary_size-1."""
-    width = 1
-    while (1 << width) < dictionary_size:
-        width += 1
-    return width
 
 
 class XMatchProCodec(Codec):
@@ -109,123 +86,13 @@ class XMatchProCodec(Codec):
         body = data[5 + tail_length:]
         body_length = original_length - tail_length
 
-        # Inline bit cursor: ``acc`` holds at least ``bits`` valid low
-        # bits (higher bits are stale and masked off on refill).  One
-        # refill per loop covers any fixed-layout token — a miss is 34
-        # bits, a match at most 1 + 6 + 5 + 16 = 28 — so the token
-        # parse runs without per-field reader calls; zero runs refill
-        # per 8-bit chunk.  Exhaustion checks mirror the historical
-        # per-field reads exactly (same error, same point of failure).
-        mask_peek = _MASK_PEEK
-        literal_bytes = _LITERAL_LANES
-        index_width = [_index_bits(size) if size else 1
-                       for size in range(self._capacity + 1)]
-        index_mask = [(1 << width) - 1 for width in index_width]
-        from_bytes = int.from_bytes
-        out = bytearray()
-        dictionary: List[bytes] = []
-        acc = 0
-        bits = 0
-        position = 0
-        body_len = len(body)
-        while len(out) < body_length:
-            if bits < 42:
-                take = body_len - position
-                if take > 6:
-                    take = 6
-                if take:
-                    acc = ((acc & ((1 << bits) - 1)) << (take * 8)) \
-                        | from_bytes(body[position:position + take],
-                                     "big")
-                    position += take
-                    bits += take * 8
-            if not bits:
-                raise CorruptStreamError("bit stream exhausted")
-            bits -= 1
-            if not (acc >> bits) & 1:  # '0': dictionary match
-                size = len(dictionary)
-                if not size:
-                    raise CorruptStreamError("match against empty dictionary")
-                width = index_width[size]
-                if width > bits:
-                    raise CorruptStreamError("bit stream exhausted")
-                bits -= width
-                location = (acc >> bits) & index_mask[size]
-                if location >= size:
-                    raise CorruptStreamError(
-                        f"dictionary location {location} out of range"
-                    )
-                if bits >= 5:
-                    peek = (acc >> (bits - 5)) & 0b11111
-                else:
-                    peek = (acc & ((1 << bits) - 1)) << (5 - bits)
-                entry = mask_peek[peek]
-                if entry is None:
-                    # Both unassigned patterns start '11'; the decoder
-                    # only reaches the 3-bit selector with 5 bits left.
-                    if bits < 5:
-                        raise CorruptStreamError("bit stream exhausted")
-                    raise CorruptStreamError(
-                        f"invalid match-type code {peek & 0b111}"
-                    )
-                mask, width = entry
-                if width > bits:
-                    raise CorruptStreamError("bit stream exhausted")
-                bits -= width
-                matched = dictionary[location]
-                if mask == 0b1111:
-                    word_bytes = matched
-                else:
-                    word = bytearray(matched)
-                    for byte_index in literal_bytes[mask]:
-                        if bits < 8:
-                            raise CorruptStreamError("bit stream exhausted")
-                        bits -= 8
-                        word[byte_index] = (acc >> bits) & 0xFF
-                    word_bytes = bytes(word)
-                out += word_bytes
-                del dictionary[location]
-                dictionary.insert(0, word_bytes)
-            else:
-                if not bits:
-                    raise CorruptStreamError("bit stream exhausted")
-                bits -= 1
-                if not (acc >> bits) & 1:  # '10': zero run
-                    run = 0
-                    while True:
-                        if bits < 8:
-                            take = body_len - position
-                            if take > 6:
-                                take = 6
-                            if take:
-                                acc = ((acc & ((1 << bits) - 1))
-                                       << (take * 8)) \
-                                    | from_bytes(
-                                        body[position:position + take],
-                                        "big")
-                                position += take
-                                bits += take * 8
-                            if bits < 8:
-                                raise CorruptStreamError(
-                                    "bit stream exhausted")
-                        bits -= 8
-                        chunk = (acc >> bits) & 0xFF
-                        run += chunk
-                        if chunk != _RUN_CHUNK_MAX:
-                            break
-                    if run == 0:
-                        raise CorruptStreamError("zero-length zero run")
-                    out += _ZERO_TUPLE * run
-                else:  # '11': miss
-                    if bits < 32:
-                        raise CorruptStreamError("bit stream exhausted")
-                    bits -= 32
-                    word_bytes = ((acc >> bits)
-                                  & 0xFFFFFFFF).to_bytes(4, "big")
-                    out += word_bytes
-                    dictionary.insert(0, word_bytes)
-                    if len(dictionary) > self._capacity:
-                        dictionary.pop()
+        # The whole token-decode loop — bit cursor, match-type peek,
+        # move-to-front dictionary replay — is the ``xmatch_decode``
+        # accel kernel; every backend raises the same errors at the
+        # same points of failure.  A corrupt final zero run may
+        # overshoot the declared length, which the kernel returns
+        # as-is for the check below.
+        out = accel.xmatch_decode(body, body_length, self._capacity)
         if len(out) != body_length:
             raise CorruptStreamError("X-MatchPRO length mismatch")
-        return bytes(out) + tail
+        return out + tail

@@ -194,6 +194,7 @@ def run_sanitized_command(command: Any, args: argparse.Namespace,
     determinism check, prints any findings, and turns them into a
     non-zero exit code.
     """
+    from repro import accel
     from repro.sanitize import sanitized
 
     with sanitized() as sanitizer:
@@ -208,8 +209,9 @@ def run_sanitized_command(command: Any, args: argparse.Namespace,
                       if not finding.justified)
     if unjustified:
         print(f"sanitize: {unjustified} unjustified finding(s) in "
-              f"{label}")
+              f"{label} (accel.backend={accel.backend_name()})")
         return EXIT_FINDINGS
     print(f"sanitize: {label} clean "
-          f"({len(determinism.seeds)} perturbation seed(s))")
+          f"({len(determinism.seeds)} perturbation seed(s), "
+          f"accel.backend={accel.backend_name()})")
     return int(result) if result is not None else EXIT_CLEAN

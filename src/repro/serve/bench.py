@@ -11,8 +11,11 @@ backend, runs its scenario on a fresh simulator under a private
 metrics registry, and ships back the report plus the registry
 snapshot.  Results are keyed and sorted, and everything in the
 document derives from sim-time integers, so the file is byte-
-identical for any ``-j``, across backends, and across repeat runs —
-the acceptance property the replay tests pin.
+identical for any ``-j`` and across repeat runs — the acceptance
+property the replay tests pin.  The document records which accel
+backend produced it (``accel.backend``) so BENCH_serve.json rows are
+attributable; every *report* row and digest inside it is still
+byte-identical across backends — only the attribution field differs.
 """
 
 from __future__ import annotations
@@ -110,6 +113,7 @@ def bench_serve(spec: ServeSpec,
     levels.sort(key=lambda cell: cell["load"])
     document = {
         "kind": "serve-bench",
+        "accel.backend": accel.backend_name(),
         "base_key": spec.key,
         "controller": spec.controller,
         "frequency_mhz": spec.frequency_mhz,

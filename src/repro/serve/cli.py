@@ -12,8 +12,10 @@ Usage::
 ``run`` serves one scenario and prints its SLO report; ``bench``
 sweeps the scenario across offered-load levels (reusing the sweep
 engine's process fan-out) and emits the curve as JSON.  Everything is
-sim-time deterministic: repeat runs, any ``-j``, and both accel
-backends produce byte-identical reports.
+sim-time deterministic: repeat runs, any ``-j``, and every installed
+accel backend produce byte-identical reports; printed output and the
+bench document name the active backend (``accel.backend``) for
+attribution.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from __future__ import annotations
 import argparse
 from typing import Tuple
 
+from repro import accel
 from repro.analysis.report import render_table
 from repro.errors import ServeError
 from repro.serve.spec import ARRIVAL_MODELS, ServeSpec
@@ -145,6 +148,9 @@ def _print_report(report) -> None:
         ["batches", data["batches"]],
         ["preemptions", data["preemptions"]],
         ["makespan", f"{data['makespan_s'] * 1e3:.3f} ms (sim)"],
+        # Attribution only: the report JSON and its digest stay
+        # backend-free (they are byte-identical across backends).
+        ["accel.backend", accel.backend_name()],
     ]
     print(render_table(["SLO", "value"], rows,
                        title=f"serve -- {data['spec_key']}"))
@@ -225,7 +231,8 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         rows, title=f"serve bench -- {document['base_key']}"))
     print(f"\n{document['total_requests']} requests across "
           f"{len(document['levels'])} load levels in "
-          f"{document['_wall_s']:.2f} s of cell time (-j {args.jobs})")
+          f"{document['_wall_s']:.2f} s of cell time (-j {args.jobs}, "
+          f"accel.backend={document['accel.backend']})")
     if args.metrics:
         registry = MetricsRegistry()
         registry.merge_snapshot(document["merged_metrics"])

@@ -122,11 +122,13 @@ def run_sweep(args: argparse.Namespace) -> int:
     failed = [result.key for result in results
               if result.workload == "reconfigure" and not result.verified]
     if sanitize:
+        from repro import accel
         unjustified = [finding for finding in sanitizer.findings
                        if not finding.justified]
         for finding in unjustified:
             print(f"sanitize: {finding.describe()}")
-        print(f"sanitize: {len(unjustified)} unjustified finding(s)")
+        print(f"sanitize: {len(unjustified)} unjustified finding(s) "
+              f"(accel.backend={accel.backend_name()})")
         if unjustified:
             return 1
     return 1 if failed else 0

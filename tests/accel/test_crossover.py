@@ -1,20 +1,25 @@
-"""Crossover sentinels: the numpy backend delegates exactly as measured.
+"""Crossover sentinels: impl backends delegate exactly as measured.
 
-Every numpy kernel either carries a size threshold below which the
-pure implementation wins, or delegates permanently because the
-list/bytes -> ndarray conversion never pays for itself.  These tests
+Every numpy/native kernel either carries a size threshold below which
+the pure implementation wins, or delegates permanently because its
+fixed per-call overhead (list/bytes -> ndarray conversion for numpy,
+FFI argument shaping for native) never pays for itself.  These tests
 wrap the pure kernels in call recorders and pin the dispatch decision:
 
 * below its crossover a kernel hands the call to pure,
-* at/above the crossover it takes the vectorised path (pure untouched),
+* at/above the crossover it takes the accelerated path (pure
+  untouched),
 * the permanent delegates (``chunk_words``, ``words_to_bytes``,
-  ``huffman_code_table``) hand over at *every* size — the regression
-  this file exists to prevent is a backend being selected at a size
-  where it loses.
+  ``huffman_code_table``, ``match_lengths``) hand over at *every*
+  size — the regression this file exists to prevent is a backend
+  being selected at a size where it loses.
+
+Each backend's section skips cleanly when that backend is not
+installed.
 """
 
 # The sentinel wrappers must patch the pure module directly, and the
-# dispatch decisions under test live in the numpy module.
+# dispatch decisions under test live in the backend modules.
 # repro-lint: disable=B804
 
 import pytest
@@ -23,14 +28,27 @@ from repro import accel
 from repro.accel import pure
 from repro.accel.plan import SynthesisPlan
 
-pytestmark = pytest.mark.skipif(not accel.numpy_available(),
-                                reason="numpy backend not installed")
+requires_numpy = pytest.mark.skipif(not accel.numpy_available(),
+                                    reason="numpy backend not installed")
+requires_native = pytest.mark.skipif(
+    not accel.native_available(),
+    reason="native extension not built")
 
 
 @pytest.fixture
 def numpy_backend():
+    if not accel.numpy_available():
+        pytest.skip("numpy backend not installed")
     from repro.accel import numpy_backend
     return numpy_backend
+
+
+@pytest.fixture
+def native_backend():
+    if not accel.native_available():
+        pytest.skip("native extension not built")
+    from repro.accel import native_backend
+    return native_backend
 
 
 def _sentinel(monkeypatch, name):
@@ -62,11 +80,26 @@ _BIG_DATA = bytes(range(256)) * 72      # 18432 bytes / 4608 words
 _HUFF_CODES, _HUFF_LENGTHS = pure.huffman_code_table(
     [1 if symbol < 8 else 0 for symbol in range(256)])
 
+# Well-formed streams for the decoder cases (built once from the pure
+# encoders; the above-crossover output is checked against pure).
+_XM_WORDS = b"\xAB\xCD\xEF\x01\x00\x00\x00\x00" * 64   # 128 words
+_XM_BODY = pure.bitpack(*pure.xmatch_tokens(_XM_WORDS, 128, 8))
+_LZ_DATA = bytes(range(64)) * 16                       # 1024 bytes
+_LZ_BODY = pure.bitpack(*pure.lz77_tokens(_LZ_DATA, 10, 4, 3, 8))
+_HUF_DATA = bytes(value & 7 for value in range(2048))
+_HUF_BODY = pure.huffman_pack(_HUF_DATA, _HUFF_CODES, _HUFF_LENGTHS)
+_HUF_TABLE = bytes(_HUFF_LENGTHS)
+# Literal-heavy on purpose: distinct words keep the record stream
+# longer than the native decode threshold (run records collapse to a
+# few bytes and would sit below every cutover).
+_RLE_DATA = bytes(range(256)) * 2
+_RLE_RECORDS = pure.rle_records(_RLE_DATA, 128)
+
 # (pure kernel name, below-crossover args, at/above-crossover args):
-# args are passed identically to the numpy kernel and to the pure
+# args are passed identically to the impl kernel and to the pure
 # reference, so the above-crossover result can be checked against
 # pure without trusting the recorder.
-_CASES = [
+_NUMPY_CASES = [
     ("crc32c",
      (b"\x5a" * 100, 0),
      (_BIG_DATA, 0)),
@@ -82,9 +115,6 @@ _CASES = [
     ("zero_word_runs",
      (b"\x00" * 64, 16),
      (_BIG_DATA, 4608)),
-    ("match_lengths",
-     (_BIG_DATA, [0, 1, 2], 512, 8),
-     (_BIG_DATA, list(range(64)), 4096, 32)),
     ("bitpack",
      ([1] * 8, [8] * 8),
      (list(range(64)), [8] * 64)),
@@ -104,14 +134,42 @@ _CASES = [
      (_BIG_DATA, 4608)),
 ]
 
+# The native FFI call costs well under a microsecond, so its cutovers
+# sit far below numpy's — the below-crossover inputs here are tiny.
+_NATIVE_CASES = [
+    ("crc32c",
+     (b"\x5a" * 2, 0),
+     (b"\x5a" * 100, 0)),
+    ("bitpack",
+     ([1] * 4, [8] * 4),
+     (list(range(64)), [8] * 64)),
+    ("xmatch_tokens",
+     (b"\xab\xcd\xef\x01", 1, 8),
+     (b"\xab\xcd\xef\x01" * 16, 16, 8)),
+    ("huffman_pack",
+     (bytes(value & 7 for value in range(100)),
+      _HUFF_CODES, _HUFF_LENGTHS),
+     (bytes(value & 7 for value in range(2048)),
+      _HUFF_CODES, _HUFF_LENGTHS)),
+    ("xmatch_decode",
+     (_XM_BODY[:4], 0, 8),
+     (_XM_BODY, 512, 8)),
+    ("lz77_decode",
+     (_LZ_BODY[:4], 0, 10, 4, 3),
+     (_LZ_BODY, 1024, 10, 4, 3)),
+    ("huffman_decode",
+     (_HUF_BODY[:4], 0, _HUF_TABLE),
+     (_HUF_BODY, 2048, _HUF_TABLE)),
+    ("rle_decode",
+     (_RLE_RECORDS[:8], 0),
+     (_RLE_RECORDS, 512)),
+]
 
-@pytest.mark.parametrize("name,below_args,above_args", _CASES,
-                         ids=[case[0] for case in _CASES])
-def test_thresholded_kernel_crossover(numpy_backend, monkeypatch,
-                                      name, below_args, above_args):
+
+def _check_crossover(backend, monkeypatch, name, below_args, above_args):
     reference = getattr(pure, name)
     want_above = reference(*above_args)
-    kernel = getattr(numpy_backend, name)
+    kernel = getattr(backend, name)
     calls = _sentinel(monkeypatch, name)
 
     kernel(*below_args)
@@ -120,16 +178,64 @@ def test_thresholded_kernel_crossover(numpy_backend, monkeypatch,
     calls.clear()
     got_above = kernel(*above_args)
     assert not calls, \
-        f"{name} must take the vectorised path at/above its crossover"
-    # The vectorised path still has to agree with the reference.
+        f"{name} must take the accelerated path at/above its crossover"
+    # The accelerated path still has to agree with the reference.
     assert got_above == want_above
 
 
-def test_lz77_wide_match_window_delegates(numpy_backend, monkeypatch):
+@pytest.mark.parametrize("name,below_args,above_args", _NUMPY_CASES,
+                         ids=[case[0] for case in _NUMPY_CASES])
+def test_numpy_kernel_crossover(numpy_backend, monkeypatch,
+                                name, below_args, above_args):
+    _check_crossover(numpy_backend, monkeypatch, name, below_args,
+                     above_args)
+
+
+@pytest.mark.parametrize("name,below_args,above_args", _NATIVE_CASES,
+                         ids=[case[0] for case in _NATIVE_CASES])
+def test_native_kernel_crossover(native_backend, monkeypatch,
+                                 name, below_args, above_args):
+    _check_crossover(native_backend, monkeypatch, name, below_args,
+                     above_args)
+
+
+# lz77_tokens needs a sentinel variant of its own for native: the
+# below-threshold input must be non-trivial enough that the pure path
+# is observable, and the kernel also hands back wide-layout requests.
+
+
+@requires_native
+def test_native_lz77_crossover(native_backend, monkeypatch):
+    _check_crossover(native_backend, monkeypatch, "lz77_tokens",
+                     (b"\x42" * 8, 8, 4, 3, 8),
+                     (_BIG_DATA, 8, 4, 3, 8))
+
+
+def test_numpy_lz77_wide_match_window_delegates(numpy_backend,
+                                                monkeypatch):
     # min_match > 8 exceeds the vectorised prefix-hash width, so the
     # kernel must hand even large payloads back to pure.
     calls = _sentinel(monkeypatch, "lz77_tokens")
     numpy_backend.lz77_tokens(_BIG_DATA, 8, 6, 9, 8)
+    assert calls
+
+
+@requires_native
+def test_native_guard_delegations(native_backend, monkeypatch):
+    # Layouts outside the C kernels' fixed-width assumptions must fall
+    # back to the arbitrary-precision pure forms, whatever the size.
+    calls = _sentinel(monkeypatch, "lz77_tokens")
+    native_backend.lz77_tokens(_BIG_DATA, 8, 6, 9, 8)  # min_match > 8
+    assert calls
+
+    calls = _sentinel(monkeypatch, "lz77_decode")
+    native_backend.lz77_decode(_LZ_BODY, 0, 40, 10, 3)  # > 48-bit token
+    assert calls
+
+    calls = _sentinel(monkeypatch, "bitpack")
+    # A width above 64 bits only fits the bigint accumulator.
+    assert native_backend.bitpack([1 << 70, 1], [71, 1]) == \
+        pure.bitpack([1 << 70, 1], [71, 1])
     assert calls
 
 
@@ -162,3 +268,19 @@ def test_huffman_code_table_always_delegates(numpy_backend, monkeypatch):
     histogram[7] = 10
     numpy_backend.huffman_code_table(histogram)
     assert calls
+
+
+@pytest.mark.parametrize("work", [(3, 8), (64, 512)],
+                         ids=["small", "large"])
+def test_match_lengths_always_delegates(numpy_backend, monkeypatch,
+                                        work):
+    # Permanent delegate since the native backend landed: the pure
+    # form's early-limit break beats the full candidate matrix on
+    # chain-shaped inputs at every measured size (0.07-0.16x for the
+    # vector form), so the one-time 1.08x best case no longer earns a
+    # threshold.
+    count, limit = work
+    calls = _sentinel(monkeypatch, "match_lengths")
+    numpy_backend.match_lengths(_BIG_DATA, list(range(count)), 8192,
+                                limit)
+    assert calls, "match_lengths must delegate to pure at every size"

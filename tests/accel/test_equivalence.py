@@ -1,13 +1,16 @@
-"""Cross-backend equivalence: numpy kernels are byte-identical to pure.
+"""Cross-backend equivalence: every impl backend is byte-identical to pure.
 
 The pure backend is the semantic reference; these property tests pin
-the numpy backend to it bit-for-bit on randomised inputs.  The numpy
+every other *available* backend (numpy, and native when the compiled
+extension is built) to it bit-for-bit on randomised inputs.  Impl
 kernels delegate to pure below their size crossovers, so the fixture
-zeroes every threshold — each case exercises the vectorised code even
-on hypothesis-sized payloads.
+zeroes every threshold — each case exercises the accelerated code even
+on hypothesis-sized payloads.  Backends that are not installed are
+skipped per-parameter, so the suite degrades cleanly on a base
+install.
 """
 
-# The equivalence suite is the one place that must reach both backend
+# The equivalence suite is the one place that must reach the backend
 # modules directly instead of going through the dispatch facade.
 # repro-lint: disable=B804
 
@@ -20,26 +23,34 @@ from repro import accel
 from repro.accel import pure
 from repro.accel.plan import SynthesisPlan
 from repro.bitstream.generator import generate_bitstream
+from repro.errors import CorruptStreamError
 from repro.units import DataSize
 
-pytestmark = pytest.mark.skipif(not accel.numpy_available(),
-                                reason="numpy backend not installed")
+
+def _impl_backends():
+    names = []
+    if accel.numpy_available():
+        names.append("numpy")
+    if accel.native_available():
+        names.append("native")
+    return names
 
 
-@pytest.fixture(autouse=True)
-def vectorised(monkeypatch):
-    """The numpy backend with every pure-delegation threshold removed."""
-    from repro.accel import numpy_backend
-    monkeypatch.setattr(numpy_backend, "_CRC_MIN_BYTES", 0)
-    monkeypatch.setattr(numpy_backend, "_SYNTH_MIN_WORDS", 0)
-    monkeypatch.setattr(numpy_backend, "_SCAN_MIN_WORDS", 0)
-    monkeypatch.setattr(numpy_backend, "_MATCH_MIN_WORK", 0)
-    monkeypatch.setattr(numpy_backend, "_XMATCH_MIN_WORDS", 0)
-    monkeypatch.setattr(numpy_backend, "_BITPACK_MIN_TOKENS", 0)
-    monkeypatch.setattr(numpy_backend, "_LZ77_MIN_BYTES", 0)
-    monkeypatch.setattr(numpy_backend, "_HUFF_MIN_BYTES", 0)
-    monkeypatch.setattr(numpy_backend, "_RLE_MIN_WORDS", 0)
-    return numpy_backend
+@pytest.fixture(autouse=True, params=["numpy", "native"])
+def vectorised(request, monkeypatch):
+    """One impl backend per param, every delegation threshold removed."""
+    name = request.param
+    if name not in _impl_backends():
+        pytest.skip(f"{name} backend not installed")
+    if name == "numpy":
+        from repro.accel import numpy_backend as backend
+    else:
+        from repro.accel import native_backend as backend
+    for attribute in dir(backend):
+        if attribute.startswith("_") and "_MIN_" in attribute \
+                and isinstance(getattr(backend, attribute), int):
+            monkeypatch.setattr(backend, attribute, 0)
+    return backend
 
 
 # function_scoped_fixture is deliberate: the thresholds stay patched
@@ -149,14 +160,14 @@ def test_synthesize_payload_matches(vectorised, ops, frame_words):
         pure.synthesize_payload(plan)
 
 
-def test_generator_digest_identical_across_backends():
-    digests = {}
-    for name in ("pure", "numpy"):
+def test_generator_digest_identical_across_backends(vectorised):
+    digests = set()
+    for name in ["pure"] + _impl_backends():
         with accel.using(name):
             blob = generate_bitstream(size=DataSize.from_kb(16),
                                       seed=2012).file_bytes
-        digests[name] = hashlib.sha256(blob).hexdigest()
-    assert digests["pure"] == digests["numpy"]
+        digests.add(hashlib.sha256(blob).hexdigest())
+    assert len(digests) == 1
 
 
 # -- compressor-stack kernels ------------------------------------------
@@ -280,3 +291,115 @@ def test_rle_records_boundaries(vectorised):
     for data in cases:
         assert vectorised.rle_records(data, len(data) // 4) == \
             pure.rle_records(data, len(data) // 4)
+
+
+# -- bit-serial decoders ------------------------------------------------
+#
+# Two properties per decoder: on well-formed streams (kernel-encoded
+# round trips) the backend output is byte-identical to pure, and on
+# *arbitrary* bodies the backend either returns pure's bytes or raises
+# CorruptStreamError with pure's exact message — the decoders' error
+# points are part of the stream contract (the codec corruption tests
+# pin the messages), so a backend may not fail sooner, later, or with
+# different words.
+
+
+def _agree_with_pure(vectorised, kernel, *args):
+    try:
+        want, want_error = getattr(pure, kernel)(*args), None
+    except CorruptStreamError as error:
+        want, want_error = None, str(error)
+    try:
+        got, got_error = getattr(vectorised, kernel)(*args), None
+    except CorruptStreamError as error:
+        got, got_error = None, str(error)
+    assert got_error == want_error
+    assert got == want
+
+
+@quick
+@given(words, st.integers(min_value=2, max_value=64))
+def test_xmatch_decode_roundtrip_matches(vectorised, values, capacity):
+    data = pure.words_to_bytes(values)
+    body = pure.bitpack(*pure.xmatch_tokens(data, len(values), capacity))
+    got = vectorised.xmatch_decode(body, len(data), capacity)
+    assert got == pure.xmatch_decode(body, len(data), capacity)
+    assert got == data
+
+
+@quick
+@given(st.binary(max_size=512), st.integers(min_value=0, max_value=512),
+       st.integers(min_value=2, max_value=64))
+def test_xmatch_decode_corrupt_parity(vectorised, body, output_length,
+                                      capacity):
+    _agree_with_pure(vectorised, "xmatch_decode",
+                     body, output_length * 4, capacity)
+
+
+@quick
+@given(st.binary(max_size=2048),
+       st.integers(min_value=4, max_value=12),
+       st.integers(min_value=2, max_value=6),
+       st.integers(min_value=2, max_value=5))
+def test_lz77_decode_roundtrip_matches(vectorised, data, window_bits,
+                                       length_bits, min_match):
+    body = pure.bitpack(*pure.lz77_tokens(data, window_bits,
+                                          length_bits, min_match, 8))
+    got = vectorised.lz77_decode(body, len(data), window_bits,
+                                 length_bits, min_match)
+    assert got == pure.lz77_decode(body, len(data), window_bits,
+                                   length_bits, min_match)
+    assert got == data
+
+
+@quick
+@given(st.binary(max_size=512), st.integers(min_value=0, max_value=4096),
+       st.integers(min_value=4, max_value=12),
+       st.integers(min_value=2, max_value=6),
+       st.integers(min_value=2, max_value=5))
+def test_lz77_decode_corrupt_parity(vectorised, body, output_length,
+                                    window_bits, length_bits, min_match):
+    _agree_with_pure(vectorised, "lz77_decode", body, output_length,
+                     window_bits, length_bits, min_match)
+
+
+@quick
+@given(st.binary(min_size=1, max_size=2048))
+def test_huffman_decode_roundtrip_matches(vectorised, data):
+    histogram = [0] * 256
+    for byte in data:
+        histogram[byte] += 1
+    codes, lengths = pure.huffman_code_table(histogram)
+    body = pure.huffman_pack(data, codes, lengths)
+    table = bytes(lengths)
+    got = vectorised.huffman_decode(body, len(data), table)
+    assert got == pure.huffman_decode(body, len(data), table)
+    assert got == data
+
+
+@quick
+@given(st.binary(max_size=512), st.integers(min_value=0, max_value=2048),
+       st.binary(min_size=256, max_size=256))
+def test_huffman_decode_corrupt_parity(vectorised, body, output_length,
+                                       table):
+    _agree_with_pure(vectorised, "huffman_decode", body, output_length,
+                     table)
+
+
+@quick
+@given(words, st.integers(min_value=0, max_value=4))
+def test_rle_decode_roundtrip_matches(vectorised, values, slack):
+    data = pure.words_to_bytes(values)
+    records = pure.rle_records(data, len(values))
+    # Decoding must ignore container padding past the declared length.
+    padded = records + b"\x00" * slack
+    got = vectorised.rle_decode(padded, len(data))
+    assert got == pure.rle_decode(padded, len(data))
+    assert got == data
+
+
+@quick
+@given(st.binary(max_size=1024),
+       st.integers(min_value=0, max_value=4096))
+def test_rle_decode_corrupt_parity(vectorised, records, output_length):
+    _agree_with_pure(vectorised, "rle_decode", records, output_length)

@@ -3,9 +3,11 @@
 One system run per decompressor-library entry, under each installed
 backend, with the metrics registry live: the compress-offline path
 must report nonzero ``accel.<backend>.<kernel>.calls`` for the
-kernels that codec dispatches.  Together the four codecs cover all
-six compressor-stack kernels, so a kernel silently bypassing the
-dispatch facade (and its ``record`` call) fails here.
+kernels that codec dispatches — the encode kernels on the compress
+side and the matching bit-serial decode kernel on the decompress
+side.  Together the four codecs cover all ten compressor-stack
+kernels, so a kernel silently bypassing the dispatch facade (and its
+``record`` call) fails here.
 """
 
 import pytest
@@ -16,17 +18,19 @@ from repro.core.system import UPaRCSystem
 from repro.core.urec import OperationMode
 from repro.units import DataSize
 
-#: Kernels each codec's compress path dispatches during mode ii.
-#: Huffman's pure encoder fuses encode+pack, so it ticks its own
+#: Kernels each codec's compress+decompress paths dispatch during
+#: mode ii.  Huffman's encoder fuses encode+pack, so it ticks its own
 #: ``huffman_pack`` kernel rather than the generic ``bitpack``.
 EXPECTED_KERNELS = {
-    "x-matchpro": ("xmatch_tokens", "bitpack"),
-    "lz77": ("lz77_tokens", "bitpack"),
-    "huffman": ("huffman_code_table", "huffman_pack"),
-    "farm-rle": ("rle_records",),
+    "x-matchpro": ("xmatch_tokens", "bitpack", "xmatch_decode"),
+    "lz77": ("lz77_tokens", "bitpack", "lz77_decode"),
+    "huffman": ("huffman_code_table", "huffman_pack", "huffman_decode"),
+    "farm-rle": ("rle_records", "rle_decode"),
 }
 
-BACKENDS = ["pure"] + (["numpy"] if accel.numpy_available() else [])
+BACKENDS = (["pure"]
+            + (["numpy"] if accel.numpy_available() else [])
+            + (["native"] if accel.native_available() else []))
 
 
 def _bitstream():
@@ -46,7 +50,7 @@ def test_mode_ii_run_ticks_compressor_kernels(backend, name):
     for kernel in EXPECTED_KERNELS[name]:
         calls = counters.get(f"accel.{backend}.{kernel}.calls", 0)
         assert calls > 0, \
-            f"{name} compress did not dispatch {kernel} ({backend})"
+            f"{name} run did not dispatch {kernel} ({backend})"
         assert counters.get(f"accel.{backend}.{kernel}.bytes", 0) > 0
 
 
@@ -55,4 +59,5 @@ def test_expected_kernel_map_covers_every_new_kernel():
                for kernel in kernels}
     assert covered == {"xmatch_tokens", "bitpack", "lz77_tokens",
                        "huffman_code_table", "huffman_pack",
-                       "rle_records"}
+                       "rle_records", "xmatch_decode", "lz77_decode",
+                       "huffman_decode", "rle_decode"}

@@ -20,8 +20,16 @@ def test_pure_backend_always_available():
     assert accel.available_backends()[0] == "pure"
 
 
-def test_auto_prefers_numpy_when_importable():
-    expected = "numpy" if accel.numpy_available() else "pure"
+def _auto_expected():
+    if accel.native_available():
+        return "native"
+    if accel.numpy_available():
+        return "numpy"
+    return "pure"
+
+
+def test_auto_prefers_fastest_available_backend():
+    expected = _auto_expected()
     assert accel.select("auto") == expected
     assert accel.backend_name() == expected
 
@@ -46,8 +54,7 @@ def test_environment_beats_auto(monkeypatch):
 
 def test_environment_auto_means_auto(monkeypatch):
     monkeypatch.setenv(accel.BACKEND_ENV, "auto")
-    expected = "numpy" if accel.numpy_available() else "pure"
-    assert accel.select(None) == expected
+    assert accel.select(None) == _auto_expected()
 
 
 def test_invalid_name_rejected_without_clobbering_state():
@@ -66,7 +73,7 @@ def test_invalid_environment_value_rejected(monkeypatch):
 def test_using_restores_previous_selection():
     accel.select("pure")
     with accel.using("auto") as name:
-        assert name in ("pure", "numpy")
+        assert name in ("pure", "numpy", "native")
     assert accel.backend_name() == "pure"
 
 
@@ -75,6 +82,19 @@ def test_numpy_request_without_numpy_raises(monkeypatch):
         pytest.skip("numpy installed; covered by test_select_beats_environment")
     with pytest.raises(AccelError):
         accel.select("numpy")
+
+
+def test_native_request_without_extension_raises():
+    if accel.native_available():
+        pytest.skip("native extension built; covered by the suites "
+                    "running under REPRO_BACKEND=native")
+    with pytest.raises(AccelError, match="not built"):
+        accel.select("native")
+
+
+def test_native_listed_only_when_built():
+    listed = "native" in accel.available_backends()
+    assert listed == accel.native_available()
 
 
 def test_dispatch_records_backend_tagged_counters():

@@ -1,7 +1,8 @@
 """Cross-backend golden digests for the kernelised codecs.
 
 Each codec whose inner loop moved into the accel package must produce
-byte-identical streams under the pure and numpy backends, and the
+byte-identical streams under every available backend (pure, numpy,
+and native when the compiled extension is built), and the
 stream itself is frozen: these digests pin the on-wire format of a
 24 KB generated bitstream for every kernelised codec.  A mismatch
 means previously written compressed artifacts no longer decode — if
@@ -46,7 +47,9 @@ PAYLOAD_DIGEST = \
 
 CODECS = [XMatchProCodec(), Lz77Codec(), HuffmanCodec(), RleCodec()]
 
-BACKENDS = ["pure"] + (["numpy"] if accel.numpy_available() else [])
+BACKENDS = (["pure"]
+            + (["numpy"] if accel.numpy_available() else [])
+            + (["native"] if accel.native_available() else []))
 
 
 @pytest.fixture(scope="module")

@@ -1,11 +1,6 @@
-"""Fixture: pure + *native* backend package with seeded B-rule gaps.
+"""Fixture: the real three-backend shape with seeded B-rule gaps."""
 
-No ``numpy_backend`` submodule on purpose — the package must be
-recognised from the pure reference plus the third registered
-implementation name alone.
-"""
-
-from native_drift_pkg import pure as _pure
+from three_backend_pkg import pure as _pure
 
 
 def record(kernel, data_bytes: int):
@@ -20,6 +15,11 @@ def pack_words(words):
 def scan_runs(data, count):
     # B803: dispatch without a record() call.
     return _pure.scan_runs(data, count)
+
+
+def stream_decode(body, output_length):
+    record("stream_decode", len(body))
+    return _pure.stream_decode(body, output_length)
 
 
 # B802: crc_fold has no dispatch function at all.

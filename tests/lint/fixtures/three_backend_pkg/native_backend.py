@@ -1,9 +1,13 @@
-"""Drifted native backend for the third-backend fixture."""
+"""Drifted compiled-kernel backend, shaped like the cffi wrappers."""
 
 
 def pack_words(words, order):
     # B801: extra parameter drifts from the pure reference.
     return bytes(words)
+
+
+def crc_fold(data, crc=0):
+    return crc ^ len(data)
 
 
 def scan_runs(data, count):
@@ -13,3 +17,6 @@ def scan_runs(data, count):
 def turbo_kernel(x):
     # B801: no pure reference implementation exists.
     return x
+
+
+# B801 (at the pure def): stream_decode has no native counterpart.

@@ -1,0 +1,24 @@
+"""Clean vectorised backend: mirrors every pure signature exactly.
+
+Present so the fixture has the real package shape (pure + numpy +
+native) and so the tests prove B801 judges each implementation
+independently — all the seeded drift lives in ``native_backend``.
+"""
+
+from three_backend_pkg import pure
+
+
+def pack_words(words):
+    return pure.pack_words(words)
+
+
+def crc_fold(data, crc=0):
+    return pure.crc_fold(data, crc)
+
+
+def scan_runs(data, count):
+    return pure.scan_runs(data, count)
+
+
+def stream_decode(body, output_length):
+    return pure.stream_decode(body, output_length)

@@ -1,4 +1,4 @@
-"""Pure reference kernels for the native-backend drift fixture."""
+"""Pure reference kernels, shaped like ``repro.accel.pure``."""
 
 
 def pack_words(words):
@@ -11,3 +11,7 @@ def crc_fold(data, crc=0):
 
 def scan_runs(data, count):
     return [count for _ in data]
+
+
+def stream_decode(body, output_length):
+    return bytes(output_length)

@@ -169,37 +169,45 @@ def test_imports_inside_the_backend_package_are_sanctioned():
 
 
 # -- third registered backend (native, ROADMAP phase 3) ----------------
+#
+# three_backend_pkg mirrors the real repro.accel shape — pure
+# reference, clean numpy mirror, cffi-style native backend — with
+# every seeded violation living in the native implementation, so the
+# B rules are proven against the package layout that actually ships.
 
-def _native_files():
-    return _pkg_files("native_drift_pkg") + [FIXTURES / "native_consumer.py"]
-
-
-def test_native_backend_package_is_recognised_without_numpy():
-    import ast
-
-    from repro.lint.project import ProjectIndex, module_name_for
-    from repro.lint.rules.backend import backend_package_of
-    from repro.lint.summaries import summarize_module
-
-    index = ProjectIndex([
-        summarize_module(ast.parse(path.read_text()),
-                         module_name_for(str(path)), str(path))
-        for path in _pkg_files("native_drift_pkg")])
-    for module in ("native_drift_pkg", "native_drift_pkg.pure",
-                   "native_drift_pkg.native_backend"):
-        assert backend_package_of(index, module) == "native_drift_pkg"
-    # The name alone is not enough: no pure reference, no package.
-    assert backend_package_of(index,
-                              "elsewhere.native_backend") is None
+def _three_backend_files():
+    return _pkg_files("three_backend_pkg") + \
+        [FIXTURES / "three_backend_consumer.py"]
 
 
-def test_native_backend_drift_flags_every_seed():
-    found = _by_rule(lint_files(_native_files()))
+def test_native_backend_package_is_recognised_without_numpy(tmp_path):
+    # Recognition must not hinge on a numpy_backend submodule: a
+    # package carrying only pure + native_backend is still a backend
+    # package, so drift inside it fires.
+    pkg = tmp_path / "solo_pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "pure.py").write_text("def k(a):\n    return a\n")
+    (pkg / "native_backend.py").write_text(
+        "def k(a, b):\n    return a\n")
+    found = _by_rule(lint_files(sorted(pkg.rglob("*.py"))))
+    [b801] = found["B801"]
+    assert b801.path.endswith("pure.py")
+    assert "native_backend" in b801.message
+
+
+def test_three_backend_drift_flags_every_seed():
+    found = _by_rule(lint_files(_three_backend_files()))
+
+    # All three B801 shapes, every one seeded in the native impl:
+    # signature drift, missing counterpart, no pure reference.  The
+    # clean numpy mirror must contribute nothing.
     b801 = {(v.path.rsplit("/", 1)[-1], v.line) for v in found["B801"]}
-    assert b801 == {("pure.py", 4), ("pure.py", 8),
-                    ("native_backend.py", 13)}
+    assert b801 == {("pure.py", 4), ("pure.py", 16),
+                    ("native_backend.py", 17)}
     messages = " | ".join(v.message for v in found["B801"])
-    assert "native_drift_pkg.native_backend" in messages
+    assert "three_backend_pkg.native_backend" in messages
+    assert "numpy_backend" not in messages
     assert "signature drift" in messages
     assert "no counterpart" in messages
     assert "no pure reference" in messages
@@ -211,9 +219,22 @@ def test_native_backend_drift_flags_every_seed():
     assert b803.path.endswith("__init__.py")
     assert "scan_runs" in b803.message
 
-    assert [v.line for v in found["B804"]] == [3, 4]
-    assert all(v.path.endswith("native_consumer.py")
+    # Bypass imports of either implementation module are flagged.
+    assert [v.line for v in found["B804"]] == [3, 4, 5]
+    assert all(v.path.endswith("three_backend_consumer.py")
                for v in found["B804"])
+    bypassed = " | ".join(v.message for v in found["B804"])
+    assert "native_backend" in bypassed
+    assert "numpy_backend" in bypassed
+
+
+def test_real_accel_package_is_backend_clean():
+    # The shipped three-backend package must satisfy its own contract:
+    # mirrored signatures (B801), one dispatch per kernel (B802),
+    # record() on every dispatch (B803), no bypass imports (B804).
+    src = Path(__file__).resolve().parents[2] / "src" / "repro" / "accel"
+    found = _by_rule(lint_files(sorted(src.rglob("*.py"))))
+    assert not any(rule.startswith("B8") for rule in found), found
 
 
 def test_mixed_three_backend_package_checks_both_impls(tmp_path):

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import accel
 from repro.cli import main
 
 SMALL = ["--requests", "150", "--seed", "5"]
@@ -46,7 +47,22 @@ def test_run_metrics_table(capsys):
 def test_run_sanitize_clean(capsys):
     assert main(["serve", "run", "--requests", "120", "--sanitize"]) \
         == 0
-    assert "clean" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert f"accel.backend={accel.backend_name()}" in out
+
+
+def test_run_reports_backend_but_json_stays_backend_free(tmp_path,
+                                                         capsys):
+    # The printed report attributes the run to the active backend;
+    # the JSON report (and therefore its digest) must not, so reports
+    # stay byte-identical across backends.
+    path = tmp_path / "report.json"
+    assert main(["serve", "run", *SMALL, "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "accel.backend" in out
+    assert accel.backend_name() in out
+    assert "backend" not in path.read_text()
 
 
 def test_bench_curve_and_output(tmp_path, capsys):
@@ -58,9 +74,14 @@ def test_bench_curve_and_output(tmp_path, capsys):
     assert "300 requests across 2 load levels" in out
     document = json.loads(path.read_text())
     assert document["kind"] == "serve-bench"
+    assert document["accel.backend"] == accel.backend_name()
     assert document["loads"] == [0.5, 2.0]
     assert len(document["levels"]) == 2
     assert "_wall_s" not in document
+    # Attribution lives at document level only; the per-level reports
+    # (whose digests are pinned cross-backend) stay backend-free.
+    for cell in document["levels"]:
+        assert "backend" not in json.dumps(cell["report"])
 
 
 def test_bench_merged_metrics(capsys):

@@ -21,7 +21,9 @@ from repro.serve import (
 )
 from repro.serve.fleet import ServiceTimeTable
 
-BACKENDS = ["pure"] + (["numpy"] if accel.numpy_available() else [])
+BACKENDS = (["pure"]
+            + (["numpy"] if accel.numpy_available() else [])
+            + (["native"] if accel.native_available() else []))
 
 #: A saturating scenario (load 6 with tight queues sheds ~20% of the
 #: stream) pinned by its report digest.  A change here means serve
